@@ -1,0 +1,92 @@
+"""Ablation: the naive det/nr estimate versus the rsk-nop methodology.
+
+Sections 3.1 and 3.2 of the paper argue that the classic approach — run a
+scua against rsk contenders and divide the slowdown by the request count —
+depends on which scua is used and underestimates ``ubd``.  This ablation
+quantifies that on the reference platform: the naive estimate is computed for
+several scuas (the rsk itself and bus-heavy synthetic kernels), and compared
+with the scua-independent rsk-nop result and the analytical bound, together
+with the ETB each bound would produce for one task.
+"""
+
+from __future__ import annotations
+
+from repro.config import reference_config
+from repro.kernels.rsk import build_rsk
+from repro.kernels.synthetic import build_synthetic_kernel
+from repro.methodology.etb import build_etb_report
+from repro.methodology.experiment import ExperimentRunner
+from repro.methodology.naive import NaiveUbdEstimator
+from repro.methodology.ubd import UbdEstimator
+from repro.report.tables import render_table
+
+from .conftest import write_artifact
+
+
+def run_comparison(iterations: int):
+    config = reference_config()
+    naive = NaiveUbdEstimator(config)
+    scuas = {
+        "rsk(load)": build_rsk(config, 0, iterations=iterations),
+        "cacheb": build_synthetic_kernel(config, "cacheb", 0, iterations=max(4, iterations // 8)),
+        "tblook": build_synthetic_kernel(config, "tblook", 0, iterations=max(4, iterations // 8)),
+    }
+    naive_rows = []
+    for name, scua in scuas.items():
+        estimate = naive.estimate(scua)
+        naive_rows.append([name, estimate.requests, f"{estimate.ubdm:.2f}"])
+
+    methodology = UbdEstimator(config, k_max=2 * config.ubd + 6, iterations=max(15, iterations // 2)).run()
+
+    # ETB comparison for one task padded with each bound.
+    runner = ExperimentRunner(config)
+    task = build_rsk(config, 0, iterations=iterations)
+    isolation = runner.run_isolation(task)
+    contended = runner.run_against_rsk(task)
+    etb_rows = []
+    for label, bound in (
+        ("naive det/nr (rsk scua)", float(naive_rows[0][2])),
+        ("rsk-nop methodology", float(methodology.ubdm)),
+        ("analytical ubd", float(config.ubd)),
+    ):
+        report = build_etb_report(
+            task.name,
+            isolation_time=isolation.execution_time,
+            requests=isolation.bus_requests,
+            ubdm=bound,
+            observed_contended_time=contended.execution_time,
+        )
+        etb_rows.append([label, f"{bound:.2f}", report.etb, report.covers_observation])
+    return config, naive_rows, methodology, etb_rows
+
+
+def test_ablation_naive_vs_methodology(benchmark, artifact_dir, quick_mode):
+    iterations = 20 if quick_mode else 40
+    config, naive_rows, methodology, etb_rows = benchmark.pedantic(
+        run_comparison, args=(iterations,), rounds=1, iterations=1
+    )
+
+    # Every naive estimate underestimates the analytical bound...
+    for name, _requests, value in naive_rows:
+        assert float(value) < config.ubd, f"naive estimate for {name} should underestimate"
+    # ...and the naive values differ between scuas (they are scua dependent).
+    assert len({value for _, _, value in naive_rows}) > 1
+    # The methodology recovers the exact bound.
+    assert methodology.ubdm == config.ubd
+    # ETBs padded with the methodology's bound (and the analytical one) cover
+    # the observed contended execution time.
+    by_label = {row[0]: row for row in etb_rows}
+    assert by_label["rsk-nop methodology"][3] is True
+    assert by_label["analytical ubd"][3] is True
+
+    sections = [
+        "Naive det/nr estimates (scua dependent):",
+        render_table(["scua", "requests nr", "ubdm = det/nr"], naive_rows),
+        "",
+        f"rsk-nop methodology: ubdm = {methodology.ubdm} cycles "
+        f"(analytical ubd = {config.ubd})",
+        "",
+        "ETB for the rsk task under each bound:",
+        render_table(["bound", "cycles/request", "ETB", "covers contended run"], etb_rows),
+    ]
+    write_artifact(artifact_dir, "ablation_naive_vs_methodology.txt", "\n".join(sections))

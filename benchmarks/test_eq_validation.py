@@ -1,0 +1,78 @@
+"""Equations 1 and 2 validated against the cycle-level simulator.
+
+A parametric sweep over core counts and bus occupancies: for each platform
+the observed worst-case contention of a saturated rsk workload must track
+``ubd = (Nc - 1) * lbus`` (Equation 1) shifted by the platform's injection
+time (Equation 2), and the rsk-nop methodology must recover the exact ubd.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.contention import contention_histogram
+from repro.config import BusConfig, CacheConfig, L2Config, small_config
+from repro.kernels.rsk import build_rsk
+from repro.methodology.experiment import ExperimentRunner
+from repro.methodology.ubd import UbdEstimator
+from repro.report.tables import render_table
+
+from .conftest import write_artifact
+
+
+def make_platform(num_cores: int, transfer: int, l2_latency: int):
+    return small_config(
+        num_cores=num_cores,
+        bus=BusConfig(transfer_latency=transfer),
+        l2=L2Config(
+            cache=CacheConfig(
+                size_bytes=32 * 1024,
+                ways=max(4, num_cores),
+                line_size=32,
+                hit_latency=l2_latency,
+            )
+        ),
+    )
+
+
+PLATFORMS = [
+    (3, 1, 2),   # ubd = 6
+    (3, 2, 3),   # ubd = 10
+    (4, 1, 2),   # ubd = 9
+    (4, 3, 6),   # ubd = 27 (the NGMP timing with small caches)
+]
+
+
+def run_validation(iterations: int):
+    rows = []
+    for num_cores, transfer, l2_latency in PLATFORMS:
+        config = make_platform(num_cores, transfer, l2_latency)
+        runner = ExperimentRunner(config)
+        scua = build_rsk(config, 0, iterations=iterations)
+        contended = runner.run_against_rsk(scua, trace=True)
+        plateau = contention_histogram(contended.trace, 0).mode
+        estimator = UbdEstimator(config, k_max=2 * config.ubd + 4, iterations=max(10, iterations // 3))
+        ubdm = estimator.run().ubdm
+        rows.append(
+            [
+                f"{num_cores} cores / lbus={config.bus_service_l2_hit}",
+                config.ubd,
+                plateau,
+                config.ubd - config.expected_rsk_injection_time,
+                ubdm,
+            ]
+        )
+    return rows
+
+
+def test_equation_validation_across_platforms(benchmark, artifact_dir, quick_mode):
+    iterations = 20 if quick_mode else 40
+    rows = benchmark.pedantic(run_validation, args=(iterations,), rounds=1, iterations=1)
+
+    for label, ubd, plateau, expected_plateau, ubdm in rows:
+        assert plateau == expected_plateau, f"{label}: plateau does not follow Equation 2"
+        assert ubdm == ubd, f"{label}: methodology failed to recover Equation 1"
+
+    table = render_table(
+        ["platform", "ubd (Eq. 1)", "observed plateau", "Eq. 2 prediction", "ubdm (methodology)"],
+        rows,
+    )
+    write_artifact(artifact_dir, "eq1_eq2_validation.txt", table)

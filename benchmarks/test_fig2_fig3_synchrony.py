@@ -1,0 +1,71 @@
+"""Figures 2 and 3: contention delay as a function of the injection time.
+
+Figure 3's table lists, for each injection time delta, which core holds the
+highest/lowest round-robin priority and the contention delay gamma suffered by
+the observed request once the synchrony effect has locked the schedule.  This
+benchmark regenerates that table twice:
+
+* analytically, from Equation 2 / the schedule-based timeline;
+* from the cycle-level simulator, by enforcing each delta with an
+  ``rsk-nop(load, k)`` kernel on the reference platform and reading the modal
+  per-request contention delay from the bus trace.
+
+The two columns must agree — that is the correctness argument behind the
+whole methodology.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.contention import contention_histogram
+from repro.analysis.model import gamma_of_delta, synchrony_timeline
+from repro.config import reference_config
+from repro.kernels.rsk import build_rsk_nop
+from repro.methodology.experiment import ExperimentRunner
+from repro.report.tables import render_table
+
+from .conftest import write_artifact
+
+
+def simulated_gamma(config, k: int, iterations: int) -> int:
+    runner = ExperimentRunner(config)
+    scua = build_rsk_nop(config, 0, k=k, iterations=iterations)
+    contended = runner.run_against_rsk(scua, trace=True)
+    return contention_histogram(contended.trace, 0).mode
+
+
+def build_gamma_table(iterations: int = 25):
+    config = reference_config()
+    ubd = config.ubd
+    delta_rsk = config.expected_rsk_injection_time
+    # Sample every third k plus the points where the tooth bottoms out
+    # (delta = ubd and delta = 2*ubd), so the table spans gamma = ubd-1 .. 0.
+    k_values = sorted(set(range(0, 2 * ubd + 2, 3)) | {ubd - delta_rsk, 2 * ubd - delta_rsk})
+    rows = []
+    for k in k_values:
+        delta = delta_rsk + k
+        analytical = gamma_of_delta(delta, ubd)
+        timeline = synchrony_timeline(config.num_cores, config.bus_service_l2_hit, delta)
+        simulated = simulated_gamma(config, k, iterations)
+        rows.append([delta, analytical, timeline["contention"], simulated])
+    return rows
+
+
+def test_fig2_fig3_gamma_versus_delta(benchmark, artifact_dir, quick_mode):
+    iterations = 10 if quick_mode else 25
+    rows = benchmark.pedantic(build_gamma_table, args=(iterations,), rounds=1, iterations=1)
+
+    # Every simulated value must match both analytical derivations exactly.
+    for delta, analytical, timeline, simulated in rows:
+        assert analytical == timeline, f"timeline mismatch at delta={delta}"
+        assert analytical == simulated, f"simulator mismatch at delta={delta}"
+
+    ubd = reference_config().ubd
+    # The table covers the full dynamic range: from ubd-1 down to 0.
+    gammas = [row[1] for row in rows]
+    assert max(gammas) == ubd - 1
+    assert min(gammas) == 0
+
+    table = render_table(
+        ["delta", "gamma (Eq. 2)", "gamma (timeline)", "gamma (simulated)"], rows
+    )
+    write_artifact(artifact_dir, "fig2_fig3_gamma_vs_delta.txt", table)

@@ -1,0 +1,38 @@
+"""Figure 4: the saw-tooth behaviour of round-robin under high load.
+
+Regenerates the analytical curve gamma(delta) for the reference platform:
+maximum contention ``ubd`` only at ``delta = 0``, a linear decrease to zero at
+``delta = ubd`` and a wrap-around with period ``ubd`` afterwards, peaking at
+``ubd - 1`` for every ``delta = m * ubd + 1``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.model import sawtooth_curve
+from repro.config import reference_config
+from repro.report.tables import render_series
+
+from .conftest import write_artifact
+
+
+def build_curve():
+    config = reference_config()
+    deltas = list(range(0, 3 * config.ubd + 2))
+    return deltas, sawtooth_curve(deltas, config.ubd)
+
+
+def test_fig4_sawtooth_curve(benchmark, artifact_dir):
+    deltas, curve = benchmark.pedantic(build_curve, rounds=1, iterations=1)
+    ubd = reference_config().ubd
+
+    # Shape checks straight from the figure.
+    assert curve[0] == ubd, "delta = 0 is the only point reaching ubd"
+    assert ubd not in curve[1:], "with delta > 0 the maximum is ubd - 1"
+    assert curve[1] == ubd - 1
+    assert curve[ubd] == 0
+    assert curve[ubd + 1] == ubd - 1, "the tooth re-arms one cycle after each multiple of ubd"
+    # Periodicity: the period of the saw-tooth is exactly ubd.
+    assert curve[1 : 1 + ubd] == curve[1 + ubd : 1 + 2 * ubd]
+
+    table = render_series(deltas, curve, x_label="delta", y_label="gamma")
+    write_artifact(artifact_dir, "fig4_sawtooth_model.txt", table)

@@ -1,0 +1,63 @@
+"""Figure 5: the effect of inserting nop instructions between bus accesses.
+
+The figure walks through the reference scenario (delta_rsk = 1, gamma = 5 in
+its small example) and shows how adding k = 1, 2, 5, 6 nops moves the request
+within the round-robin window: the contention first decreases step by step and
+then jumps back up once the injection time crosses a multiple of ubd.
+
+This benchmark reproduces the walk-through on the full reference platform
+(ubd = 27): for each k it runs ``rsk-nop(load, k)`` against three rsk and
+records the per-request contention delay observed on the bus trace.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.contention import contention_histogram
+from repro.analysis.model import gamma_of_delta
+from repro.config import reference_config
+from repro.kernels.rsk import build_rsk_nop
+from repro.methodology.experiment import ExperimentRunner
+from repro.report.tables import render_table
+
+from .conftest import write_artifact
+
+#: The nop counts Figure 5 walks through, extended to the points where the
+#: reference platform's tooth bottoms out (k = 26) and re-arms (k = 27).
+K_VALUES = (0, 1, 2, 5, 6, 25, 26, 27)
+
+
+def measure(iterations: int = 25):
+    config = reference_config()
+    runner = ExperimentRunner(config)
+    rows = []
+    for k in K_VALUES:
+        scua = build_rsk_nop(config, 0, k=k, iterations=iterations)
+        contended = runner.run_against_rsk(scua, trace=True)
+        histogram = contention_histogram(contended.trace, 0)
+        delta = config.expected_rsk_injection_time + k
+        rows.append(
+            [k, delta, gamma_of_delta(delta, config.ubd), histogram.mode, round(histogram.fraction_at_mode(), 3)]
+        )
+    return rows
+
+
+def test_fig5_nop_insertion_timeline(benchmark, artifact_dir, quick_mode):
+    iterations = 10 if quick_mode else 25
+    rows = benchmark.pedantic(measure, args=(iterations,), rounds=1, iterations=1)
+    by_k = {row[0]: row for row in rows}
+
+    # Figure 5(a)-(c): adding nops decreases the contention one cycle at a time.
+    assert by_k[1][3] == by_k[0][3] - 1
+    assert by_k[2][3] == by_k[0][3] - 2
+    assert by_k[5][3] == by_k[0][3] - 5
+    # Figure 5(d): once delta crosses a multiple of ubd the contention jumps up.
+    assert by_k[27][3] > by_k[26][3]
+    # Simulation matches the analytical prediction everywhere.
+    for k, delta, predicted, measured, fraction in rows:
+        assert predicted == measured
+        assert fraction > 0.9, "the synchrony effect pins nearly every request to one delay"
+
+    table = render_table(
+        ["k (nops)", "delta", "gamma predicted", "gamma measured", "fraction at mode"], rows
+    )
+    write_artifact(artifact_dir, "fig5_nop_timelines.txt", table)

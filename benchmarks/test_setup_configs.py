@@ -1,0 +1,50 @@
+"""Section 5.1 (experimental setup): the ref and var platform configurations.
+
+Regenerates the setup description as a table: cache geometry, latencies, bus
+occupancy and the resulting analytical ubd for both platforms, which every
+other benchmark builds on.
+"""
+
+from __future__ import annotations
+
+from repro.config import reference_config, variant_config
+from repro.report.tables import render_table
+
+from .conftest import write_artifact
+
+
+def build_setup_table() -> str:
+    rows = []
+    for config in (reference_config(), variant_config()):
+        info = config.describe()
+        rows.append(
+            [
+                info["name"],
+                info["cores"],
+                info["dl1"],
+                info["dl1_latency"],
+                info["l2"],
+                info["l2_latency"],
+                info["bus_transfer"],
+                info["lbus"],
+                info["ubd"],
+            ]
+        )
+    return render_table(
+        ["setup", "cores", "DL1", "L1 lat", "L2", "L2 lat", "transfer", "lbus", "ubd"],
+        rows,
+    )
+
+
+def test_section51_setup_table(benchmark, artifact_dir):
+    table = benchmark.pedantic(build_setup_table, rounds=1, iterations=1)
+
+    ref = reference_config()
+    var = variant_config()
+    # The quantities the paper states explicitly in Sections 5.1 and 5.2.
+    assert ref.bus_service_l2_hit == 9
+    assert ref.ubd == 27
+    assert var.ubd == 27
+    assert ref.dl1.hit_latency == 1 and var.dl1.hit_latency == 4
+
+    write_artifact(artifact_dir, "section51_setup.txt", table)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Using the derived bound: execution-time bounds for an automotive-style task.
+
+The end product of the methodology is a per-request contention bound that a
+timing-analysis flow consumes (Section 4.3):
+
+* MBTA pads the isolation measurement of a task with ``nr * ubdm``;
+* STA adds ``ubdm`` to each accounted bus access.
+
+This example derives three bounds for a bus-heavy synthetic task (a stand-in
+for an EEMBC Autobench kernel) on the reference platform and checks which of
+the resulting execution-time bounds (ETBs) actually cover a contended run:
+
+* the naive ``det/nr`` estimate — underestimates and may produce an ETB that
+  a worst-case-aligned run could exceed;
+* the rsk-nop methodology's ``ubdm`` — equals the true ``ubd``;
+* the analytical ``ubd`` — the reference.
+
+Run it with::
+
+    python examples/etb_padding.py
+"""
+
+from __future__ import annotations
+
+from repro import reference_config
+from repro.kernels.synthetic import build_synthetic_kernel
+from repro.methodology.etb import build_etb_report
+from repro.methodology.experiment import ExperimentRunner
+from repro.methodology.naive import NaiveUbdEstimator
+from repro.methodology.ubd import UbdEstimator
+from repro.report.tables import render_table
+
+
+def main() -> None:
+    config = reference_config()
+    runner = ExperimentRunner(config)
+
+    task = build_synthetic_kernel(config, "cacheb", 0, iterations=20)
+    print(f"Task under analysis: {task.summary()}")
+
+    isolation = runner.run_isolation(task)
+    contended = runner.run_against_rsk(task)
+    print(
+        f"Isolation: {isolation.execution_time} cycles, {isolation.bus_requests} bus requests; "
+        f"against 3 rsk: {contended.execution_time} cycles"
+    )
+    print()
+
+    print("Deriving the per-request bounds (a few minutes of simulated runs)...")
+    naive = NaiveUbdEstimator(config).estimate(task)
+    methodology = UbdEstimator(config, k_max=60, iterations=40).run()
+
+    bounds = [
+        ("naive det/nr (this task as scua)", naive.ubdm),
+        ("rsk-nop methodology", float(methodology.ubdm)),
+        ("analytical ubd", float(config.ubd)),
+    ]
+    rows = []
+    for label, bound in bounds:
+        report = build_etb_report(
+            task.name,
+            isolation_time=isolation.execution_time,
+            requests=isolation.bus_requests,
+            ubdm=bound,
+            observed_contended_time=contended.execution_time,
+        )
+        rows.append(
+            [
+                label,
+                f"{bound:.2f}",
+                report.pad,
+                report.etb,
+                "yes" if report.covers_observation else "NO",
+            ]
+        )
+    print()
+    print(render_table(["bound", "cycles/request", "pad", "ETB", "covers contended run"], rows))
+    print()
+    print(
+        "The naive bound reflects whatever alignment the measurement happened to\n"
+        "observe; padding with the rsk-nop bound (= the analytical ubd) is what\n"
+        "makes the resulting ETB trustworthy for any co-runner behaviour."
+    )
+
+
+if __name__ == "__main__":
+    main()

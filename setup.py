@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+Editable installs on machines without the ``wheel`` package can use
+``python setup.py develop`` instead of ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

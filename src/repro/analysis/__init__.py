@@ -1,0 +1,58 @@
+"""Analysis layer: the paper's analytical model and measurement processing.
+
+* :mod:`repro.analysis.model` — closed-form contention model (Equations 1
+  and 2), the predicted saw-tooth of Figure 4 and the synchrony timeline of
+  Figures 2/3.
+* :mod:`repro.analysis.sawtooth` — period detectors that recover ``ubd`` from
+  a measured ``dbus(k)`` series (Equation 3 plus robust alternatives).
+* :mod:`repro.analysis.injection` — derivation of ``delta_nop`` from the
+  nop-only kernel.
+* :mod:`repro.analysis.contention` — per-request contention delays and the
+  histograms of Figure 6.
+* :mod:`repro.analysis.confidence` — the methodology's confidence checks
+  (bus utilisation, saturation, delta_nop validity).
+* :mod:`repro.analysis.statistics` — small statistics helpers shared by the
+  above (summaries, envelopes over repeated runs).
+"""
+
+from .model import (
+    ContentionModel,
+    gamma_of_delta,
+    predicted_slowdown_per_request,
+    sawtooth_curve,
+    synchrony_timeline,
+    ubd_analytical,
+)
+from .sawtooth import PeriodEstimate, SawtoothAnalyzer
+from .injection import DeltaNopEstimate, derive_delta_nop
+from .contention import (
+    ContenderHistogram,
+    ContentionHistogram,
+    contender_histogram,
+    contention_histogram,
+    injection_time_histogram,
+)
+from .confidence import ConfidenceReport, assess_confidence
+from .statistics import SeriesSummary, summarize
+
+__all__ = [
+    "ConfidenceReport",
+    "ContenderHistogram",
+    "ContentionHistogram",
+    "ContentionModel",
+    "DeltaNopEstimate",
+    "PeriodEstimate",
+    "SawtoothAnalyzer",
+    "SeriesSummary",
+    "assess_confidence",
+    "contender_histogram",
+    "contention_histogram",
+    "derive_delta_nop",
+    "gamma_of_delta",
+    "injection_time_histogram",
+    "predicted_slowdown_per_request",
+    "sawtooth_curve",
+    "summarize",
+    "synchrony_timeline",
+    "ubd_analytical",
+]

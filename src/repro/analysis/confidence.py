@@ -1,0 +1,138 @@
+"""Confidence checks for the measurement-based bound (Section 4.3).
+
+The paper names two elements as "central to confidence on the obtained
+``ubdm``":
+
+1. ``Nc - 1`` cores running rsk must be enough to drive the bus to (close
+   to) 100% utilisation, which can be verified with the platform's
+   performance monitoring counters (NGMP counters 0x17/0x18 — modelled by
+   :class:`repro.sim.pmc.PerformanceCounters`);
+2. ``delta_nop`` must be derived reliably, because it converts the saw-tooth
+   period from nop counts into cycles.
+
+:func:`assess_confidence` bundles both checks, plus sanity checks on the
+saw-tooth itself (estimator agreement and sweep coverage), into a single
+report the methodology attaches to every estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .injection import DeltaNopEstimate
+from .sawtooth import PeriodEstimate
+
+#: Bus utilisation below this threshold means the contenders did not saturate
+#: the bus and the synchrony effect cannot be relied upon.
+DEFAULT_UTILISATION_THRESHOLD = 0.90
+
+#: Maximum tolerated relative rounding error on delta_nop.
+DEFAULT_DELTA_NOP_TOLERANCE = 0.05
+
+
+@dataclass(frozen=True)
+class ConfidenceCheck:
+    """One named check with its outcome and a human-readable explanation."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass(frozen=True)
+class ConfidenceReport:
+    """Aggregated confidence assessment attached to a ``ubdm`` estimate."""
+
+    checks: List[ConfidenceCheck]
+
+    @property
+    def passed(self) -> bool:
+        """True only if every individual check passed."""
+        return all(check.passed for check in self.checks)
+
+    def failed_checks(self) -> List[ConfidenceCheck]:
+        """The checks that did not pass."""
+        return [check for check in self.checks if not check.passed]
+
+    def summary(self) -> str:
+        """Multi-line human readable report."""
+        lines = []
+        for check in self.checks:
+            status = "PASS" if check.passed else "FAIL"
+            lines.append(f"[{status}] {check.name}: {check.detail}")
+        return "\n".join(lines)
+
+
+def assess_confidence(
+    bus_utilisation: float,
+    delta_nop: Optional[DeltaNopEstimate] = None,
+    period: Optional[PeriodEstimate] = None,
+    sweep_span_k: Optional[int] = None,
+    utilisation_threshold: float = DEFAULT_UTILISATION_THRESHOLD,
+    delta_nop_tolerance: float = DEFAULT_DELTA_NOP_TOLERANCE,
+) -> ConfidenceReport:
+    """Evaluate the methodology's confidence conditions.
+
+    Args:
+        bus_utilisation: overall bus utilisation measured (via the PMCs)
+            during the contended runs, in [0, 1].
+        delta_nop: the measured per-nop latency, if available.
+        period: the saw-tooth period estimate, if available.
+        sweep_span_k: width of the swept ``k`` range; it must cover at least
+            two periods for Equation 3 to be applicable.
+        utilisation_threshold: minimum acceptable bus utilisation.
+        delta_nop_tolerance: maximum acceptable relative rounding error of
+            ``delta_nop``.
+    """
+    checks: List[ConfidenceCheck] = []
+
+    checks.append(
+        ConfidenceCheck(
+            name="bus_saturation",
+            passed=bus_utilisation >= utilisation_threshold,
+            detail=(
+                f"measured bus utilisation {bus_utilisation:.1%} "
+                f"(threshold {utilisation_threshold:.0%})"
+            ),
+        )
+    )
+
+    if delta_nop is not None:
+        error = delta_nop.relative_rounding_error
+        checks.append(
+            ConfidenceCheck(
+                name="delta_nop",
+                passed=error <= delta_nop_tolerance,
+                detail=(
+                    f"delta_nop = {delta_nop.cycles_per_nop:.3f} cycles/nop, rounded to "
+                    f"{delta_nop.rounded} (relative error {error:.1%})"
+                ),
+            )
+        )
+
+    if period is not None:
+        checks.append(
+            ConfidenceCheck(
+                name="estimator_agreement",
+                passed=period.agreement >= 0.5,
+                detail=(
+                    f"{period.agreement:.0%} of period estimators agree on "
+                    f"{period.period_k} k-steps"
+                ),
+            )
+        )
+        if sweep_span_k is not None:
+            covers_two_periods = sweep_span_k >= 2 * period.period_k
+            checks.append(
+                ConfidenceCheck(
+                    name="sweep_coverage",
+                    passed=covers_two_periods,
+                    detail=(
+                        f"sweep spans {sweep_span_k} k-steps versus a detected period of "
+                        f"{period.period_k} (two periods required)"
+                    ),
+                )
+            )
+
+    return ConfidenceReport(checks=checks)

@@ -1,0 +1,86 @@
+"""Derivation of ``delta_nop`` — the cycles one nop adds to the injection time.
+
+Section 4.2 of the paper: "we have designed a rsk in which all the operations
+in the loop-body are nops.  The loop body is made as big as possible without
+causing instruction cache misses.  By dividing the execution time of such rsk
+by the number of nop operations executed we can derive delta_nop very
+accurately."
+
+``delta_nop`` converts the saw-tooth period measured in *nop counts* into
+*cycles*, which is what makes the methodology independent of any bus timing
+knowledge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import ArchConfig
+from ..errors import AnalysisError
+from ..kernels.rsk import build_nop_kernel
+from ..sim.isa import Program
+from ..sim.system import System
+
+
+@dataclass(frozen=True)
+class DeltaNopEstimate:
+    """Measured per-nop latency.
+
+    Attributes:
+        cycles_per_nop: the raw ratio execution time / executed nops.
+        rounded: the integer latency used by the rest of the methodology.
+        executed_nops: dynamic nop count of the measurement run.
+        execution_time: measured execution time in cycles.
+    """
+
+    cycles_per_nop: float
+    rounded: int
+    executed_nops: int
+    execution_time: int
+
+    @property
+    def relative_rounding_error(self) -> float:
+        """How far the raw ratio is from the integer estimate (0.0 is exact)."""
+        if self.rounded == 0:
+            return float("inf")
+        return abs(self.cycles_per_nop - self.rounded) / self.rounded
+
+
+def derive_delta_nop(
+    config: ArchConfig,
+    core_id: int = 0,
+    iterations: int = 10,
+    kernel: Optional[Program] = None,
+    preload_il1: bool = True,
+) -> DeltaNopEstimate:
+    """Measure ``delta_nop`` on ``config`` by running the nop-only kernel in isolation.
+
+    Args:
+        config: platform to measure.
+        core_id: core on which the kernel runs (the other cores stay idle,
+            matching the paper's isolation measurement).
+        iterations: loop iterations of the nop kernel.
+        kernel: optionally, a pre-built kernel (must consist of nops only);
+            by default :func:`repro.kernels.rsk.build_nop_kernel` is used.
+        preload_il1: warm the instruction cache first, modelling the paper's
+            requirement that the loop body not cause instruction cache misses.
+    """
+    if kernel is None:
+        kernel = build_nop_kernel(config, core_id, iterations=iterations)
+    total = kernel.total_instructions
+    if total is None or total == 0:
+        raise AnalysisError("the delta_nop kernel must be finite and non-empty")
+    programs = [None] * config.num_cores
+    programs[core_id] = kernel
+    system = System(config, programs, preload_il1=preload_il1)
+    result = system.run()
+    execution_time = result.execution_time(core_id)
+    ratio = execution_time / total
+    rounded = max(1, int(round(ratio)))
+    return DeltaNopEstimate(
+        cycles_per_nop=ratio,
+        rounded=rounded,
+        executed_nops=total,
+        execution_time=execution_time,
+    )

@@ -1,0 +1,237 @@
+"""Closed-form contention model for round-robin buses (Sections 2-4).
+
+This module implements the analytical side of the paper:
+
+* Equation 1: ``ubd = (Nc - 1) * lbus``;
+* Equation 2: the contention delay ``gamma(delta)`` suffered by a request
+  whose injection time is ``delta`` once the synchrony effect has locked the
+  arbitration sequence;
+* the saw-tooth curve of Figure 4 (``gamma`` as a function of ``delta``);
+* the predicted per-request slowdown of the rsk-nop methodology, both for
+  loads (Figure 7(a)) and, with the store-buffer extension of Section 5.3,
+  for stores (Figure 7(b));
+* a cycle-by-cycle synchrony timeline equivalent to Figures 2, 3 and 5,
+  useful to visualise and unit-test the effect without running the full
+  simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import AnalysisError
+
+
+def ubd_analytical(num_cores: int, lbus: int) -> int:
+    """Equation 1: the worst contention delay of a single request.
+
+    Args:
+        num_cores: number of requesters sharing the bus (``Nc``).
+        lbus: worst-case bus occupancy of one request.
+    """
+    if num_cores < 1:
+        raise AnalysisError(f"need at least one core, got {num_cores}")
+    if lbus < 1:
+        raise AnalysisError(f"bus occupancy must be >= 1 cycle, got {lbus}")
+    return (num_cores - 1) * lbus
+
+
+def gamma_of_delta(delta: int, ubd: int) -> int:
+    """Equation 2: contention delay under the synchrony effect.
+
+    ``delta`` is the injection time: the cycles elapsed between the previous
+    request being served and the current one becoming ready.  A request
+    injected back-to-back (``delta = 0``) observes the full ``ubd``; as
+    ``delta`` grows the delay decreases linearly, reaches zero when the
+    request arrives exactly when the round-robin pointer returns, and then
+    wraps around with period ``ubd``.
+    """
+    if delta < 0:
+        raise AnalysisError(f"injection time must be >= 0, got {delta}")
+    if ubd < 1:
+        raise AnalysisError(f"ubd must be >= 1, got {ubd}")
+    if delta == 0:
+        return ubd
+    return (ubd - (delta % ubd)) % ubd
+
+
+def sawtooth_curve(deltas: Sequence[int], ubd: int) -> List[int]:
+    """Evaluate Equation 2 over a sweep of injection times (Figure 4)."""
+    return [gamma_of_delta(delta, ubd) for delta in deltas]
+
+
+def predicted_slowdown_per_request(
+    k: int,
+    ubd: int,
+    delta_rsk: int,
+    delta_nop: int = 1,
+) -> int:
+    """Predicted extra cycles per request of ``rsk-nop(load, k)`` vs isolation.
+
+    Under the synchrony effect each bus request of the rsk-nop kernel suffers
+    ``gamma(delta_rsk + k * delta_nop)`` cycles of contention that it does not
+    suffer in isolation, so the measured ``dbus(k)`` is this value multiplied
+    by the number of requests.
+
+    Args:
+        k: number of nops inserted between consecutive memory operations.
+        ubd: the upper-bound delay of the platform.
+        delta_rsk: injection time of the plain rsk (DL1 latency on the
+            reference platform).
+        delta_nop: cycles added per nop instruction.
+    """
+    if k < 0:
+        raise AnalysisError(f"k must be >= 0, got {k}")
+    if delta_rsk < 0 or delta_nop < 1:
+        raise AnalysisError("delta_rsk must be >= 0 and delta_nop >= 1")
+    return gamma_of_delta(delta_rsk + k * delta_nop, ubd)
+
+
+def predicted_store_slowdown_per_request(
+    k: int,
+    ubd: int,
+    lbus: int,
+    delta_rsk: int,
+    delta_nop: int = 1,
+) -> int:
+    """Predicted extra cycles per store of ``rsk-nop(store, k)`` vs isolation.
+
+    With a store buffer the core only waits when the buffer is full, so the
+    observed slowdown per store is the difference between the contended drain
+    interval and the rate at which the core produces stores, clamped at the
+    isolation drain interval (Section 5.3).  Beyond roughly one saw-tooth
+    period the buffer hides the bus entirely and the slowdown is zero.
+
+    The drain interval under full contention is ``ubd + lbus`` (the entry's
+    own occupancy plus a full round of the other cores); in isolation it is
+    ``lbus``.
+    """
+    if k < 0:
+        raise AnalysisError(f"k must be >= 0, got {k}")
+    production_interval = delta_rsk + k * delta_nop + 1
+    contended_interval = ubd + lbus
+    isolated_interval = lbus
+    contended_time = max(production_interval, contended_interval)
+    isolated_time = max(production_interval, isolated_interval)
+    return contended_time - isolated_time
+
+
+@dataclass(frozen=True)
+class ContentionModel:
+    """Bundle of the analytical quantities for one platform.
+
+    Attributes:
+        num_cores: number of requesters (``Nc``).
+        lbus: worst-case bus occupancy of one request.
+        delta_rsk: injection time of the plain rsk on this platform.
+        delta_nop: cycles added per nop.
+    """
+
+    num_cores: int
+    lbus: int
+    delta_rsk: int = 1
+    delta_nop: int = 1
+
+    @property
+    def ubd(self) -> int:
+        """Equation 1 for this platform."""
+        return ubd_analytical(self.num_cores, self.lbus)
+
+    def gamma(self, delta: int) -> int:
+        """Equation 2 for this platform."""
+        return gamma_of_delta(delta, self.ubd)
+
+    def gamma_for_k(self, k: int) -> int:
+        """Contention delay of an rsk-nop request with ``k`` interposed nops."""
+        return predicted_slowdown_per_request(k, self.ubd, self.delta_rsk, self.delta_nop)
+
+    def dbus_curve(self, ks: Sequence[int], requests: int) -> List[int]:
+        """Predicted ``dbus(k)`` (total slowdown) over a sweep of ``k`` values."""
+        if requests < 1:
+            raise AnalysisError("the kernel must issue at least one request")
+        return [self.gamma_for_k(k) * requests for k in ks]
+
+    def store_dbus_curve(self, ks: Sequence[int], requests: int) -> List[int]:
+        """Predicted store-variant ``dbus(k)`` including the store buffer effect."""
+        if requests < 1:
+            raise AnalysisError("the kernel must issue at least one request")
+        return [
+            predicted_store_slowdown_per_request(
+                k, self.ubd, self.lbus, self.delta_rsk, self.delta_nop
+            )
+            * requests
+            for k in ks
+        ]
+
+    def maximum_observable_gamma(self) -> int:
+        """Largest contention a measurement can observe when ``delta_rsk > 0``.
+
+        The paper's key negative result (Section 3.2): with a non-zero
+        minimum injection time the plain rsk can never observe ``ubd``
+        itself, only ``ubd - delta_rsk`` — which is why the naive
+        measurement underestimates the bound.
+        """
+        if self.delta_rsk == 0:
+            return self.ubd
+        return self.gamma(self.delta_rsk)
+
+
+def synchrony_timeline(
+    num_cores: int,
+    lbus: int,
+    delta: int,
+    observed_core: int = 0,
+    rounds: int = 3,
+) -> Dict[str, object]:
+    """Produce the locked arbitration schedule of Figures 2/3/5.
+
+    Starting from the cycle at which a request of ``observed_core`` completes
+    (cycle 0), all other cores have pending requests (the synchrony effect),
+    so they are served in round-robin order, each occupying ``lbus`` cycles.
+    The observed core's next request becomes ready ``delta`` cycles after
+    cycle 0 and is granted at the first arbitration point at or after its
+    readiness once it holds the highest priority.
+
+    Returns a dictionary with the per-core service intervals, the readiness
+    and grant cycle of the observed request and its contention delay, which
+    equals :func:`gamma_of_delta` — the property the unit tests assert.
+    """
+    if not 0 <= observed_core < num_cores:
+        raise AnalysisError(f"observed core {observed_core} out of range")
+    if rounds < 1:
+        raise AnalysisError("need at least one arbitration round")
+    if delta < 0:
+        raise AnalysisError(f"injection time must be >= 0, got {delta}")
+    ubd = ubd_analytical(num_cores, lbus)
+    others = [(observed_core + offset) % num_cores for offset in range(1, num_cores)]
+    ready = delta
+    intervals: List[Tuple[int, int, int]] = []  # (core, start, end)
+    cursor = 0
+    grant = None
+    max_rounds = max(rounds, delta // max(ubd, 1) + 2)
+    for _ in range(max_rounds):
+        for core in others:
+            intervals.append((core, cursor, cursor + lbus))
+            cursor += lbus
+        # Round-robin hands the highest priority back to the observed core; it
+        # is granted here if (and only if) its request is already ready.  The
+        # bus is work conserving, so otherwise the contenders go again.
+        if grant is None and ready <= cursor:
+            grant = cursor
+            intervals.append((observed_core, cursor, cursor + lbus))
+            cursor += lbus
+        if grant is not None and len(intervals) >= rounds * num_cores:
+            break
+    if grant is None:
+        raise AnalysisError(
+            f"timeline search did not reach delta={delta}; increase rounds"
+        )
+    contention = grant - ready
+    return {
+        "ubd": ubd,
+        "ready_cycle": ready,
+        "grant_cycle": grant,
+        "contention": contention,
+        "intervals": intervals,
+    }

@@ -1,0 +1,211 @@
+"""Saw-tooth period detection: recovering ``ubd`` from ``dbus(k)``.
+
+The heart of the methodology (Section 4.2): the execution-time increase
+``dbus(t, k)`` of ``rsk-nop(t, k)`` run against ``Nc - 1`` rsk contenders is
+periodic in ``k`` and its period — converted to cycles through ``delta_nop``
+— *is* the upper-bound delay ``ubd``, independently of the unknown baseline
+injection time ``delta_rsk``.
+
+Equation 3 defines the period through exact equality of ``dbus`` values.  On
+a simulator that works verbatim; on noisy measurements it does not, so this
+module implements several estimators and a consensus wrapper:
+
+* :meth:`SawtoothAnalyzer.period_exact` — Equation 3 with a tolerance;
+* :meth:`SawtoothAnalyzer.period_rising_edges` — the saw-tooth re-arms with a
+  large upward jump once per period; the median spacing of those jumps is the
+  period;
+* :meth:`SawtoothAnalyzer.period_autocorrelation` — lag of the first dominant
+  peak of the autocorrelation of the detrended series;
+* :meth:`SawtoothAnalyzer.period_fft` — inverse of the dominant non-DC
+  frequency of the detrended series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class PeriodEstimate:
+    """Result of the saw-tooth analysis.
+
+    Attributes:
+        period_k: consensus period expressed in nop-count steps.
+        period_cycles: the period converted to cycles (``period_k *
+            delta_nop``) — this is ``ubdm``.
+        per_method: period (in ``k`` steps) reported by each estimator;
+            ``None`` when an estimator could not produce a value.
+        agreement: fraction of successful estimators that agree with the
+            consensus (1.0 means unanimous).
+        delta_nop: cycles per nop used for the conversion.
+    """
+
+    period_k: int
+    period_cycles: int
+    per_method: Dict[str, Optional[int]]
+    agreement: float
+    delta_nop: int = 1
+
+    def summary(self) -> str:
+        """One-line human readable summary."""
+        methods = ", ".join(
+            f"{name}={value}" for name, value in sorted(self.per_method.items())
+        )
+        return (
+            f"period={self.period_k} k-steps ({self.period_cycles} cycles), "
+            f"agreement={self.agreement:.0%} [{methods}]"
+        )
+
+
+class SawtoothAnalyzer:
+    """Analyses one ``dbus(k)`` series.
+
+    Args:
+        ks: the swept nop counts (must be strictly increasing and uniformly
+            spaced; spacing larger than 1 is allowed and accounted for).
+        values: measured ``dbus`` for each ``k`` (same length as ``ks``).
+        relative_tolerance: tolerance used when comparing two ``dbus`` values
+            for "equality" in the Equation 3 estimator.
+    """
+
+    def __init__(
+        self,
+        ks: Sequence[int],
+        values: Sequence[float],
+        relative_tolerance: float = 0.02,
+    ) -> None:
+        if len(ks) != len(values):
+            raise AnalysisError(
+                f"ks and values have different lengths ({len(ks)} vs {len(values)})"
+            )
+        if len(ks) < 4:
+            raise AnalysisError("need at least four sweep points to detect a period")
+        k_array = np.asarray(ks, dtype=np.int64)
+        spacing = np.diff(k_array)
+        if np.any(spacing <= 0):
+            raise AnalysisError("ks must be strictly increasing")
+        if np.any(spacing != spacing[0]):
+            raise AnalysisError("ks must be uniformly spaced")
+        self.ks = k_array
+        self.spacing = int(spacing[0])
+        self.values = np.asarray(values, dtype=np.float64)
+        self.relative_tolerance = relative_tolerance
+
+    # ------------------------------------------------------------------ #
+    # Individual estimators (periods returned in k units, not samples).
+    # ------------------------------------------------------------------ #
+    def period_exact(self) -> Optional[int]:
+        """Equation 3: smallest shift that leaves the series unchanged."""
+        n = len(self.values)
+        scale = max(1.0, float(np.max(np.abs(self.values))))
+        tolerance = self.relative_tolerance * scale
+        span = float(np.max(self.values) - np.min(self.values))
+        if span <= tolerance:
+            # A (nearly) constant series carries no saw-tooth information: the
+            # sweep did not modulate the contention at all.
+            return None
+        for lag in range(1, n // 2 + 1):
+            left = self.values[: n - lag]
+            right = self.values[lag:]
+            if np.all(np.abs(left - right) <= tolerance):
+                return lag * self.spacing
+        return None
+
+    def period_rising_edges(self) -> Optional[int]:
+        """Median spacing between the saw-tooth's upward re-arming jumps."""
+        diffs = np.diff(self.values)
+        if len(diffs) == 0:
+            return None
+        span = float(np.max(self.values) - np.min(self.values))
+        if span <= 0:
+            return None
+        threshold = 0.5 * span
+        edges = np.nonzero(diffs > threshold)[0]
+        if len(edges) < 2:
+            return None
+        spacings = np.diff(edges)
+        return int(round(float(np.median(spacings)))) * self.spacing
+
+    def period_autocorrelation(self) -> Optional[int]:
+        """Lag of the first dominant autocorrelation peak of the detrended series."""
+        series = self.values - np.mean(self.values)
+        if np.allclose(series, 0.0):
+            return None
+        n = len(series)
+        correlation = np.correlate(series, series, mode="full")[n - 1 :]
+        if correlation[0] <= 0:
+            return None
+        correlation = correlation / correlation[0]
+        best_lag: Optional[int] = None
+        best_value = 0.35  # minimum correlation considered a real repetition
+        for lag in range(2, n // 2 + 1):
+            value = correlation[lag]
+            is_peak = (
+                correlation[lag - 1] < value
+                and (lag + 1 >= len(correlation) or value >= correlation[lag + 1])
+            )
+            if is_peak and value > best_value:
+                best_lag = lag
+                best_value = value
+                break
+        if best_lag is None:
+            return None
+        return best_lag * self.spacing
+
+    def period_fft(self) -> Optional[int]:
+        """Period derived from the dominant non-DC Fourier component."""
+        series = self.values - np.mean(self.values)
+        if np.allclose(series, 0.0):
+            return None
+        spectrum = np.abs(np.fft.rfft(series))
+        if len(spectrum) < 3:
+            return None
+        dominant = int(np.argmax(spectrum[1:])) + 1
+        period_samples = len(series) / dominant
+        return int(round(period_samples)) * self.spacing
+
+    # ------------------------------------------------------------------ #
+    # Consensus.
+    # ------------------------------------------------------------------ #
+    def estimate(self, delta_nop: int = 1) -> PeriodEstimate:
+        """Combine the estimators into one consensus period.
+
+        The Equation 3 estimator is used as the consensus when it succeeds
+        (it is the paper's definition); otherwise the median of the
+        successful robust estimators is used.  ``agreement`` reports how many
+        estimators land within one sweep step of the consensus.
+        """
+        if delta_nop < 1:
+            raise AnalysisError(f"delta_nop must be >= 1, got {delta_nop}")
+        per_method: Dict[str, Optional[int]] = {
+            "exact": self.period_exact(),
+            "rising_edges": self.period_rising_edges(),
+            "autocorrelation": self.period_autocorrelation(),
+            "fft": self.period_fft(),
+        }
+        successful = [value for value in per_method.values() if value is not None]
+        if not successful:
+            raise AnalysisError(
+                "no estimator could find a saw-tooth period; the k sweep probably "
+                "does not cover a full period — extend the sweep range"
+            )
+        if per_method["exact"] is not None:
+            consensus = per_method["exact"]
+        else:
+            consensus = int(np.median(np.asarray(successful)))
+        agreeing = sum(
+            1 for value in successful if abs(value - consensus) <= self.spacing
+        )
+        agreement = agreeing / len(successful)
+        return PeriodEstimate(
+            period_k=consensus,
+            period_cycles=consensus * delta_nop,
+            per_method=per_method,
+            agreement=agreement,
+            delta_nop=delta_nop,
+        )

@@ -1,0 +1,93 @@
+"""Small statistics helpers shared by the analysis and methodology layers.
+
+Measurement-based timing analysis never trusts a single run: the paper's
+experiments report histograms over all requests and the methodology is built
+around execution-time differences of repeated, controlled runs.  This module
+provides the summaries used when aggregating such repeated measurements, plus
+an empirical exceedance helper useful when the estimates feed an MBTA-style
+padding argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Summary statistics of one measurement series."""
+
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    median: float
+    std: float
+
+    @property
+    def spread(self) -> float:
+        """Max minus min — zero for a perfectly repeatable measurement."""
+        return self.maximum - self.minimum
+
+    @property
+    def relative_spread(self) -> float:
+        """Spread relative to the mean (0.0 for constant series)."""
+        if self.mean == 0:
+            return 0.0
+        return self.spread / abs(self.mean)
+
+
+def summarize(values: Sequence[float]) -> SeriesSummary:
+    """Compute a :class:`SeriesSummary` for ``values`` (must be non-empty)."""
+    if len(values) == 0:
+        raise AnalysisError("cannot summarise an empty series")
+    array = np.asarray(values, dtype=np.float64)
+    return SeriesSummary(
+        count=int(array.size),
+        minimum=float(np.min(array)),
+        maximum=float(np.max(array)),
+        mean=float(np.mean(array)),
+        median=float(np.median(array)),
+        std=float(np.std(array)),
+    )
+
+
+def empirical_exceedance(values: Sequence[float], threshold: float) -> float:
+    """Fraction of observations strictly above ``threshold``.
+
+    Used to sanity-check a derived bound: if ``ubdm`` is sound for the
+    observed platform, the exceedance of the per-request contention delays
+    over ``ubdm`` must be zero.
+    """
+    if len(values) == 0:
+        raise AnalysisError("cannot compute exceedance of an empty series")
+    array = np.asarray(values, dtype=np.float64)
+    return float(np.count_nonzero(array > threshold)) / array.size
+
+
+def high_water_mark(values: Sequence[float]) -> float:
+    """Largest observation of the series (the measurement-based bound itself)."""
+    if len(values) == 0:
+        raise AnalysisError("cannot compute the maximum of an empty series")
+    return float(np.max(np.asarray(values, dtype=np.float64)))
+
+
+def envelope_over_runs(runs: Sequence[Sequence[float]]) -> List[float]:
+    """Point-wise maximum over repeated runs of the same sweep.
+
+    All runs must have the same length; the result is the conservative
+    envelope used when a sweep is repeated to wash out start-condition
+    effects.
+    """
+    if not runs:
+        raise AnalysisError("need at least one run to build an envelope")
+    lengths = {len(run) for run in runs}
+    if len(lengths) != 1:
+        raise AnalysisError(f"runs have inconsistent lengths: {sorted(lengths)}")
+    stacked = np.asarray(runs, dtype=np.float64)
+    return [float(value) for value in np.max(stacked, axis=0)]

@@ -1,0 +1,168 @@
+"""Command-line interface.
+
+Three subcommands cover the library's main use cases without writing any
+Python:
+
+* ``repro-bounds derive-ubd`` — run the full rsk-nop methodology on a preset
+  platform and print the derived ``ubdm`` with its confidence report;
+* ``repro-bounds synchrony`` — run a load rsk against ``Nc - 1`` rsk and show
+  the contention-delay histogram (the Figure 6(b) experiment);
+* ``repro-bounds campaign`` — run randomly composed EEMBC-like workloads and
+  show the ready-contenders histogram (the Figure 6(a) experiment).
+
+Examples::
+
+    repro-bounds derive-ubd --preset ref --k-max 60 --iterations 40
+    repro-bounds synchrony --preset var
+    repro-bounds campaign --preset ref --workloads 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.contention import contention_histogram
+from .config import PRESETS, get_preset
+from .kernels.rsk import build_rsk
+from .methodology.experiment import ExperimentRunner
+from .methodology.naive import NaiveUbdEstimator
+from .methodology.ubd import UbdEstimator
+from .methodology.workloads import run_rsk_reference_workload, run_workload_campaign
+from .report.histogram import render_histogram
+from .report.tables import render_series
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Create the argument parser for the ``repro-bounds`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bounds",
+        description="Measurement-based contention bounds for round-robin buses (DAC 2015 reproduction)",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=sorted(PRESETS),
+        default="ref",
+        help="platform preset to simulate (default: ref)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    derive = subparsers.add_parser(
+        "derive-ubd", help="run the rsk-nop methodology and report ubdm"
+    )
+    derive.add_argument("--k-max", type=int, default=60, help="initial nop sweep upper bound")
+    derive.add_argument(
+        "--iterations", type=int, default=40, help="loop iterations of each rsk-nop kernel"
+    )
+    derive.add_argument(
+        "--instruction-type",
+        choices=("load", "store"),
+        default="load",
+        help="bus access type used by the kernels",
+    )
+    derive.add_argument(
+        "--show-sweep", action="store_true", help="print the measured dbus(k) series"
+    )
+
+    synchrony = subparsers.add_parser(
+        "synchrony", help="show the per-request contention histogram of rsk vs rsk"
+    )
+    synchrony.add_argument("--iterations", type=int, default=150)
+
+    campaign = subparsers.add_parser(
+        "campaign", help="show the ready-contenders histogram for random workloads"
+    )
+    campaign.add_argument("--workloads", type=int, default=8)
+    campaign.add_argument("--iterations", type=int, default=25)
+    campaign.add_argument("--seed", type=int, default=2015)
+
+    return parser
+
+
+def _run_derive_ubd(args: argparse.Namespace) -> int:
+    config = get_preset(args.preset)
+    estimator = UbdEstimator(
+        config,
+        instruction_type=args.instruction_type,
+        k_max=args.k_max,
+        iterations=args.iterations,
+    )
+    result = estimator.run()
+    print(f"Platform: {args.preset} (analytical ubd = {config.ubd} cycles)")
+    print(f"delta_nop = {result.delta_nop.cycles_per_nop:.3f} cycles/nop "
+          f"(rounded {result.delta_nop.rounded})")
+    print(result.period.summary())
+    print(f"ubdm = {result.ubdm} cycles")
+    print()
+    print(result.confidence.summary())
+    if args.show_sweep:
+        print()
+        print(render_series(result.ks, result.dbus_values, "k", "dbus"))
+    return 0 if result.confidence.passed else 1
+
+
+def _run_synchrony(args: argparse.Namespace) -> int:
+    config = get_preset(args.preset)
+    runner = ExperimentRunner(config)
+    scua = build_rsk(config, 0, iterations=args.iterations)
+    contended = runner.run_against_rsk(scua, trace=True)
+    histogram = contention_histogram(contended.trace, 0)
+    naive = NaiveUbdEstimator(config).estimate_with_rsk_as_scua(iterations=args.iterations)
+    print(
+        render_histogram(
+            histogram.counts,
+            title=f"{args.preset}: contention delay per rsk request "
+            f"(bus utilisation {contended.bus_utilisation:.0%})",
+            label="gamma",
+        )
+    )
+    print()
+    print(f"Observed plateau (naive ubdm): {histogram.mode} cycles "
+          f"(det/nr = {naive.ubdm:.1f}); analytical ubd = {config.ubd} cycles")
+    return 0
+
+
+def _run_campaign(args: argparse.Namespace) -> int:
+    config = get_preset(args.preset)
+    campaign = run_workload_campaign(
+        config,
+        num_workloads=args.workloads,
+        observed_iterations=args.iterations,
+        seed=args.seed,
+    )
+    rsk_run = run_rsk_reference_workload(config, iterations=args.iterations * 5)
+    print(
+        render_histogram(
+            campaign.aggregated_counts(),
+            title=f"{args.preset}: ready contenders, EEMBC-like workloads",
+            label="contenders",
+        )
+    )
+    print()
+    print(
+        render_histogram(
+            rsk_run.histogram.counts,
+            title=f"{args.preset}: ready contenders, {config.num_cores} x rsk",
+            label="contenders",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro-bounds`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "derive-ubd":
+        return _run_derive_ubd(args)
+    if args.command == "synchrony":
+        return _run_synchrony(args)
+    if args.command == "campaign":
+        return _run_campaign(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

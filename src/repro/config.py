@@ -1,0 +1,362 @@
+"""Architecture configuration objects and the paper's reference presets.
+
+The paper evaluates two setups of an NGMP-like (Cobham Gaisler LEON4) 4-core
+multicore (Section 5.1):
+
+* ``ref`` — IL1/DL1 latency of 1 cycle, 16KB 4-way 32B-line L1 caches,
+  a shared round-robin bus to a 256KB 4-way L2 partitioned one way per core,
+  a 9-cycle bus occupancy per L2 load hit (6-cycle L2 hit latency plus
+  3 cycles of transfer and arbitration handover), and a DDR2-667-like memory
+  behind a memory controller.  With four cores this gives
+  ``ubd = (4 - 1) * 9 = 27`` cycles.
+* ``var`` — identical except the L1 latency is 4 cycles, which raises the
+  injection time of every bus-accessing instruction from 1 to 4 cycles.
+
+Configurations are plain frozen dataclasses validated at construction time so
+that an invalid geometry fails loudly instead of producing silently wrong
+timing numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from .errors import ConfigurationError
+
+
+def _require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and policy of one cache level.
+
+    Attributes:
+        size_bytes: total capacity in bytes.
+        ways: associativity (1 means direct mapped).
+        line_size: cache line size in bytes.
+        replacement: ``"lru"`` or ``"fifo"`` (the paper assumes LRU; FIFO is
+            supported because the rsk construction explicitly covers both).
+        write_policy: ``"write_through"`` or ``"write_back"``; the paper's
+            DL1 is write-through.
+        write_allocate: whether a store miss allocates a line.
+        hit_latency: access latency in cycles (1 for ``ref``, 4 for ``var``).
+    """
+
+    size_bytes: int
+    ways: int
+    line_size: int = 32
+    replacement: str = "lru"
+    write_policy: str = "write_through"
+    write_allocate: bool = False
+    hit_latency: int = 1
+
+    def __post_init__(self) -> None:
+        _require(self.size_bytes > 0, "cache size must be positive")
+        _require(self.ways > 0, "cache associativity must be positive")
+        _require(_is_power_of_two(self.line_size), "line size must be a power of two")
+        _require(
+            self.size_bytes % (self.ways * self.line_size) == 0,
+            "cache size must be a multiple of ways * line_size",
+        )
+        _require(
+            _is_power_of_two(self.num_sets),
+            "number of sets must be a power of two for simple index extraction",
+        )
+        _require(
+            self.replacement in ("lru", "fifo"),
+            f"unsupported replacement policy: {self.replacement!r}",
+        )
+        _require(
+            self.write_policy in ("write_through", "write_back"),
+            f"unsupported write policy: {self.write_policy!r}",
+        )
+        _require(self.hit_latency >= 1, "hit latency must be at least one cycle")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets in the cache."""
+        return self.size_bytes // (self.ways * self.line_size)
+
+    @property
+    def way_size_bytes(self) -> int:
+        """Capacity of a single way in bytes."""
+        return self.size_bytes // self.ways
+
+    @property
+    def same_set_stride(self) -> int:
+        """Address stride (bytes) that maps consecutive lines to the same set."""
+        return self.num_sets * self.line_size
+
+
+@dataclass(frozen=True)
+class BusConfig:
+    """Timing and arbitration of the shared processor-to-L2 bus.
+
+    Attributes:
+        arbitration: ``"round_robin"`` (the paper's policy), ``"fifo"``,
+            ``"fixed_priority"`` or ``"tdma"``.
+        transfer_latency: cycles of bus transfer plus arbitration handover
+            charged to every granted transaction (3 in the paper's setup).
+        tdma_slot: slot length in cycles, only used by the TDMA arbiter.
+    """
+
+    arbitration: str = "round_robin"
+    transfer_latency: int = 3
+    tdma_slot: int = 9
+
+    def __post_init__(self) -> None:
+        _require(
+            self.arbitration in ("round_robin", "fifo", "fixed_priority", "tdma"),
+            f"unsupported arbitration policy: {self.arbitration!r}",
+        )
+        _require(self.transfer_latency >= 1, "bus transfer latency must be >= 1")
+        _require(self.tdma_slot >= 1, "TDMA slot must be >= 1 cycle")
+
+
+@dataclass(frozen=True)
+class L2Config:
+    """Shared L2 cache configuration (way-partitioned among cores)."""
+
+    cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=256 * 1024, ways=4, line_size=32, hit_latency=6
+        )
+    )
+    partitioned: bool = True
+
+    def __post_init__(self) -> None:
+        _require(self.cache.ways >= 1, "L2 must have at least one way")
+
+    @property
+    def hit_latency(self) -> int:
+        """L2 hit latency in cycles (6 in the paper's setup)."""
+        return self.cache.hit_latency
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Simplified DDR2-667-style DRAM timing, expressed in core cycles.
+
+    This is the substitute for DRAMsim2: a banked open-page model with
+    activate / CAS / precharge latencies and a burst transfer time.  The
+    defaults approximate a 2GB one-rank DDR2-667 with 4 banks and a 64-bit
+    data bus delivering one 32-byte line per access, seen from a 200MHz core.
+    """
+
+    num_banks: int = 4
+    row_size_bytes: int = 4096
+    t_rcd: int = 9
+    t_cas: int = 9
+    t_rp: int = 9
+    t_burst: int = 4
+    controller_overhead: int = 2
+
+    def __post_init__(self) -> None:
+        _require(_is_power_of_two(self.num_banks), "number of banks must be a power of two")
+        _require(_is_power_of_two(self.row_size_bytes), "row size must be a power of two")
+        for name in ("t_rcd", "t_cas", "t_rp", "t_burst"):
+            _require(getattr(self, name) >= 1, f"{name} must be >= 1")
+        _require(self.controller_overhead >= 0, "controller overhead must be >= 0")
+
+    @property
+    def row_hit_latency(self) -> int:
+        """Latency of an access that hits the open row."""
+        return self.t_cas + self.t_burst + self.controller_overhead
+
+    @property
+    def row_miss_latency(self) -> int:
+        """Latency of an access that must precharge and activate a new row."""
+        return self.t_rp + self.t_rcd + self.t_cas + self.t_burst + self.controller_overhead
+
+
+@dataclass(frozen=True)
+class StoreBufferConfig:
+    """Per-core store buffer configuration."""
+
+    entries: int = 8
+
+    def __post_init__(self) -> None:
+        _require(self.entries >= 1, "store buffer needs at least one entry")
+
+
+@dataclass(frozen=True)
+class ArchConfig:
+    """Complete description of one simulated multicore platform.
+
+    The two presets used throughout the paper are available through
+    :func:`reference_config` (``ref``) and :func:`variant_config` (``var``).
+    """
+
+    name: str = "ref"
+    num_cores: int = 4
+    freq_mhz: int = 200
+    il1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=16 * 1024, ways=4, hit_latency=1)
+    )
+    dl1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=16 * 1024, ways=4, hit_latency=1)
+    )
+    l2: L2Config = field(default_factory=L2Config)
+    bus: BusConfig = field(default_factory=BusConfig)
+    dram: DramConfig = field(default_factory=DramConfig)
+    store_buffer: StoreBufferConfig = field(default_factory=StoreBufferConfig)
+    nop_latency: int = 1
+    alu_latency: int = 1
+
+    def __post_init__(self) -> None:
+        _require(self.num_cores >= 1, "need at least one core")
+        _require(self.freq_mhz > 0, "frequency must be positive")
+        _require(self.nop_latency >= 1, "nop latency must be >= 1")
+        _require(self.alu_latency >= 1, "ALU latency must be >= 1")
+        _require(
+            self.il1.line_size == self.dl1.line_size == self.l2.cache.line_size,
+            "all cache levels must share the same line size",
+        )
+        if self.l2.partitioned:
+            _require(
+                self.l2.cache.ways >= self.num_cores,
+                "way-partitioned L2 needs at least one way per core",
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived timing quantities used across the library.
+    # ------------------------------------------------------------------ #
+    @property
+    def line_size(self) -> int:
+        """Cache line size shared by all levels."""
+        return self.dl1.line_size
+
+    @property
+    def bus_service_l2_hit(self) -> int:
+        """Bus occupancy of one L2 load hit (``lbus`` in the paper)."""
+        return self.bus.transfer_latency + self.l2.hit_latency
+
+    @property
+    def bus_service_store(self) -> int:
+        """Bus occupancy of one write-through store reaching the L2."""
+        return self.bus.transfer_latency + self.l2.hit_latency
+
+    @property
+    def bus_service_miss_request(self) -> int:
+        """Bus occupancy of the request phase of an L2 load miss."""
+        return self.bus.transfer_latency + self.l2.hit_latency
+
+    @property
+    def bus_service_response(self) -> int:
+        """Bus occupancy of the response transfer of an L2 load miss."""
+        return self.bus.transfer_latency
+
+    @property
+    def ubd(self) -> int:
+        """Analytical upper-bound delay ``(Nc - 1) * lbus`` (Equation 1)."""
+        return (self.num_cores - 1) * self.bus_service_l2_hit
+
+    @property
+    def expected_rsk_injection_time(self) -> int:
+        """Injection time of back-to-back rsk loads (``delta_rsk``)."""
+        return self.dl1.hit_latency
+
+    def l2_ways_for_core(self, core_id: int) -> Tuple[int, ...]:
+        """Return the L2 way indices usable by ``core_id``.
+
+        With partitioning enabled (the NGMP configuration), core ``i`` owns
+        way ``i``; extra ways beyond ``num_cores`` are distributed round
+        robin.  Without partitioning every core may use every way.
+        """
+        _require(0 <= core_id < self.num_cores, f"invalid core id {core_id}")
+        total_ways = self.l2.cache.ways
+        if not self.l2.partitioned:
+            return tuple(range(total_ways))
+        return tuple(w for w in range(total_ways) if w % self.num_cores == core_id)
+
+    def with_overrides(self, **kwargs) -> "ArchConfig":
+        """Return a copy of this configuration with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> Dict[str, object]:
+        """Return a flat dictionary summarising the platform (for reports)."""
+        return {
+            "name": self.name,
+            "cores": self.num_cores,
+            "freq_mhz": self.freq_mhz,
+            "il1": f"{self.il1.size_bytes // 1024}KB/{self.il1.ways}w/{self.il1.line_size}B",
+            "dl1": f"{self.dl1.size_bytes // 1024}KB/{self.dl1.ways}w/{self.dl1.line_size}B",
+            "dl1_latency": self.dl1.hit_latency,
+            "l2": f"{self.l2.cache.size_bytes // 1024}KB/{self.l2.cache.ways}w",
+            "l2_latency": self.l2.hit_latency,
+            "bus_arbitration": self.bus.arbitration,
+            "bus_transfer": self.bus.transfer_latency,
+            "lbus": self.bus_service_l2_hit,
+            "ubd": self.ubd,
+            "store_buffer_entries": self.store_buffer.entries,
+        }
+
+
+def reference_config(**overrides) -> ArchConfig:
+    """The paper's ``ref`` architecture: 4-core NGMP-like, L1 latency 1.
+
+    Keyword overrides are applied on top of the preset, e.g.
+    ``reference_config(num_cores=8)``.
+    """
+    cfg = ArchConfig(name="ref")
+    return cfg.with_overrides(**overrides) if overrides else cfg
+
+
+def variant_config(**overrides) -> ArchConfig:
+    """The paper's ``var`` architecture: identical to ``ref`` but L1 latency 4."""
+    cfg = ArchConfig(
+        name="var",
+        il1=CacheConfig(size_bytes=16 * 1024, ways=4, hit_latency=4),
+        dl1=CacheConfig(size_bytes=16 * 1024, ways=4, hit_latency=4),
+    )
+    return cfg.with_overrides(**overrides) if overrides else cfg
+
+
+def small_config(**overrides) -> ArchConfig:
+    """A deliberately tiny platform used by fast unit tests.
+
+    Three cores, small caches and a short bus occupancy keep individual test
+    simulations in the microsecond range while exercising every code path.
+    Three cores (not two) are used so that ``Nc - 1`` rsk contenders can
+    saturate the bus, which the methodology requires (Section 4.3): with a
+    single contender whose injection time is non-zero the bus necessarily
+    idles between its requests.
+    """
+    cfg = ArchConfig(
+        name="small",
+        num_cores=3,
+        il1=CacheConfig(size_bytes=1024, ways=2, hit_latency=1),
+        dl1=CacheConfig(size_bytes=1024, ways=2, hit_latency=1),
+        l2=L2Config(
+            cache=CacheConfig(size_bytes=8 * 1024, ways=4, line_size=32, hit_latency=2)
+        ),
+        bus=BusConfig(transfer_latency=1),
+    )
+    return cfg.with_overrides(**overrides) if overrides else cfg
+
+
+PRESETS = {
+    "ref": reference_config,
+    "var": variant_config,
+    "small": small_config,
+}
+
+
+def get_preset(name: str, **overrides) -> ArchConfig:
+    """Look up a preset configuration by name (``ref``, ``var`` or ``small``)."""
+    try:
+        factory = PRESETS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown preset {name!r}; available: {sorted(PRESETS)}"
+        ) from exc
+    return factory(**overrides)

@@ -1,0 +1,38 @@
+"""Kernel and workload generators.
+
+* :mod:`repro.kernels.layout` — address-layout helpers (same-set strides,
+  per-core address regions) used to construct kernels that systematically
+  miss in the DL1 and hit in the L2, as Section 2 of the paper prescribes.
+* :mod:`repro.kernels.rsk` — the resource-stressing kernels: ``rsk(t)``,
+  ``rsk-nop(t, k)`` and the nop-only kernel used to derive ``delta_nop``.
+* :mod:`repro.kernels.synthetic` — the EEMBC-Autobench substitute: a suite of
+  automotive-flavoured synthetic programs with realistic, irregular bus
+  access patterns.
+"""
+
+from .layout import CoreAddressSpace, same_set_addresses
+from .rsk import (
+    build_nop_kernel,
+    build_rsk,
+    build_rsk_nop,
+    rsk_request_count,
+)
+from .synthetic import (
+    SYNTHETIC_KERNELS,
+    SyntheticKernelSpec,
+    build_synthetic_kernel,
+    synthetic_kernel_names,
+)
+
+__all__ = [
+    "CoreAddressSpace",
+    "SYNTHETIC_KERNELS",
+    "SyntheticKernelSpec",
+    "build_nop_kernel",
+    "build_rsk",
+    "build_rsk_nop",
+    "build_synthetic_kernel",
+    "rsk_request_count",
+    "same_set_addresses",
+    "synthetic_kernel_names",
+]

@@ -1,0 +1,108 @@
+"""Address-layout helpers for kernel construction.
+
+The rsk construction of Section 2 needs loads "having a predefined stride
+among them which makes them to be mapped into the same DL1 set and to exceed
+its capacity, hence systematically missing in DL1", while all accessed lines
+still fit in the core's L2 partition.  These helpers compute such strides and
+carve a private address region per core so kernels on different cores never
+share cache lines (no coherence is modelled, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..config import ArchConfig, CacheConfig
+from ..errors import ProgramError
+
+#: Size of the private data region given to each core (1 MiB is far larger
+#: than any kernel footprint while keeping addresses small).
+CORE_REGION_BYTES = 1 << 20
+
+#: Base of the data address space (code lives below this).
+DATA_BASE_ADDRESS = 0x1000_0000
+
+#: Base of the code address space; programs space their bodies inside it.
+CODE_BASE_ADDRESS = 0x4000_0000
+
+#: Bytes reserved for each program's code so bodies never overlap.
+CODE_REGION_BYTES = 1 << 16
+
+
+@dataclass(frozen=True)
+class CoreAddressSpace:
+    """Private code/data address region of one core.
+
+    Attributes:
+        core_id: the owning core.
+        data_base: first byte of the core's private data region.
+        code_base: program counter of the first instruction of the core's
+            program.
+    """
+
+    core_id: int
+    data_base: int
+    code_base: int
+
+    @property
+    def data_limit(self) -> int:
+        """First byte past the core's data region."""
+        return self.data_base + CORE_REGION_BYTES
+
+
+def core_address_space(core_id: int) -> CoreAddressSpace:
+    """Return the private address region assigned to ``core_id``."""
+    if core_id < 0:
+        raise ProgramError(f"core id must be non-negative, got {core_id}")
+    return CoreAddressSpace(
+        core_id=core_id,
+        data_base=DATA_BASE_ADDRESS + core_id * CORE_REGION_BYTES,
+        code_base=CODE_BASE_ADDRESS + core_id * CODE_REGION_BYTES,
+    )
+
+
+def same_set_addresses(cache: CacheConfig, count: int, base: int = 0) -> List[int]:
+    """Return ``count`` line-aligned addresses that map to the same set of ``cache``.
+
+    Consecutive addresses differ by the cache's same-set stride
+    (``num_sets * line_size``), which is exactly how the paper's rsk picks its
+    load targets (Figure 1(a)).
+
+    Args:
+        cache: geometry of the cache whose sets must collide.
+        count: number of addresses to generate; with ``count > cache.ways``
+            the resulting access sequence misses on every access under LRU or
+            FIFO replacement.
+        base: starting address; it is rounded down to a line boundary.
+    """
+    if count < 1:
+        raise ProgramError(f"need at least one address, got {count}")
+    aligned = base - (base % cache.line_size)
+    stride = cache.same_set_stride
+    return [aligned + index * stride for index in range(count)]
+
+
+def footprint_fits_l2_partition(config: ArchConfig, addresses: List[int]) -> bool:
+    """Check that ``addresses`` fit in a single core's L2 partition.
+
+    The rsk must hit in the L2 (Section 2), so its footprint has to fit in
+    the one way the NGMP assigns to each core.  The check is conservative:
+    it verifies both the total number of distinct lines and the number of
+    lines that collide in any single L2 set.
+    """
+    l2 = config.l2.cache
+    # Partitions can be uneven when the way count is not a multiple of the
+    # core count; be conservative and size against the smallest partition.
+    ways_per_core = min(
+        len(config.l2_ways_for_core(core)) for core in range(config.num_cores)
+    )
+    ways_per_core = max(1, ways_per_core)
+    lines = {addr - (addr % l2.line_size) for addr in addresses}
+    if len(lines) > ways_per_core * l2.num_sets:
+        return False
+    per_set: dict = {}
+    for line in lines:
+        index = (line // l2.line_size) % l2.num_sets
+        per_set[index] = per_set.get(index, 0) + 1
+    return all(count <= ways_per_core for count in per_set.values())

@@ -1,0 +1,185 @@
+"""Resource-stressing kernels (rsk) and the paper's rsk-nop variant.
+
+Three generators are provided, mirroring Figure 1 and Section 4 of the paper:
+
+* :func:`build_rsk` — ``rsk(t)``: a tight loop of ``W + 1`` memory operations
+  of type ``t`` (loads or stores) whose addresses map to the same DL1 set, so
+  every operation misses in the DL1 and hits in the L2.  Used both as the
+  *contender* kernel and, in Section 3.2, as the software under analysis.
+* :func:`build_rsk_nop` — ``rsk-nop(t, k)``: the same loop with ``k`` nop
+  instructions inserted between consecutive memory operations, which
+  stretches the injection time by ``k * delta_nop`` cycles.  Sweeping ``k``
+  exposes the saw-tooth whose period equals ``ubd``.
+* :func:`build_nop_kernel` — a loop containing only nop instructions, used to
+  measure ``delta_nop`` (execution time divided by the number of nops).
+
+All generators return :class:`repro.sim.isa.Program` objects placed in the
+private address region of the target core.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import ArchConfig
+from ..errors import ProgramError
+from ..sim.isa import INSTRUCTION_BYTES, Alu, Instruction, Load, Nop, Program, Store
+from .layout import core_address_space, footprint_fits_l2_partition, same_set_addresses
+
+#: Default number of loop iterations for a finite kernel used as the scua.
+DEFAULT_ITERATIONS = 200
+
+
+def _memory_instruction(kind: str, addr: int) -> Instruction:
+    if kind == "load":
+        return Load(addr)
+    if kind == "store":
+        return Store(addr)
+    raise ProgramError(f"unsupported rsk access type {kind!r} (use 'load' or 'store')")
+
+
+def build_rsk(
+    config: ArchConfig,
+    core_id: int,
+    kind: str = "load",
+    iterations: Optional[int] = None,
+    extra_conflict_lines: int = 1,
+    loop_control_overhead: int = 0,
+) -> Program:
+    """Build ``rsk(t)`` for ``core_id``.
+
+    Args:
+        config: target platform (provides the DL1 geometry).
+        core_id: core the kernel will run on; selects its address region.
+        kind: ``"load"`` or ``"store"`` — the bus access type ``t``.
+        iterations: loop iterations; ``None`` builds an infinite contender.
+        extra_conflict_lines: how many lines beyond the DL1 associativity the
+            loop touches (the paper uses ``W + 1``, i.e. one extra line).
+        loop_control_overhead: latency (cycles) of an optional ALU
+            instruction appended to the body, modelling loop-control overhead
+            at iteration boundaries.  The paper unrolls aggressively to keep
+            this below 2%; the default of 0 models a fully unrolled loop.
+    """
+    if extra_conflict_lines < 1:
+        raise ProgramError("rsk needs at least one extra conflicting line to miss in DL1")
+    space = core_address_space(core_id)
+    addresses = same_set_addresses(
+        config.dl1, config.dl1.ways + extra_conflict_lines, base=space.data_base
+    )
+    if not footprint_fits_l2_partition(config, addresses):
+        raise ProgramError(
+            "rsk footprint does not fit the core's L2 partition; the kernel would "
+            "not hit in L2 as the methodology requires"
+        )
+    body: List[Instruction] = [_memory_instruction(kind, addr) for addr in addresses]
+    if loop_control_overhead > 0:
+        body.append(Alu(latency=loop_control_overhead))
+    return Program(
+        name=f"rsk-{kind}[core{core_id}]",
+        body=tuple(body),
+        iterations=iterations,
+        base_pc=space.code_base,
+    )
+
+
+def build_rsk_nop(
+    config: ArchConfig,
+    core_id: int,
+    kind: str = "load",
+    k: int = 0,
+    iterations: int = DEFAULT_ITERATIONS,
+    extra_conflict_lines: int = 1,
+    loop_control_overhead: int = 0,
+) -> Program:
+    """Build ``rsk-nop(t, k)`` for ``core_id`` (Figure 1(b)).
+
+    ``k`` nop instructions are inserted after every memory operation of the
+    plain rsk, raising the injection time between consecutive bus requests
+    from ``delta_rsk`` to ``delta_rsk + k * delta_nop``.
+
+    Args:
+        config: target platform.
+        core_id: core the kernel will run on.
+        kind: ``"load"`` or ``"store"``.
+        k: number of nops between consecutive memory operations (>= 0).
+        iterations: loop iterations (the scua must terminate, so the default
+            is finite).
+        extra_conflict_lines: see :func:`build_rsk`.
+        loop_control_overhead: see :func:`build_rsk`.
+    """
+    if k < 0:
+        raise ProgramError(f"nop count k must be >= 0, got {k}")
+    if iterations < 1:
+        raise ProgramError("rsk-nop must run at least one iteration")
+    space = core_address_space(core_id)
+    addresses = same_set_addresses(
+        config.dl1, config.dl1.ways + extra_conflict_lines, base=space.data_base
+    )
+    if not footprint_fits_l2_partition(config, addresses):
+        raise ProgramError(
+            "rsk-nop footprint does not fit the core's L2 partition; the kernel "
+            "would not hit in L2 as the methodology requires"
+        )
+    body: List[Instruction] = []
+    for addr in addresses:
+        body.append(_memory_instruction(kind, addr))
+        body.extend(Nop() for _ in range(k))
+    if loop_control_overhead > 0:
+        body.append(Alu(latency=loop_control_overhead))
+    return Program(
+        name=f"rsk-nop-{kind}(k={k})[core{core_id}]",
+        body=tuple(body),
+        iterations=iterations,
+        base_pc=space.code_base,
+    )
+
+
+def build_nop_kernel(
+    config: ArchConfig,
+    core_id: int,
+    iterations: int = 10,
+    body_fraction_of_il1: float = 0.25,
+) -> Program:
+    """Build the nop-only kernel used to derive ``delta_nop`` (Section 4.2).
+
+    The loop body is made as large as possible *without causing instruction
+    cache misses* — the paper sizes it to the IL1 — so that dividing the
+    execution time by the number of executed nops yields ``delta_nop`` with
+    negligible loop-boundary error.
+
+    Args:
+        config: target platform.
+        core_id: core the kernel will run on.
+        iterations: loop iterations.
+        body_fraction_of_il1: fraction of the IL1 capacity the body occupies
+            (strictly between 0 and 1 so the body always fits).
+    """
+    if not 0.0 < body_fraction_of_il1 < 1.0:
+        raise ProgramError("body_fraction_of_il1 must be in (0, 1)")
+    if iterations < 1:
+        raise ProgramError("the nop kernel must run at least one iteration")
+    space = core_address_space(core_id)
+    max_instructions = int(config.il1.size_bytes * body_fraction_of_il1) // INSTRUCTION_BYTES
+    body_size = max(1, max_instructions)
+    body = tuple(Nop() for _ in range(body_size))
+    return Program(
+        name=f"nop-kernel[core{core_id}]",
+        body=body,
+        iterations=iterations,
+        base_pc=space.code_base,
+    )
+
+
+def rsk_request_count(program: Program) -> int:
+    """Number of bus requests a finite rsk / rsk-nop generates per run.
+
+    For the kernels built by this module every memory instruction misses in
+    the DL1 (loads) or is written through (stores), so the request count
+    equals the dynamic number of memory instructions.
+    """
+    count = program.count_memory_instructions()
+    if count is None:
+        raise ProgramError(
+            f"program {program.name!r} is infinite; its request count is unbounded"
+        )
+    return count

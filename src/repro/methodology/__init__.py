@@ -1,0 +1,56 @@
+"""The measurement-based methodology (the paper's contribution).
+
+* :mod:`repro.methodology.experiment` — running a software component under
+  analysis (scua) in isolation and against contender kernels, and measuring
+  execution-time differences.
+* :mod:`repro.methodology.ubd` — the rsk-nop methodology of Section 4: sweep
+  the nop count, measure ``dbus(t, k)``, detect the saw-tooth period and
+  report ``ubdm`` together with its confidence checks.
+* :mod:`repro.methodology.naive` — the prior-art estimator (execution-time
+  increase divided by the number of requests) that the paper shows to
+  underestimate ``ubd``.
+* :mod:`repro.methodology.etb` — using ``ubdm`` to pad execution-time bounds
+  for MBTA, or as a per-access contention term for STA.
+* :mod:`repro.methodology.workloads` — randomly composed multiprogrammed
+  workloads (the Figure 6(a) campaign).
+"""
+
+from .experiment import (
+    ContendedMeasurement,
+    ExperimentRunner,
+    IsolationMeasurement,
+    build_contender_set,
+)
+from .ubd import UbdEstimator, UbdMethodologyResult
+from .naive import NaiveEstimate, NaiveUbdEstimator
+from .etb import EtbReport, compute_etb, mbta_padding
+from .mbta import TaskAnalysis, TaskSetAnalysis, TaskSetResult
+from .workloads import (
+    WorkloadCampaignResult,
+    WorkloadRun,
+    random_workloads,
+    run_rsk_reference_workload,
+    run_workload_campaign,
+)
+
+__all__ = [
+    "ContendedMeasurement",
+    "EtbReport",
+    "ExperimentRunner",
+    "IsolationMeasurement",
+    "NaiveEstimate",
+    "NaiveUbdEstimator",
+    "TaskAnalysis",
+    "TaskSetAnalysis",
+    "TaskSetResult",
+    "UbdEstimator",
+    "UbdMethodologyResult",
+    "WorkloadCampaignResult",
+    "WorkloadRun",
+    "build_contender_set",
+    "compute_etb",
+    "mbta_padding",
+    "random_workloads",
+    "run_rsk_reference_workload",
+    "run_workload_campaign",
+]

@@ -1,0 +1,109 @@
+"""Using the derived bound: execution-time bound (ETB) padding.
+
+Section 4.3 of the paper describes how ``ubdm`` is consumed:
+
+* **STA** — static timing analysis simply adds ``ubdm`` to the access time of
+  every bus request it accounts for;
+* **MBTA** — measurement-based timing analysis measures the task in isolation
+  and pads its execution-time bound with ``pad = nr * ubdm``, where ``nr`` is
+  an upper bound on the number of bus requests the task performs.
+
+The report in this module additionally checks the padded bound against an
+observed contended execution time, which is the trustworthiness argument the
+paper's introduction builds: the bound is only trustworthy if it covers what
+contention can actually do to the task.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import MethodologyError
+
+
+def mbta_padding(requests: int, ubdm: float) -> int:
+    """The MBTA contention pad ``pad = nr * ubdm`` (rounded up to whole cycles)."""
+    if requests < 0:
+        raise MethodologyError(f"request count must be >= 0, got {requests}")
+    if ubdm < 0:
+        raise MethodologyError(f"ubdm must be >= 0, got {ubdm}")
+    return int(math.ceil(requests * ubdm))
+
+
+def compute_etb(isolation_time: int, requests: int, ubdm: float) -> int:
+    """Execution-time bound: isolation measurement plus the contention pad."""
+    if isolation_time < 0:
+        raise MethodologyError(f"isolation time must be >= 0, got {isolation_time}")
+    return isolation_time + mbta_padding(requests, ubdm)
+
+
+@dataclass(frozen=True)
+class EtbReport:
+    """Execution-time bound derived for one task with one ``ubdm`` value.
+
+    Attributes:
+        task_name: the analysed task.
+        isolation_time: measured execution time in isolation (cycles).
+        requests: upper bound on the task's bus requests (``nr``).
+        ubdm: per-request contention bound used for padding.
+        etb: the resulting execution-time bound.
+        observed_contended_time: execution time measured in a contended run,
+            if available — used to check whether the bound holds.
+    """
+
+    task_name: str
+    isolation_time: int
+    requests: int
+    ubdm: float
+    etb: int
+    observed_contended_time: Optional[int] = None
+
+    @property
+    def pad(self) -> int:
+        """The contention pad added on top of the isolation time."""
+        return self.etb - self.isolation_time
+
+    @property
+    def covers_observation(self) -> Optional[bool]:
+        """True/False if an observation is available, ``None`` otherwise."""
+        if self.observed_contended_time is None:
+            return None
+        return self.etb >= self.observed_contended_time
+
+    @property
+    def margin(self) -> Optional[int]:
+        """ETB minus the observation (negative means the bound was violated)."""
+        if self.observed_contended_time is None:
+            return None
+        return self.etb - self.observed_contended_time
+
+    def summary(self) -> str:
+        """One-line human readable report."""
+        base = (
+            f"{self.task_name}: isolation {self.isolation_time} + pad {self.pad} "
+            f"= ETB {self.etb} cycles (nr={self.requests}, ubdm={self.ubdm:.2f})"
+        )
+        if self.observed_contended_time is None:
+            return base
+        status = "covers" if self.covers_observation else "VIOLATED by"
+        return f"{base}; {status} observed {self.observed_contended_time}"
+
+
+def build_etb_report(
+    task_name: str,
+    isolation_time: int,
+    requests: int,
+    ubdm: float,
+    observed_contended_time: Optional[int] = None,
+) -> EtbReport:
+    """Convenience constructor computing the bound and returning the report."""
+    return EtbReport(
+        task_name=task_name,
+        isolation_time=isolation_time,
+        requests=requests,
+        ubdm=ubdm,
+        etb=compute_etb(isolation_time, requests, ubdm),
+        observed_contended_time=observed_contended_time,
+    )

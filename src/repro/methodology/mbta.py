@@ -1,0 +1,148 @@
+"""Measurement-based timing analysis (MBTA) of whole tasks using ``ubdm``.
+
+Section 4.3 of the paper ("Using ubdm"): once the per-request contention
+bound is known, an MBTA flow analyses each task by
+
+1. measuring its execution time in isolation;
+2. bounding the number of bus requests ``nr`` it performs (here read from the
+   performance monitoring counters of the isolation run, as the paper
+   suggests for PMC-equipped platforms such as the NGMP);
+3. padding the isolation measurement with ``pad = nr * ubdm``.
+
+:class:`TaskSetAnalysis` packages that flow for a set of tasks and can
+optionally validate each padded bound against an actual contended run — the
+check an end user would perform to gain confidence in the derived bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..config import ArchConfig
+from ..errors import MethodologyError
+from ..report.tables import render_table
+from ..sim.isa import Program
+from .etb import EtbReport, build_etb_report
+from .experiment import ExperimentRunner
+
+
+@dataclass(frozen=True)
+class TaskAnalysis:
+    """MBTA result for one task."""
+
+    report: EtbReport
+    isolation_time: int
+    contended_time: Optional[int]
+    requests: int
+
+    @property
+    def task_name(self) -> str:
+        """Name of the analysed task."""
+        return self.report.task_name
+
+    @property
+    def etb(self) -> int:
+        """The padded execution-time bound."""
+        return self.report.etb
+
+    @property
+    def contention_share(self) -> float:
+        """Fraction of the ETB attributable to the contention pad."""
+        if self.report.etb == 0:
+            return 0.0
+        return self.report.pad / self.report.etb
+
+
+@dataclass(frozen=True)
+class TaskSetResult:
+    """MBTA results for a whole task set."""
+
+    ubdm: float
+    tasks: List[TaskAnalysis]
+
+    @property
+    def all_bounds_hold(self) -> Optional[bool]:
+        """True/False when contended validation ran for every task, else ``None``."""
+        verdicts = [task.report.covers_observation for task in self.tasks]
+        if any(verdict is None for verdict in verdicts):
+            return None
+        return all(verdicts)
+
+    def as_table(self) -> str:
+        """Render the task-set analysis as a text table."""
+        rows = []
+        for task in self.tasks:
+            observed = (
+                task.contended_time if task.contended_time is not None else "-"
+            )
+            covered = {True: "yes", False: "NO", None: "-"}[task.report.covers_observation]
+            rows.append(
+                [
+                    task.task_name,
+                    task.isolation_time,
+                    task.requests,
+                    task.report.pad,
+                    task.etb,
+                    observed,
+                    covered,
+                ]
+            )
+        return render_table(
+            ["task", "isolation", "nr", "pad", "ETB", "observed contended", "bound holds"],
+            rows,
+        )
+
+
+class TaskSetAnalysis:
+    """Applies the MBTA padding flow to a set of tasks on one platform.
+
+    Args:
+        config: the platform the tasks run on.
+        ubdm: the per-request contention bound to pad with (typically the
+            output of :class:`repro.methodology.ubd.UbdEstimator`).
+        validate_against_rsk: when True, each task is additionally run against
+            ``Nc - 1`` rsk contenders and the padded bound is checked against
+            that observation.
+    """
+
+    def __init__(
+        self,
+        config: ArchConfig,
+        ubdm: float,
+        validate_against_rsk: bool = True,
+    ) -> None:
+        if ubdm < 0:
+            raise MethodologyError(f"ubdm must be non-negative, got {ubdm}")
+        self.config = config
+        self.ubdm = float(ubdm)
+        self.validate_against_rsk = validate_against_rsk
+        self.runner = ExperimentRunner(config)
+
+    def analyse_task(self, task: Program, core_id: int = 0) -> TaskAnalysis:
+        """Analyse a single task: isolation run, request count, padding."""
+        isolation = self.runner.run_isolation(task, core_id)
+        contended_time: Optional[int] = None
+        if self.validate_against_rsk:
+            contended = self.runner.run_against_rsk(task, core_id)
+            contended_time = contended.execution_time
+        report = build_etb_report(
+            task.name,
+            isolation_time=isolation.execution_time,
+            requests=isolation.bus_requests,
+            ubdm=self.ubdm,
+            observed_contended_time=contended_time,
+        )
+        return TaskAnalysis(
+            report=report,
+            isolation_time=isolation.execution_time,
+            contended_time=contended_time,
+            requests=isolation.bus_requests,
+        )
+
+    def analyse(self, tasks: Sequence[Program], core_id: int = 0) -> TaskSetResult:
+        """Analyse every task in ``tasks`` and return the combined result."""
+        if not tasks:
+            raise MethodologyError("the task set is empty")
+        analyses = [self.analyse_task(task, core_id) for task in tasks]
+        return TaskSetResult(ubdm=self.ubdm, tasks=analyses)

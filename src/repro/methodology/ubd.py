@@ -1,0 +1,253 @@
+"""The rsk-nop methodology: deriving ``ubd`` from measurements alone.
+
+This is the paper's contribution (Section 4).  The estimator:
+
+1. measures ``delta_nop`` with the nop-only kernel (Section 4.2);
+2. for every ``k`` in a sweep, builds ``rsk-nop(t, k)`` as the software under
+   analysis, measures its execution time in isolation and against ``Nc - 1``
+   rsk contenders, and forms ``dbus(t, k)`` — the slowdown;
+3. detects the saw-tooth period of ``dbus(t, k)`` (Equation 3 plus the robust
+   estimators of :mod:`repro.analysis.sawtooth`); the period, converted to
+   cycles through ``delta_nop``, is ``ubdm``;
+4. evaluates the confidence checks of Section 4.3 (bus saturation via the
+   PMCs, ``delta_nop`` reliability, estimator agreement, sweep coverage).
+
+Nothing in the procedure uses the bus latency, the L2 latency or the
+arbitration timing — only the knowledge that arbitration is round robin and
+which instruction types generate bus requests, exactly as the paper requires.
+
+The sweep can optionally auto-extend: if no period is detected within the
+initial ``k`` range (because the range does not cover two periods), the range
+is doubled up to a limit.  This is the "applicability to a COTS multicore"
+mode of Section 5.3, where ``ubd`` is genuinely unknown beforehand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.confidence import ConfidenceReport, assess_confidence
+from ..analysis.injection import DeltaNopEstimate, derive_delta_nop
+from ..analysis.sawtooth import PeriodEstimate, SawtoothAnalyzer
+from ..config import ArchConfig
+from ..errors import AnalysisError, MethodologyError
+from ..kernels.rsk import build_rsk_nop, rsk_request_count
+from .experiment import ContendedMeasurement, ExperimentRunner, IsolationMeasurement
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Measurements taken for one value of ``k``."""
+
+    k: int
+    isolation_time: int
+    contended_time: int
+    dbus: int
+    bus_utilisation: float
+    requests: int
+
+
+@dataclass(frozen=True)
+class UbdMethodologyResult:
+    """Full outcome of the rsk-nop methodology on one platform.
+
+    Attributes:
+        arch_name: name of the measured platform configuration.
+        instruction_type: bus access type used (``"load"`` or ``"store"``).
+        points: one :class:`SweepPoint` per swept ``k``.
+        delta_nop: measured per-nop latency.
+        period: detected saw-tooth period.
+        ubdm: the measurement-based upper-bound delay, in cycles.
+        confidence: outcome of the Section 4.3 confidence checks.
+    """
+
+    arch_name: str
+    instruction_type: str
+    points: List[SweepPoint]
+    delta_nop: DeltaNopEstimate
+    period: PeriodEstimate
+    ubdm: int
+    confidence: ConfidenceReport
+
+    @property
+    def ks(self) -> List[int]:
+        """The swept nop counts."""
+        return [point.k for point in self.points]
+
+    @property
+    def dbus_values(self) -> List[int]:
+        """The measured slowdowns ``dbus(t, k)``."""
+        return [point.dbus for point in self.points]
+
+    def summary(self) -> str:
+        """Short human readable result line."""
+        return (
+            f"{self.arch_name}/{self.instruction_type}: ubdm = {self.ubdm} cycles "
+            f"({self.period.summary()}); confidence "
+            f"{'OK' if self.confidence.passed else 'NOT met'}"
+        )
+
+
+class UbdEstimator:
+    """Runs the complete rsk-nop methodology on one platform.
+
+    Args:
+        config: the platform to measure.
+        instruction_type: bus access type of both the scua and the
+            contenders (``"load"`` is the paper's default; ``"store"``
+            exercises the store-buffer behaviour of Figure 7(b)).
+        k_values: explicit sweep of nop counts; by default ``1..k_max``.
+        k_max: upper end of the default sweep.
+        iterations: loop iterations of every rsk-nop kernel (more iterations
+            sharpen the saw-tooth at the cost of simulation time).
+        scua_core: core hosting the kernel under analysis.
+        auto_extend: extend the sweep (doubling ``k_max``) when no period is
+            found, up to ``max_k_limit``.
+        max_k_limit: hard cap for the auto-extension.
+    """
+
+    def __init__(
+        self,
+        config: ArchConfig,
+        instruction_type: str = "load",
+        k_values: Optional[Sequence[int]] = None,
+        k_max: int = 60,
+        iterations: int = 80,
+        scua_core: int = 0,
+        auto_extend: bool = True,
+        max_k_limit: int = 400,
+        preload_caches: bool = True,
+    ) -> None:
+        if instruction_type not in ("load", "store"):
+            raise MethodologyError(
+                f"instruction type must be 'load' or 'store', got {instruction_type!r}"
+            )
+        if k_values is not None and len(k_values) < 4:
+            raise MethodologyError("an explicit k sweep needs at least four points")
+        if iterations < 1:
+            raise MethodologyError("iterations must be >= 1")
+        self.config = config
+        self.instruction_type = instruction_type
+        self.explicit_k_values = list(k_values) if k_values is not None else None
+        self.k_max = k_max
+        self.iterations = iterations
+        self.scua_core = scua_core
+        self.auto_extend = auto_extend
+        self.max_k_limit = max_k_limit
+        self.runner = ExperimentRunner(
+            config, preload_l2=preload_caches, preload_il1=preload_caches
+        )
+
+    # ------------------------------------------------------------------ #
+    # Measurement of one sweep point.
+    # ------------------------------------------------------------------ #
+    def measure_point(self, k: int) -> SweepPoint:
+        """Measure ``dbus(t, k)`` for a single nop count ``k``."""
+        scua = build_rsk_nop(
+            self.config,
+            self.scua_core,
+            kind=self.instruction_type,
+            k=k,
+            iterations=self.iterations,
+        )
+        isolation = self.runner.run_isolation(scua, self.scua_core)
+        contended = self.runner.run_against_rsk(
+            scua, self.scua_core, kind=self.instruction_type
+        )
+        return SweepPoint(
+            k=k,
+            isolation_time=isolation.execution_time,
+            contended_time=contended.execution_time,
+            dbus=contended.slowdown_versus(isolation),
+            bus_utilisation=contended.bus_utilisation,
+            requests=rsk_request_count(scua),
+        )
+
+    def sweep(self, k_values: Sequence[int]) -> List[SweepPoint]:
+        """Measure every ``k`` in ``k_values``."""
+        return [self.measure_point(k) for k in k_values]
+
+    # ------------------------------------------------------------------ #
+    # Full methodology.
+    # ------------------------------------------------------------------ #
+    def run(self) -> UbdMethodologyResult:
+        """Execute the full methodology and return its result."""
+        delta_nop = derive_delta_nop(self.config, core_id=self.scua_core)
+
+        if self.explicit_k_values is not None:
+            k_values = list(self.explicit_k_values)
+        else:
+            k_values = list(range(1, self.k_max + 1))
+        points = self.sweep(k_values)
+
+        period = self._detect_period(points, delta_nop)
+        while self._needs_extension(period, k_values):
+            if not self.auto_extend:
+                if period is not None:
+                    break
+                raise AnalysisError(
+                    "no saw-tooth period detected and auto_extend is disabled; "
+                    "widen the k sweep"
+                )
+            next_start = k_values[-1] + 1
+            next_end = min(self.max_k_limit, k_values[-1] * 2)
+            if next_start > next_end:
+                if period is not None:
+                    break
+                raise AnalysisError(
+                    f"no saw-tooth period detected for k up to {k_values[-1]}; "
+                    f"the platform's ubd exceeds the search limit of {self.max_k_limit}"
+                )
+            extension = list(range(next_start, next_end + 1))
+            points.extend(self.sweep(extension))
+            k_values.extend(extension)
+            period = self._detect_period(points, delta_nop)
+        if period is None:
+            raise AnalysisError(
+                "no saw-tooth period detected; widen the k sweep or raise max_k_limit"
+            )
+
+        ubdm = period.period_cycles
+        mean_utilisation = sum(point.bus_utilisation for point in points) / len(points)
+        confidence = assess_confidence(
+            bus_utilisation=mean_utilisation,
+            delta_nop=delta_nop,
+            period=period,
+            sweep_span_k=k_values[-1] - k_values[0] + 1,
+        )
+        return UbdMethodologyResult(
+            arch_name=self.config.name,
+            instruction_type=self.instruction_type,
+            points=points,
+            delta_nop=delta_nop,
+            period=period,
+            ubdm=ubdm,
+            confidence=confidence,
+        )
+
+    def _needs_extension(
+        self, period: Optional[PeriodEstimate], k_values: Sequence[int]
+    ) -> bool:
+        """Decide whether the sweep must grow before the estimate is trusted.
+
+        The sweep is extended while no period is found, or while the detected
+        period is not covered at least twice (Equation 3 needs pairs of equal
+        values one period apart, so a single period is never conclusive).
+        """
+        if period is None:
+            return True
+        span = k_values[-1] - k_values[0] + 1
+        return span < 2 * period.period_k and k_values[-1] < self.max_k_limit
+
+    @staticmethod
+    def _detect_period(
+        points: Sequence[SweepPoint], delta_nop: DeltaNopEstimate
+    ) -> Optional[PeriodEstimate]:
+        ks = [point.k for point in points]
+        values = [point.dbus for point in points]
+        try:
+            analyzer = SawtoothAnalyzer(ks, values)
+            return analyzer.estimate(delta_nop=delta_nop.rounded)
+        except AnalysisError:
+            return None

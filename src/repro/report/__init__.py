@@ -1,0 +1,11 @@
+"""Plain-text rendering of tables, histograms and saw-tooth curves.
+
+The paper's figures are regenerated as ASCII artefacts so the benchmark
+harness and the examples can print the same rows/series the paper reports
+without any plotting dependency.
+"""
+
+from .histogram import render_histogram
+from .tables import render_series, render_table
+
+__all__ = ["render_histogram", "render_series", "render_table"]

@@ -1,0 +1,39 @@
+"""ASCII histogram rendering (Figure 6 style bar charts)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+def render_histogram(
+    counts: Dict[int, int],
+    title: str = "",
+    width: int = 50,
+    label: str = "value",
+) -> str:
+    """Render ``counts`` (value -> frequency) as a horizontal bar chart.
+
+    Args:
+        counts: histogram data; keys are plotted in increasing order.
+        title: optional heading printed above the chart.
+        width: number of characters the largest bar occupies.
+        label: name of the x quantity, used in the row labels.
+    """
+    if width < 1:
+        raise ValueError("histogram width must be positive")
+    lines = []
+    if title:
+        lines.append(title)
+    if not counts:
+        lines.append("(empty histogram)")
+        return "\n".join(lines)
+    total = sum(counts.values())
+    peak = max(counts.values())
+    for value in sorted(counts):
+        count = counts[value]
+        bar_length = int(round(width * count / peak)) if peak else 0
+        share = count / total if total else 0.0
+        lines.append(
+            f"{label}={value:>4} | {'#' * bar_length:<{width}} {count:>8} ({share:6.1%})"
+        )
+    return "\n".join(lines)

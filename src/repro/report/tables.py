@@ -1,0 +1,56 @@
+"""ASCII table rendering used by examples and benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width text table.
+
+    Every cell is converted with ``str``; numeric alignment is right-justified
+    while text stays left-justified, which keeps cycle counts readable.
+    """
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if _is_numeric(cell):
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return " | ".join(parts)
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [format_row(list(headers)), separator]
+    lines.extend(format_row(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def render_series(
+    xs: Sequence[object],
+    ys: Sequence[object],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render two parallel sequences as a two-column table."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series lengths differ: {len(xs)} vs {len(ys)}")
+    return render_table([x_label, y_label], zip(xs, ys))
+
+
+def _is_numeric(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,58 @@
+"""Cycle-level multicore simulator substrate.
+
+This subpackage implements the platform the paper experiments on: in-order
+cores with private L1 caches, a shared round-robin bus, a way-partitioned L2,
+a memory controller with a banked DRAM model, per-core store buffers,
+performance monitoring counters and a request-level trace.
+
+The top-level entry point is :class:`repro.sim.system.System`.
+"""
+
+from .isa import Alu, Instruction, Load, Nop, Program, Store
+from .arbiter import (
+    Arbiter,
+    FifoArbiter,
+    FixedPriorityArbiter,
+    RoundRobinArbiter,
+    TdmaArbiter,
+    make_arbiter,
+)
+from .bus import Bus, BusRequest
+from .cache import CacheStats, SetAssociativeCache
+from .core import Core
+from .dram import Dram
+from .l2 import PartitionedL2
+from .memctrl import MemoryController
+from .pmc import PerformanceCounters
+from .store_buffer import StoreBuffer
+from .system import System, SystemResult
+from .trace import RequestRecord, TraceRecorder
+
+__all__ = [
+    "Alu",
+    "Arbiter",
+    "Bus",
+    "BusRequest",
+    "CacheStats",
+    "Core",
+    "Dram",
+    "FifoArbiter",
+    "FixedPriorityArbiter",
+    "Instruction",
+    "Load",
+    "MemoryController",
+    "Nop",
+    "PartitionedL2",
+    "PerformanceCounters",
+    "Program",
+    "RequestRecord",
+    "RoundRobinArbiter",
+    "SetAssociativeCache",
+    "Store",
+    "StoreBuffer",
+    "System",
+    "SystemResult",
+    "TdmaArbiter",
+    "TraceRecorder",
+    "make_arbiter",
+]

@@ -1,0 +1,212 @@
+"""Bus arbitration policies.
+
+The paper targets round-robin (RR) arbitration, whose worst-case single
+request delay is ``ubd = (Nc - 1) * lbus``.  For the ablation studies we also
+provide first-come-first-served (FIFO by readiness time), fixed priority and
+TDMA arbiters, mirroring the policies discussed in the related work section
+(Kelter's TDMA analysis, Paolieri's RR bus, Jalle's policy comparison).
+
+An arbiter only decides *which* pending request is granted when the bus is
+free; all timing (occupancy, response delivery) is handled by
+:class:`repro.sim.bus.Bus`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..config import BusConfig
+from ..errors import ConfigurationError, SimulationError
+
+
+class Arbiter:
+    """Base class for all arbitration policies.
+
+    Args:
+        num_ports: number of request ports attached to the bus (one per core
+            plus, optionally, one response port for split transactions).
+    """
+
+    #: Short policy name used by factories, reports and configuration files.
+    policy_name = "abstract"
+
+    def __init__(self, num_ports: int) -> None:
+        if num_ports < 1:
+            raise ConfigurationError("an arbiter needs at least one port")
+        self.num_ports = num_ports
+
+    def select(self, cycle: int, pending_ports: Sequence[int]) -> int:
+        """Return the port that wins arbitration at ``cycle``.
+
+        Args:
+            cycle: current simulation cycle.
+            pending_ports: ports that currently hold a ready request; never
+                empty when this method is called.
+        """
+        raise NotImplementedError
+
+    def notify_grant(self, cycle: int, port: int) -> None:
+        """Inform the arbiter that ``port`` was granted at ``cycle``."""
+
+    def reset(self) -> None:
+        """Restore the arbiter's initial state."""
+
+
+class RoundRobinArbiter(Arbiter):
+    """Work-conserving round-robin arbitration (the paper's policy).
+
+    After port ``i`` is granted, the next arbitration scans ports in the
+    order ``i+1, i+2, ..., i`` (Section 2 of the paper), so the port granted
+    most recently becomes the lowest-priority one.
+    """
+
+    policy_name = "round_robin"
+
+    def __init__(self, num_ports: int, initial_owner: int = -1) -> None:
+        super().__init__(num_ports)
+        if not -1 <= initial_owner < num_ports:
+            raise ConfigurationError(
+                f"initial owner {initial_owner} out of range for {num_ports} ports"
+            )
+        self._initial_owner = initial_owner
+        self._last_granted = initial_owner
+
+    @property
+    def last_granted(self) -> int:
+        """Port granted most recently, or the initial owner if none yet."""
+        return self._last_granted
+
+    def priority_order(self) -> List[int]:
+        """Return the current scan order from highest to lowest priority."""
+        start = (self._last_granted + 1) % self.num_ports
+        return [(start + offset) % self.num_ports for offset in range(self.num_ports)]
+
+    def select(self, cycle: int, pending_ports: Sequence[int]) -> int:
+        del cycle
+        pending = set(pending_ports)
+        for port in self.priority_order():
+            if port in pending:
+                return port
+        raise SimulationError("round-robin arbiter called with no pending ports")
+
+    def notify_grant(self, cycle: int, port: int) -> None:
+        del cycle
+        self._last_granted = port
+
+    def reset(self) -> None:
+        self._last_granted = self._initial_owner
+
+
+class FifoArbiter(Arbiter):
+    """First-come-first-served arbitration by request readiness time.
+
+    Ties (identical readiness cycles) are broken by port index, which makes
+    the policy deterministic.  The bus passes readiness times through
+    :meth:`select_with_ready`; plain :meth:`select` falls back to port order.
+    """
+
+    policy_name = "fifo"
+
+    def select(self, cycle: int, pending_ports: Sequence[int]) -> int:
+        del cycle
+        if not pending_ports:
+            raise SimulationError("FIFO arbiter called with no pending ports")
+        return min(pending_ports)
+
+    def select_with_ready(
+        self, cycle: int, pending_ports: Sequence[int], ready_cycles: Sequence[int]
+    ) -> int:
+        """Select the pending port whose request became ready first."""
+        del cycle
+        if not pending_ports:
+            raise SimulationError("FIFO arbiter called with no pending ports")
+        pairs = sorted(zip(ready_cycles, pending_ports))
+        return pairs[0][1]
+
+
+class FixedPriorityArbiter(Arbiter):
+    """Static priority arbitration: lower port index always wins.
+
+    This policy is *not* time composable — a high-priority requester can
+    starve the others — and serves as a contrast case in the ablation
+    benchmarks.
+    """
+
+    policy_name = "fixed_priority"
+
+    def __init__(self, num_ports: int, priority: Optional[Sequence[int]] = None) -> None:
+        super().__init__(num_ports)
+        if priority is None:
+            priority = list(range(num_ports))
+        if sorted(priority) != list(range(num_ports)):
+            raise ConfigurationError(
+                "priority must be a permutation of port indices "
+                f"0..{num_ports - 1}, got {list(priority)}"
+            )
+        #: priority[i] gives the rank of port i (0 = highest).
+        self._rank = {port: rank for rank, port in enumerate(priority)}
+
+    def select(self, cycle: int, pending_ports: Sequence[int]) -> int:
+        del cycle
+        if not pending_ports:
+            raise SimulationError("fixed-priority arbiter called with no pending ports")
+        return min(pending_ports, key=lambda port: self._rank[port])
+
+
+class TdmaArbiter(Arbiter):
+    """Time-division multiple access arbitration.
+
+    Time is divided into fixed slots of ``slot_cycles``; slot ``s`` belongs to
+    port ``s mod num_ports``.  A request is only granted during its owner's
+    slot and only if the remaining slot time can hold a full transaction of
+    ``slot_cycles`` (the bus enforces the occupancy; the arbiter enforces
+    ownership).  TDMA is not work conserving, so it wastes bandwidth when the
+    slot owner has nothing to send — the classic contrast with round robin.
+    """
+
+    policy_name = "tdma"
+
+    def __init__(self, num_ports: int, slot_cycles: int) -> None:
+        super().__init__(num_ports)
+        if slot_cycles < 1:
+            raise ConfigurationError("TDMA slot length must be >= 1 cycle")
+        self.slot_cycles = slot_cycles
+
+    def slot_owner(self, cycle: int) -> int:
+        """Return the port owning the TDMA slot active at ``cycle``."""
+        return (cycle // self.slot_cycles) % self.num_ports
+
+    def cycles_left_in_slot(self, cycle: int) -> int:
+        """Return how many cycles remain in the slot active at ``cycle``."""
+        return self.slot_cycles - (cycle % self.slot_cycles)
+
+    def select(self, cycle: int, pending_ports: Sequence[int]) -> int:
+        owner = self.slot_owner(cycle)
+        if owner in set(pending_ports) and self.cycles_left_in_slot(cycle) == self.slot_cycles:
+            return owner
+        return -1  # nobody may start a transaction this cycle
+
+    def next_grant_opportunity(self, cycle: int, port: int) -> int:
+        """First cycle at or after ``cycle`` where ``port`` may start a transaction."""
+        slot_index = cycle // self.slot_cycles
+        for offset in range(2 * self.num_ports + 1):
+            candidate = slot_index + offset
+            if candidate % self.num_ports == port % self.num_ports:
+                start = candidate * self.slot_cycles
+                if start >= cycle:
+                    return start
+        raise SimulationError("TDMA schedule search failed")  # pragma: no cover
+
+
+def make_arbiter(config: BusConfig, num_ports: int) -> Arbiter:
+    """Create the arbiter selected by ``config.arbitration`` for ``num_ports`` ports."""
+    policy = config.arbitration
+    if policy == "round_robin":
+        return RoundRobinArbiter(num_ports)
+    if policy == "fifo":
+        return FifoArbiter(num_ports)
+    if policy == "fixed_priority":
+        return FixedPriorityArbiter(num_ports)
+    if policy == "tdma":
+        return TdmaArbiter(num_ports, config.tdma_slot)
+    raise ConfigurationError(f"unknown arbitration policy {policy!r}")

@@ -1,0 +1,239 @@
+"""Shared processor-to-L2 bus with pluggable arbitration.
+
+The bus owns request queues (one per port), the arbitration timing and the
+occupancy bookkeeping.  What a granted transaction *does* — looking up the
+L2, scheduling a DRAM access, waking a core — is decided by the memory
+subsystem through two callbacks supplied by :class:`repro.sim.system.System`:
+
+* ``service_callback(request, cycle)`` is invoked at grant time and must
+  return the bus occupancy in cycles for this transaction;
+* ``request.on_complete(request, cycle)`` is invoked when the occupancy ends
+  and the data is usable by the owner.
+
+Each simulation cycle has two bus phases, called by the system in this order:
+
+1. :meth:`Bus.deliver` — finish a transaction whose occupancy ends now, so
+   the owning core can already use the data in this cycle;
+2. :meth:`Bus.arbitrate` — after all cores have ticked (and possibly posted
+   new requests ready in this very cycle), grant the bus if it is free.
+
+This ordering realises the timing semantics of DESIGN.md Section 5 and is
+what produces the synchrony effect the paper studies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional
+
+from ..errors import SimulationError
+from .arbiter import Arbiter, FifoArbiter, TdmaArbiter
+from .pmc import PerformanceCounters
+from .trace import RequestRecord, TraceRecorder
+
+#: Signature of the grant-time callback: (request, cycle) -> bus occupancy.
+ServiceCallback = Callable[["BusRequest", int], int]
+#: Signature of the completion callback: (request, cycle) -> None.
+CompletionCallback = Callable[["BusRequest", int], None]
+
+
+@dataclass
+class BusRequest:
+    """One bus transaction from readiness to completion.
+
+    Attributes:
+        port: issuing port (core id, or the response port for memory data).
+        kind: ``"load"``, ``"store"``, ``"ifetch"`` or ``"response"``.
+        addr: target byte address.
+        ready_cycle: first cycle at which the arbiter may consider the request.
+        origin_core: core the transaction ultimately belongs to (equals
+            ``port`` except for split-transaction responses).
+        on_complete: callback invoked when the transaction finishes.
+        service_cycles: bus occupancy, filled in at grant time.
+        record: the trace record attached to this request, if tracing is on.
+    """
+
+    port: int
+    kind: str
+    addr: int
+    ready_cycle: int
+    origin_core: int = -1
+    on_complete: Optional[CompletionCallback] = None
+    service_cycles: int = 0
+    grant_cycle: int = -1
+    complete_cycle: int = -1
+    record: Optional[RequestRecord] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.origin_core < 0:
+            self.origin_core = self.port
+
+    @property
+    def granted(self) -> bool:
+        """True once the arbiter has granted this request."""
+        return self.grant_cycle >= 0
+
+
+class Bus:
+    """The shared bus: per-port queues, one transaction in flight at a time."""
+
+    def __init__(
+        self,
+        num_ports: int,
+        arbiter: Arbiter,
+        service_callback: ServiceCallback,
+        trace: Optional[TraceRecorder] = None,
+        pmc: Optional[PerformanceCounters] = None,
+    ) -> None:
+        if num_ports < 1:
+            raise SimulationError("bus needs at least one port")
+        if arbiter.num_ports != num_ports:
+            raise SimulationError(
+                f"arbiter built for {arbiter.num_ports} ports attached to a "
+                f"{num_ports}-port bus"
+            )
+        self.num_ports = num_ports
+        self.arbiter = arbiter
+        self.service_callback = service_callback
+        self.trace = trace
+        self.pmc = pmc
+        self._queues: List[Deque[BusRequest]] = [deque() for _ in range(num_ports)]
+        self._current: Optional[BusRequest] = None
+        self._busy_until = 0
+        self.granted_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Posting requests.
+    # ------------------------------------------------------------------ #
+    def post(self, request: BusRequest) -> None:
+        """Queue ``request`` on its port and snapshot contention information."""
+        if not 0 <= request.port < self.num_ports:
+            raise SimulationError(f"request posted on invalid port {request.port}")
+        contenders = sum(
+            1
+            for port, queue in enumerate(self._queues)
+            if port != request.port and queue
+        )
+        if self._current is not None and self._current.port != request.port:
+            # A transaction currently holding the bus is also a ready contender
+            # from the point of view of the request being posted.
+            contenders += 1
+        if self.trace is not None and self.trace.enabled:
+            request.record = RequestRecord(
+                port=request.port,
+                kind=request.kind,
+                addr=request.addr,
+                ready_cycle=request.ready_cycle,
+                contenders_at_ready=contenders,
+                bus_busy_at_ready=self.is_busy_at(request.ready_cycle),
+            )
+            # Recorded at post time so requests still in flight when the run
+            # terminates remain visible; completion fills in the remaining
+            # fields in place.
+            self.trace.record(request.record)
+        self._queues[request.port].append(request)
+
+    def pending_count(self, port: int) -> int:
+        """Number of queued (not yet granted) requests on ``port``."""
+        return len(self._queues[port])
+
+    def has_pending(self) -> bool:
+        """True if any port has a queued request."""
+        return any(self._queues)
+
+    def is_busy_at(self, cycle: int) -> bool:
+        """True if a transaction occupies the bus during ``cycle``."""
+        return self._current is not None and cycle < self._busy_until
+
+    @property
+    def busy_until(self) -> int:
+        """First cycle at which the bus will be free again."""
+        return self._busy_until if self._current is not None else 0
+
+    @property
+    def current_request(self) -> Optional[BusRequest]:
+        """The transaction currently occupying the bus, if any."""
+        return self._current
+
+    # ------------------------------------------------------------------ #
+    # Per-cycle phases.
+    # ------------------------------------------------------------------ #
+    def deliver(self, cycle: int) -> None:
+        """Phase 1: finish the in-flight transaction if its occupancy ends now."""
+        if self._current is None or cycle < self._busy_until:
+            return
+        request = self._current
+        self._current = None
+        request.complete_cycle = cycle
+        if request.record is not None:
+            request.record.complete_cycle = cycle
+        if self.pmc is not None:
+            wait = request.grant_cycle - request.ready_cycle
+            self.pmc.note_bus_service(request.origin_core, request.service_cycles, wait)
+        if request.on_complete is not None:
+            request.on_complete(request, cycle)
+
+    def arbitrate(self, cycle: int) -> Optional[BusRequest]:
+        """Phase 2: grant one pending request if the bus is free.
+
+        Returns the granted request, or ``None`` when nothing was granted
+        (bus busy, no ready request, or a TDMA slot mismatch).
+        """
+        if self._current is not None:
+            return None
+        pending_ports = [
+            port
+            for port, queue in enumerate(self._queues)
+            if queue and queue[0].ready_cycle <= cycle
+        ]
+        if not pending_ports:
+            return None
+        if isinstance(self.arbiter, FifoArbiter):
+            ready_cycles = [self._queues[port][0].ready_cycle for port in pending_ports]
+            winner = self.arbiter.select_with_ready(cycle, pending_ports, ready_cycles)
+        else:
+            winner = self.arbiter.select(cycle, pending_ports)
+        if winner < 0:
+            return None  # TDMA: no eligible slot owner this cycle
+        request = self._queues[winner].popleft()
+        request.grant_cycle = cycle
+        request.service_cycles = self.service_callback(request, cycle)
+        if request.service_cycles < 1:
+            raise SimulationError(
+                f"service callback returned non-positive occupancy for {request.kind}"
+            )
+        self._busy_until = cycle + request.service_cycles
+        self._current = request
+        self.granted_count += 1
+        if request.record is not None:
+            request.record.grant_cycle = cycle
+            request.record.service_cycles = request.service_cycles
+        self.arbiter.notify_grant(cycle, winner)
+        return request
+
+    # ------------------------------------------------------------------ #
+    # Skip-ahead support.
+    # ------------------------------------------------------------------ #
+    def next_activity(self, cycle: int) -> float:
+        """Earliest future cycle at which the bus state can change."""
+        if self._current is not None:
+            return self._busy_until
+        candidates: List[float] = []
+        for port, queue in enumerate(self._queues):
+            if not queue:
+                continue
+            ready = max(queue[0].ready_cycle, cycle)
+            if isinstance(self.arbiter, TdmaArbiter):
+                ready = max(ready, self.arbiter.next_grant_opportunity(ready, port))
+            candidates.append(ready)
+        return min(candidates) if candidates else float("inf")
+
+    def reset(self) -> None:
+        """Drop all queued requests and clear the in-flight transaction."""
+        for queue in self._queues:
+            queue.clear()
+        self._current = None
+        self._busy_until = 0
+        self.granted_count = 0
+        self.arbiter.reset()

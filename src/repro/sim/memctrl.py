@@ -1,0 +1,122 @@
+"""Memory controller between the shared L2 and the DRAM.
+
+L2 load misses and write-through traffic that misses the L2 are handed to the
+memory controller.  Reads are tracked until their DRAM access completes and a
+completion callback fires (the system then posts the split-transaction
+response on the bus); writes are fire-and-forget from the core's point of
+view but still occupy the target DRAM bank, so heavy write traffic delays
+subsequent reads, as on the real platform.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..config import DramConfig
+from ..errors import SimulationError
+from .dram import Dram
+
+#: Completion callback signature: (pending_read, cycle) -> None.
+ReadCallback = Callable[["PendingRead", int], None]
+
+
+@dataclass
+class PendingRead:
+    """A read request travelling through the memory controller."""
+
+    core_id: int
+    addr: int
+    enqueue_cycle: int
+    complete_cycle: int = -1
+    kind: str = "load"
+
+
+@dataclass
+class MemCtrlStats:
+    """Counters for the memory controller."""
+
+    reads: int = 0
+    writes: int = 0
+    total_read_latency: int = 0
+
+    @property
+    def average_read_latency(self) -> float:
+        """Mean cycles between enqueue and completion of reads."""
+        if self.reads == 0:
+            return 0.0
+        return self.total_read_latency / self.reads
+
+
+class MemoryController:
+    """FIFO memory controller with bank-aware DRAM timing.
+
+    Args:
+        dram_config: DRAM timing parameters.
+        read_callback: invoked when a read's data is available; the system
+            uses it to post the response transfer on the bus.
+    """
+
+    def __init__(self, dram_config: DramConfig, read_callback: Optional[ReadCallback] = None) -> None:
+        self.dram = Dram(dram_config)
+        self.read_callback = read_callback
+        self.stats = MemCtrlStats()
+        # Min-heap of (complete_cycle, sequence, PendingRead) awaiting delivery.
+        self._in_flight: List[Tuple[int, int, PendingRead]] = []
+        self._sequence = 0
+
+    # ------------------------------------------------------------------ #
+    # Request entry points (called by the memory subsystem).
+    # ------------------------------------------------------------------ #
+    def enqueue_read(self, core_id: int, addr: int, cycle: int, kind: str = "load") -> PendingRead:
+        """Schedule a read; its completion fires ``read_callback`` later."""
+        access = self.dram.access(addr, cycle, is_write=False)
+        pending = PendingRead(
+            core_id=core_id,
+            addr=addr,
+            enqueue_cycle=cycle,
+            complete_cycle=access.complete_cycle,
+            kind=kind,
+        )
+        self.stats.reads += 1
+        self.stats.total_read_latency += access.complete_cycle - cycle
+        heapq.heappush(self._in_flight, (access.complete_cycle, self._sequence, pending))
+        self._sequence += 1
+        return pending
+
+    def enqueue_write(self, addr: int, cycle: int) -> int:
+        """Schedule a write; returns its completion cycle (no callback fires)."""
+        access = self.dram.access(addr, cycle, is_write=True)
+        self.stats.writes += 1
+        return access.complete_cycle
+
+    # ------------------------------------------------------------------ #
+    # Per-cycle processing.
+    # ------------------------------------------------------------------ #
+    def tick(self, cycle: int) -> None:
+        """Deliver every read whose DRAM access has completed by ``cycle``."""
+        while self._in_flight and self._in_flight[0][0] <= cycle:
+            _, _, pending = heapq.heappop(self._in_flight)
+            if self.read_callback is None:
+                raise SimulationError(
+                    "memory controller completed a read but no callback is attached"
+                )
+            self.read_callback(pending, cycle)
+
+    def next_activity(self, cycle: int) -> float:
+        """Earliest future cycle at which a read completion must be delivered."""
+        del cycle
+        if not self._in_flight:
+            return float("inf")
+        return self._in_flight[0][0]
+
+    @property
+    def outstanding_reads(self) -> int:
+        """Number of reads still waiting for DRAM data."""
+        return len(self._in_flight)
+
+    def reset(self) -> None:
+        """Drop in-flight requests and reset the DRAM row state."""
+        self._in_flight.clear()
+        self.dram.reset()

@@ -1,0 +1,124 @@
+"""Performance monitoring counters (PMC).
+
+The methodology's confidence step (Section 4.3 of the paper) relies on the
+kind of counters the Cobham Gaisler NGMP exposes — counters ``0x17`` and
+``0x18`` report per-core and overall bus utilisation.  This module models an
+equivalent counter block: per-core bus busy cycles, per-core request counts,
+per-core contention (wait) cycles, instruction counts and total cycles, from
+which utilisation figures are derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class CoreCounters:
+    """Counters kept for a single core (one bus port)."""
+
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    nops: int = 0
+    bus_requests: int = 0
+    bus_busy_cycles: int = 0
+    contention_cycles: int = 0
+    stall_cycles: int = 0
+    store_buffer_full_stalls: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flat dictionary view used by reports."""
+        return {
+            "instructions": self.instructions,
+            "loads": self.loads,
+            "stores": self.stores,
+            "nops": self.nops,
+            "bus_requests": self.bus_requests,
+            "bus_busy_cycles": self.bus_busy_cycles,
+            "contention_cycles": self.contention_cycles,
+            "stall_cycles": self.stall_cycles,
+            "store_buffer_full_stalls": self.store_buffer_full_stalls,
+        }
+
+
+@dataclass
+class PerformanceCounters:
+    """Counter block for a whole platform.
+
+    Attributes:
+        num_cores: number of cores (and therefore per-core counter sets).
+        cycles: total elapsed cycles of the simulation window.
+        bus_busy_cycles: cycles during which the bus was serving any request.
+        dram_accesses: number of requests that reached the DRAM.
+    """
+
+    num_cores: int
+    cycles: int = 0
+    bus_busy_cycles: int = 0
+    dram_accesses: int = 0
+    core: List[CoreCounters] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.core:
+            self.core = [CoreCounters() for _ in range(self.num_cores)]
+
+    # ------------------------------------------------------------------ #
+    # Update helpers called by the simulator.
+    # ------------------------------------------------------------------ #
+    def note_bus_service(self, port: int, service_cycles: int, wait_cycles: int) -> None:
+        """Record one completed bus transaction issued by ``port``."""
+        self.bus_busy_cycles += service_cycles
+        if 0 <= port < self.num_cores:
+            counters = self.core[port]
+            counters.bus_requests += 1
+            counters.bus_busy_cycles += service_cycles
+            counters.contention_cycles += wait_cycles
+
+    def note_instruction(self, core_id: int, mnemonic: str) -> None:
+        """Record the retirement of one instruction on ``core_id``."""
+        counters = self.core[core_id]
+        counters.instructions += 1
+        if mnemonic == "load":
+            counters.loads += 1
+        elif mnemonic == "store":
+            counters.stores += 1
+        elif mnemonic == "nop":
+            counters.nops += 1
+
+    # ------------------------------------------------------------------ #
+    # Derived utilisation figures (the NGMP 0x17/0x18 equivalents).
+    # ------------------------------------------------------------------ #
+    def bus_utilisation(self) -> float:
+        """Overall bus utilisation over the measured window (0.0 - 1.0)."""
+        if self.cycles == 0:
+            return 0.0
+        return min(1.0, self.bus_busy_cycles / self.cycles)
+
+    def core_bus_utilisation(self, core_id: int) -> float:
+        """Fraction of cycles the bus spent serving ``core_id``."""
+        if self.cycles == 0:
+            return 0.0
+        return min(1.0, self.core[core_id].bus_busy_cycles / self.cycles)
+
+    def average_contention(self, core_id: int) -> float:
+        """Average contention delay per bus request of ``core_id``."""
+        counters = self.core[core_id]
+        if counters.bus_requests == 0:
+            return 0.0
+        return counters.contention_cycles / counters.bus_requests
+
+    def total_requests(self) -> int:
+        """Total number of bus transactions across all cores."""
+        return sum(c.bus_requests for c in self.core)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Nested dictionary view used by reports and tests."""
+        return {
+            "cycles": self.cycles,
+            "bus_busy_cycles": self.bus_busy_cycles,
+            "bus_utilisation": self.bus_utilisation(),
+            "dram_accesses": self.dram_accesses,
+            "cores": [c.as_dict() for c in self.core],
+        }

@@ -1,0 +1,339 @@
+"""Multicore system assembly and simulation loop.
+
+:class:`System` wires together the cores, the shared round-robin bus, the
+way-partitioned L2, the memory controller/DRAM and the measurement
+infrastructure (PMCs and the request trace), and owns the per-cycle loop.
+
+Cycle structure (see DESIGN.md, Section 5):
+
+1. the bus delivers a transaction whose occupancy ends in this cycle;
+2. the memory controller delivers DRAM reads that completed, posting their
+   split-transaction responses on the dedicated response port;
+3. every core ticks: it may retire instructions, post demand requests that
+   are ready in this very cycle, and drain its store buffer;
+4. the bus arbitrates and, if free, grants one pending request.
+
+The loop optionally *skips ahead* over cycles in which no component can make
+progress (all cores stalled on the bus, bus busy for several cycles, …),
+which speeds up saturated-bus experiments by roughly the bus occupancy
+without changing any observable timing; tests cross-check skip-ahead against
+the strict cycle-by-cycle mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import ArchConfig
+from ..errors import ConfigurationError, SimulationError
+from .arbiter import Arbiter, make_arbiter
+from .bus import Bus, BusRequest
+from .core import Core, CoreState
+from .isa import Program
+from .l2 import PartitionedL2
+from .memctrl import MemoryController, PendingRead
+from .pmc import PerformanceCounters
+from .trace import TraceRecorder
+
+#: Default safety bound on simulated cycles; long experiments may raise it.
+DEFAULT_MAX_CYCLES = 200_000_000
+
+
+@dataclass
+class SystemResult:
+    """Outcome of one simulation run.
+
+    Attributes:
+        cycles: total number of simulated cycles (last processed cycle + 1).
+        done_cycles: per-core retirement cycle of the last instruction, for
+            the cores that finished (``None`` for infinite/ idle cores).
+        instructions: per-core retired instruction counts.
+        pmc: the performance counter block (bus utilisation, request counts).
+        trace: the request trace, if recording was enabled.
+        timed_out: True when the run stopped at ``max_cycles`` instead of at
+            program completion.
+    """
+
+    cycles: int
+    done_cycles: List[Optional[int]]
+    instructions: List[int]
+    pmc: PerformanceCounters
+    trace: Optional[TraceRecorder] = None
+    timed_out: bool = False
+
+    def execution_time(self, core_id: int) -> int:
+        """Execution time (cycles) of ``core_id``; raises if it never finished."""
+        done = self.done_cycles[core_id]
+        if done is None:
+            raise SimulationError(
+                f"core {core_id} did not finish; execution time undefined"
+            )
+        return done
+
+
+class System:
+    """A simulated multicore platform running one program per core.
+
+    Args:
+        config: the architecture to model.
+        programs: one entry per core; ``None`` leaves the core idle.
+            Fewer entries than cores are padded with idle cores.
+        trace: enable request-level tracing (needed for Figure 6 analyses).
+        preload_l2: install every program's data lines in the owning core's
+            L2 partition before starting, removing cold-miss noise (the paper
+            measures warmed-up steady state).
+        preload_il1: install every program's code lines in the owning core's
+            IL1 before starting.
+        preload_dl1: install data lines also in the DL1 (rarely wanted — the
+            rsk kernels rely on DL1 misses — but useful for cache-resident
+            synthetic workloads and tests).
+        arbiter: optional externally constructed arbiter (overrides the
+            policy named in ``config.bus``); must expect
+            ``num_cores + 1`` ports (the extra one is the response port).
+    """
+
+    def __init__(
+        self,
+        config: ArchConfig,
+        programs: Sequence[Optional[Program]],
+        trace: bool = False,
+        preload_l2: bool = False,
+        preload_il1: bool = False,
+        preload_dl1: bool = False,
+        arbiter: Optional[Arbiter] = None,
+    ) -> None:
+        if len(programs) > config.num_cores:
+            raise ConfigurationError(
+                f"{len(programs)} programs supplied for {config.num_cores} cores"
+            )
+        self.config = config
+        padded: List[Optional[Program]] = list(programs) + [None] * (
+            config.num_cores - len(programs)
+        )
+        self.programs = padded
+
+        self.pmc = PerformanceCounters(num_cores=config.num_cores)
+        self.trace = TraceRecorder(enabled=trace)
+        #: Maps a response request (by identity) to the demand kind it resolves.
+        self._response_kinds: Dict[int, str] = {}
+        self.l2 = PartitionedL2(config)
+        self.memctrl = MemoryController(config.dram, read_callback=self._on_dram_read_done)
+
+        num_ports = config.num_cores + 1  # one demand port per core + response port
+        self.response_port = config.num_cores
+        if arbiter is None:
+            arbiter = make_arbiter(config.bus, num_ports)
+        self.bus = Bus(
+            num_ports=num_ports,
+            arbiter=arbiter,
+            service_callback=self._service_request,
+            trace=self.trace,
+            pmc=self.pmc,
+        )
+
+        self.cores: List[Core] = [
+            Core(
+                core_id=index,
+                config=config,
+                program=padded[index],
+                issue_request=self._issue_demand,
+                pmc=self.pmc,
+            )
+            for index in range(config.num_cores)
+        ]
+
+        self._preload(preload_l2, preload_il1, preload_dl1)
+        self.current_cycle = 0
+
+    # ------------------------------------------------------------------ #
+    # Cache preloading (warm-up substitute).
+    # ------------------------------------------------------------------ #
+    def _preload(self, preload_l2: bool, preload_il1: bool, preload_dl1: bool) -> None:
+        line = self.config.line_size
+        for core_id, program in enumerate(self.programs):
+            if program is None:
+                continue
+            if preload_l2:
+                self.l2.preload(core_id, sorted(program.data_lines(line)))
+            if preload_il1:
+                for addr in sorted(program.code_lines(line)):
+                    self.cores[core_id].il1.fill(addr)
+            if preload_dl1:
+                for addr in sorted(program.data_lines(line)):
+                    self.cores[core_id].dl1.fill(addr)
+
+    # ------------------------------------------------------------------ #
+    # Bus-side callbacks.
+    # ------------------------------------------------------------------ #
+    def _issue_demand(self, core_id: int, kind: str, addr: int, ready_cycle: int) -> None:
+        """Post a demand request (load / ifetch / store drain) for ``core_id``."""
+        request = BusRequest(
+            port=core_id,
+            kind=kind,
+            addr=addr,
+            ready_cycle=ready_cycle,
+            origin_core=core_id,
+            on_complete=self._complete_demand,
+        )
+        self.bus.post(request)
+
+    def _service_request(self, request: BusRequest, cycle: int) -> int:
+        """Grant-time callback: perform the L2 lookup and return the occupancy."""
+        cfg = self.config
+        if request.kind == "response":
+            return cfg.bus_service_response
+        if request.kind == "store":
+            self.l2.lookup(request.origin_core, request.addr, is_write=True)
+            return cfg.bus_service_store
+        if request.kind in ("load", "ifetch"):
+            hit = self.l2.lookup(request.origin_core, request.addr, is_write=False)
+            return cfg.bus_service_l2_hit if hit else cfg.bus_service_miss_request
+        raise SimulationError(f"unknown bus request kind {request.kind!r}")
+
+    def _complete_demand(self, request: BusRequest, cycle: int) -> None:
+        """Completion callback for demand requests posted by cores."""
+        core = self.cores[request.origin_core]
+        if request.kind == "store":
+            core.on_store_drained(cycle)
+            if not self.l2.contains(request.addr):
+                # Write-through, no-allocate: the write continues to memory.
+                self.memctrl.enqueue_write(request.addr, cycle)
+            return
+        if request.kind in ("load", "ifetch"):
+            if self.l2.contains(request.addr):
+                self._deliver_line(core, request.kind, request.addr, cycle)
+            else:
+                self.pmc.dram_accesses += 1
+                self.memctrl.enqueue_read(
+                    request.origin_core, request.addr, cycle, kind=request.kind
+                )
+            return
+        raise SimulationError(f"unexpected completion for kind {request.kind!r}")
+
+    def _on_dram_read_done(self, pending: PendingRead, cycle: int) -> None:
+        """A DRAM read finished: fill the L2 and post the response transfer."""
+        self.l2.fill(pending.core_id, pending.addr)
+        response = BusRequest(
+            port=self.response_port,
+            kind="response",
+            addr=pending.addr,
+            ready_cycle=cycle,
+            origin_core=pending.core_id,
+            on_complete=self._complete_response,
+        )
+        # Remember what the response resolves so completion can route it.
+        self._response_kinds[id(response)] = pending.kind
+        self.bus.post(response)
+
+    def _complete_response(self, request: BusRequest, cycle: int) -> None:
+        """The response transfer of an L2 miss reached the requesting core."""
+        kind = self._response_kinds.pop(id(request), "load")
+        core = self.cores[request.origin_core]
+        self._deliver_line(core, kind, request.addr, cycle)
+
+    def _deliver_line(self, core: Core, kind: str, addr: int, cycle: int) -> None:
+        if kind == "ifetch":
+            core.on_instruction_line(addr, cycle)
+        else:
+            core.on_data_line(addr, cycle)
+
+    # ------------------------------------------------------------------ #
+    # Simulation loop.
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        observed_cores: Optional[Sequence[int]] = None,
+        max_cycles: int = DEFAULT_MAX_CYCLES,
+        skip_ahead: bool = True,
+    ) -> SystemResult:
+        """Simulate until every observed core finished its program.
+
+        Args:
+            observed_cores: cores whose completion terminates the run; by
+                default, every core with a finite program.  Contender cores
+                running infinite kernels keep executing until then.
+            max_cycles: safety bound; the run stops (with ``timed_out=True``)
+                if it is reached.
+            skip_ahead: enable the fast-forward optimisation (identical
+                observable timing; see class docstring).
+        """
+        if observed_cores is None:
+            observed_cores = [
+                index
+                for index, program in enumerate(self.programs)
+                if program is not None and not program.is_infinite
+            ]
+        observed = list(observed_cores)
+        for core_id in observed:
+            if not 0 <= core_id < self.config.num_cores:
+                raise ConfigurationError(f"observed core {core_id} does not exist")
+            if self.programs[core_id] is None:
+                raise ConfigurationError(f"observed core {core_id} has no program")
+            if self.programs[core_id].is_infinite:
+                raise ConfigurationError(
+                    f"observed core {core_id} runs an infinite program and never finishes"
+                )
+        if not observed:
+            raise ConfigurationError("no observed cores: the run would never terminate")
+
+        cycle = self.current_cycle
+        timed_out = False
+        while True:
+            self.bus.deliver(cycle)
+            self.memctrl.tick(cycle)
+            for core in self.cores:
+                core.tick(cycle)
+            self.bus.arbitrate(cycle)
+            self.pmc.cycles = cycle + 1
+
+            if all(self.cores[core_id].is_done for core_id in observed):
+                break
+            if cycle >= max_cycles:
+                timed_out = True
+                break
+
+            next_cycle = cycle + 1
+            if skip_ahead:
+                horizon = self._next_activity(cycle)
+                if horizon > next_cycle:
+                    next_cycle = int(horizon)
+            cycle = next_cycle
+
+        self.current_cycle = cycle
+        return SystemResult(
+            cycles=cycle + 1,
+            done_cycles=[core.done_cycle for core in self.cores],
+            instructions=[core.instructions_retired for core in self.cores],
+            pmc=self.pmc,
+            trace=self.trace if self.trace.enabled else None,
+            timed_out=timed_out,
+        )
+
+    def _next_activity(self, cycle: int) -> float:
+        """Earliest future cycle at which any component can change state."""
+        horizon = min(
+            self.bus.next_activity(cycle),
+            self.memctrl.next_activity(cycle),
+            min(core.next_activity(cycle) for core in self.cores),
+        )
+        if horizon <= cycle:
+            return cycle + 1
+        return horizon
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers used by the methodology layer.
+    # ------------------------------------------------------------------ #
+    def core_state(self, core_id: int) -> CoreState:
+        """Current execution state of ``core_id``."""
+        return self.cores[core_id].state
+
+    def describe(self) -> Dict[str, object]:
+        """Short description of the platform and the mapped programs."""
+        return {
+            "config": self.config.describe(),
+            "programs": [
+                program.summary() if program is not None else "idle"
+                for program in self.programs
+            ],
+        }

@@ -1,0 +1,151 @@
+"""Request-level bus trace.
+
+Every bus transaction can be recorded as a :class:`RequestRecord` carrying
+the cycles at which it became ready, was granted and completed, plus how many
+*other* ports had a pending request at the moment it became ready.  The
+analysis layer (:mod:`repro.analysis.contention`) turns these records into
+the histograms of Figure 6 and into per-request contention delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class RequestRecord:
+    """Timing of one bus transaction.
+
+    Attributes:
+        port: bus port that issued the request (core id, or the response
+            port index for split-transaction responses).
+        kind: ``"load"``, ``"store"``, ``"ifetch"`` or ``"response"``.
+        addr: target byte address.
+        ready_cycle: cycle at which the request became visible to the arbiter.
+        grant_cycle: cycle at which the bus was granted.
+        complete_cycle: first cycle after the bus occupancy ends (data usable).
+        service_cycles: bus occupancy in cycles.
+        contenders_at_ready: number of other ports with a pending request at
+            ``ready_cycle`` (the quantity histogrammed in Figure 6(a)).
+        bus_busy_at_ready: True if the bus was serving another transaction
+            when this request became ready.
+    """
+
+    port: int
+    kind: str
+    addr: int
+    ready_cycle: int
+    grant_cycle: int = -1
+    complete_cycle: int = -1
+    service_cycles: int = 0
+    contenders_at_ready: int = 0
+    bus_busy_at_ready: bool = False
+
+    @property
+    def contention_delay(self) -> int:
+        """Cycles spent waiting for the grant (``gamma`` in the paper)."""
+        if self.grant_cycle < 0:
+            return 0
+        return self.grant_cycle - self.ready_cycle
+
+    @property
+    def total_latency(self) -> int:
+        """Cycles from readiness to data availability."""
+        if self.complete_cycle < 0:
+            return 0
+        return self.complete_cycle - self.ready_cycle
+
+    @property
+    def completed(self) -> bool:
+        """True once the transaction has finished on the bus."""
+        return self.complete_cycle >= 0
+
+
+class TraceRecorder:
+    """Collects :class:`RequestRecord` objects during a simulation.
+
+    Recording is optional (it costs memory proportional to the number of bus
+    transactions); the system enables it when an experiment asks for
+    request-level analysis such as the Figure 6 histograms.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: List[RequestRecord] = []
+
+    def record(self, record: RequestRecord) -> None:
+        """Store one record (no-op when disabled)."""
+        if self.enabled:
+            self._records.append(record)
+
+    def clear(self) -> None:
+        """Drop all collected records."""
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def records(self) -> Tuple[RequestRecord, ...]:
+        """All records collected so far, in grant order."""
+        return tuple(self._records)
+
+    # ------------------------------------------------------------------ #
+    # Convenience selectors used by the analysis layer.
+    # ------------------------------------------------------------------ #
+    def for_port(self, port: int, kinds: Optional[Sequence[str]] = None) -> Tuple[RequestRecord, ...]:
+        """Records issued by ``port``, optionally filtered by request kind."""
+        selected = (r for r in self._records if r.port == port)
+        if kinds is not None:
+            wanted = set(kinds)
+            selected = (r for r in selected if r.kind in wanted)
+        return tuple(selected)
+
+    def completed_records(self) -> Tuple[RequestRecord, ...]:
+        """Only the records whose transaction completed."""
+        return tuple(r for r in self._records if r.completed)
+
+    def contention_delays(self, port: int, kinds: Optional[Sequence[str]] = None) -> List[int]:
+        """Per-request contention delays (``gamma_i``) for ``port``."""
+        return [r.contention_delay for r in self.for_port(port, kinds) if r.completed]
+
+    def injection_times(self, port: int, kinds: Optional[Sequence[str]] = None) -> List[int]:
+        """Injection times ``delta_i`` between consecutive requests of ``port``.
+
+        The injection time of request ``r_i`` is the number of cycles between
+        the completion of ``r_{i-1}`` (its data being sent back) and ``r_i``
+        becoming ready, exactly as defined in Section 3.1 of the paper.  The
+        first request of the port has no predecessor and is skipped.
+        """
+        records = [r for r in self.for_port(port, kinds) if r.completed]
+        deltas: List[int] = []
+        for previous, current in zip(records, records[1:]):
+            deltas.append(current.ready_cycle - previous.complete_cycle)
+        return deltas
+
+    def count_by_kind(self) -> Dict[str, int]:
+        """Number of records per request kind."""
+        counts: Dict[str, int] = {}
+        for record in self._records:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts
+
+    def ports(self) -> Tuple[int, ...]:
+        """Sorted tuple of ports that issued at least one request."""
+        return tuple(sorted({r.port for r in self._records}))
+
+
+def merge_traces(traces: Iterable[TraceRecorder]) -> TraceRecorder:
+    """Merge several traces into a new recorder (records sorted by grant cycle)."""
+    merged = TraceRecorder(enabled=True)
+    all_records: List[RequestRecord] = []
+    for trace in traces:
+        all_records.extend(trace.records)
+    all_records.sort(key=lambda r: (r.grant_cycle, r.ready_cycle, r.port))
+    for record in all_records:
+        merged.record(record)
+    return merged

@@ -1,0 +1,104 @@
+"""Unit tests for the methodology's confidence checks (Section 4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.confidence import (
+    ConfidenceCheck,
+    ConfidenceReport,
+    assess_confidence,
+)
+from repro.analysis.injection import DeltaNopEstimate
+from repro.analysis.sawtooth import PeriodEstimate
+
+
+def delta_nop(ratio=1.0, rounded=1):
+    return DeltaNopEstimate(
+        cycles_per_nop=ratio, rounded=rounded, executed_nops=1000, execution_time=int(1000 * ratio)
+    )
+
+
+def period(period_k=27, agreement=1.0):
+    return PeriodEstimate(
+        period_k=period_k,
+        period_cycles=period_k,
+        per_method={"exact": period_k},
+        agreement=agreement,
+    )
+
+
+class TestBusSaturationCheck:
+    def test_saturated_bus_passes(self):
+        report = assess_confidence(bus_utilisation=0.99)
+        assert report.passed
+
+    def test_unsaturated_bus_fails(self):
+        report = assess_confidence(bus_utilisation=0.5)
+        assert not report.passed
+        assert report.failed_checks()[0].name == "bus_saturation"
+
+    def test_threshold_is_configurable(self):
+        report = assess_confidence(bus_utilisation=0.8, utilisation_threshold=0.75)
+        assert report.passed
+
+
+class TestDeltaNopCheck:
+    def test_exact_delta_nop_passes(self):
+        report = assess_confidence(bus_utilisation=1.0, delta_nop=delta_nop(1.0))
+        assert report.passed
+
+    def test_noisy_delta_nop_fails(self):
+        report = assess_confidence(bus_utilisation=1.0, delta_nop=delta_nop(1.3))
+        names = [check.name for check in report.failed_checks()]
+        assert "delta_nop" in names
+
+    def test_tolerance_configurable(self):
+        report = assess_confidence(
+            bus_utilisation=1.0, delta_nop=delta_nop(1.08), delta_nop_tolerance=0.1
+        )
+        assert report.passed
+
+
+class TestPeriodChecks:
+    def test_agreement_and_coverage_pass(self):
+        report = assess_confidence(
+            bus_utilisation=1.0,
+            delta_nop=delta_nop(),
+            period=period(27, agreement=1.0),
+            sweep_span_k=60,
+        )
+        assert report.passed
+        assert len(report.checks) == 4
+
+    def test_low_agreement_fails(self):
+        report = assess_confidence(
+            bus_utilisation=1.0, period=period(27, agreement=0.25), sweep_span_k=60
+        )
+        assert not report.passed
+
+    def test_insufficient_sweep_coverage_fails(self):
+        report = assess_confidence(
+            bus_utilisation=1.0, period=period(27), sweep_span_k=30
+        )
+        names = [check.name for check in report.failed_checks()]
+        assert "sweep_coverage" in names
+
+    def test_coverage_not_checked_without_span(self):
+        report = assess_confidence(bus_utilisation=1.0, period=period(27))
+        names = [check.name for check in report.checks]
+        assert "sweep_coverage" not in names
+
+
+class TestReportRendering:
+    def test_summary_contains_pass_and_fail_lines(self):
+        report = ConfidenceReport(
+            checks=[
+                ConfidenceCheck(name="a", passed=True, detail="fine"),
+                ConfidenceCheck(name="b", passed=False, detail="broken"),
+            ]
+        )
+        summary = report.summary()
+        assert "[PASS] a" in summary
+        assert "[FAIL] b" in summary
+        assert not report.passed

@@ -1,0 +1,152 @@
+"""Unit tests for contention / contender histograms (Figure 6 analysis)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.contention import (
+    ContenderHistogram,
+    ContentionHistogram,
+    contender_histogram,
+    contention_histogram,
+    injection_time_histogram,
+)
+from repro.errors import AnalysisError
+from repro.sim.trace import RequestRecord, TraceRecorder
+
+
+def make_trace(records) -> TraceRecorder:
+    trace = TraceRecorder(enabled=True)
+    for record in records:
+        trace.record(record)
+    return trace
+
+
+def load_record(port=0, ready=0, grant=None, contenders=0, kind="load"):
+    grant = ready if grant is None else grant
+    return RequestRecord(
+        port=port,
+        kind=kind,
+        addr=0x100,
+        ready_cycle=ready,
+        grant_cycle=grant,
+        complete_cycle=grant + 9,
+        service_cycles=9,
+        contenders_at_ready=contenders,
+    )
+
+
+class TestContentionHistogram:
+    def test_histogram_counts_delays(self):
+        trace = make_trace(
+            [
+                load_record(ready=0, grant=0),      # skipped (first request)
+                load_record(ready=10, grant=36),    # delay 26
+                load_record(ready=46, grant=72),    # delay 26
+                load_record(ready=82, grant=85),    # delay 3
+            ]
+        )
+        histogram = contention_histogram(trace, 0)
+        assert histogram.counts == {26: 2, 3: 1}
+        assert histogram.total_requests == 3
+        assert histogram.mode == 26
+        assert histogram.max_observed == 26
+
+    def test_fraction_helpers(self):
+        trace = make_trace(
+            [load_record(ready=0, grant=0)]
+            + [load_record(ready=10 * i, grant=10 * i + 5) for i in range(1, 5)]
+        )
+        histogram = contention_histogram(trace, 0)
+        assert histogram.fraction_at(5) == 1.0
+        assert histogram.fraction_at_mode() == 1.0
+        assert histogram.fraction_at(99) == 0.0
+
+    def test_skip_first_can_be_disabled(self):
+        trace = make_trace([load_record(ready=0, grant=7)])
+        histogram = contention_histogram(trace, 0, skip_first=0)
+        assert histogram.counts == {7: 1}
+
+    def test_kind_filter(self):
+        trace = make_trace(
+            [
+                load_record(kind="store", ready=0, grant=3),
+                load_record(kind="store", ready=10, grant=11),
+            ]
+        )
+        histogram = contention_histogram(trace, 0, kinds=("store",), skip_first=0)
+        assert histogram.total_requests == 2
+
+    def test_missing_port_raises(self):
+        trace = make_trace([load_record(port=1)])
+        with pytest.raises(AnalysisError):
+            contention_histogram(trace, 0)
+
+    def test_empty_histogram_properties(self):
+        histogram = ContentionHistogram(counts={}, total_requests=0, observed_core=0)
+        assert histogram.max_observed == 0
+        assert histogram.mode == 0
+        assert histogram.fraction_at_mode() == 0.0
+
+
+class TestContenderHistogram:
+    def test_counts_and_fractions(self):
+        trace = make_trace(
+            [
+                load_record(contenders=0),
+                load_record(ready=10, contenders=1),
+                load_record(ready=20, contenders=1),
+                load_record(ready=30, contenders=3),
+            ]
+        )
+        histogram = contender_histogram(trace, 0, num_cores=4)
+        assert histogram.counts == {0: 1, 1: 2, 3: 1}
+        assert histogram.fraction_with(1) == pytest.approx(0.5)
+        assert histogram.fraction_with_at_most(1) == pytest.approx(0.75)
+
+    def test_all_kinds_included_by_default(self):
+        trace = make_trace(
+            [
+                load_record(kind="load", contenders=2),
+                load_record(kind="store", ready=5, contenders=2),
+                load_record(kind="ifetch", ready=9, contenders=2),
+            ]
+        )
+        histogram = contender_histogram(trace, 0, num_cores=4)
+        assert histogram.total_requests == 3
+
+    def test_missing_port_raises(self):
+        trace = make_trace([load_record(port=2)])
+        with pytest.raises(AnalysisError):
+            contender_histogram(trace, 0, num_cores=4)
+
+    def test_sorted_items(self):
+        histogram = ContenderHistogram(
+            counts={3: 1, 0: 5}, total_requests=6, observed_core=0, num_cores=4
+        )
+        assert histogram.as_sorted_items() == [(0, 5), (3, 1)]
+
+    def test_empty_fractions_are_zero(self):
+        histogram = ContenderHistogram(
+            counts={}, total_requests=0, observed_core=0, num_cores=4
+        )
+        assert histogram.fraction_with(0) == 0.0
+        assert histogram.fraction_with_at_most(3) == 0.0
+
+
+class TestInjectionHistogram:
+    def test_histogram_of_deltas(self):
+        trace = make_trace(
+            [
+                load_record(ready=0, grant=0),
+                load_record(ready=10, grant=10),   # delta = 10 - 9 = 1
+                load_record(ready=20, grant=20),   # delta = 20 - 19 = 1
+                load_record(ready=33, grant=33),   # delta = 33 - 29 = 4
+            ]
+        )
+        assert injection_time_histogram(trace, 0) == {1: 2, 4: 1}
+
+    def test_single_request_raises(self):
+        trace = make_trace([load_record()])
+        with pytest.raises(AnalysisError):
+            injection_time_histogram(trace, 0)

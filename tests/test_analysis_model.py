@@ -1,0 +1,168 @@
+"""Unit tests for the analytical contention model (Equations 1 and 2, Figures 2-5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.model import (
+    ContentionModel,
+    gamma_of_delta,
+    predicted_slowdown_per_request,
+    predicted_store_slowdown_per_request,
+    sawtooth_curve,
+    synchrony_timeline,
+    ubd_analytical,
+)
+from repro.errors import AnalysisError
+
+
+class TestEquation1:
+    def test_reference_platform_value(self):
+        assert ubd_analytical(4, 9) == 27
+
+    def test_single_core_has_no_contention(self):
+        assert ubd_analytical(1, 9) == 0
+
+    @pytest.mark.parametrize("cores, lbus", [(2, 3), (4, 9), (8, 5), (3, 7)])
+    def test_general_formula(self, cores, lbus):
+        assert ubd_analytical(cores, lbus) == (cores - 1) * lbus
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(AnalysisError):
+            ubd_analytical(0, 9)
+        with pytest.raises(AnalysisError):
+            ubd_analytical(4, 0)
+
+
+class TestEquation2:
+    def test_zero_injection_time_suffers_full_ubd(self):
+        assert gamma_of_delta(0, 27) == 27
+
+    def test_figure3_values(self):
+        """The table at the bottom of Figure 3 (ubd = 6)."""
+        expected = {0: 6, 1: 5, 2: 4, 3: 3, 4: 2, 5: 1, 6: 0, 7: 5}
+        for delta, gamma in expected.items():
+            assert gamma_of_delta(delta, 6) == gamma
+
+    def test_minimum_injection_time_never_reaches_ubd(self):
+        """Section 3.2: with delta >= 1 the maximum observable value is ubd - 1."""
+        values = [gamma_of_delta(delta, 27) for delta in range(1, 200)]
+        assert max(values) == 26
+
+    def test_periodicity(self):
+        for delta in range(1, 100):
+            assert gamma_of_delta(delta, 27) == gamma_of_delta(delta + 27, 27)
+
+    def test_zero_at_multiples_of_ubd(self):
+        for multiple in (1, 2, 3):
+            assert gamma_of_delta(27 * multiple, 27) == 0
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(AnalysisError):
+            gamma_of_delta(-1, 27)
+        with pytest.raises(AnalysisError):
+            gamma_of_delta(3, 0)
+
+    def test_sawtooth_curve_matches_pointwise(self):
+        deltas = list(range(0, 60))
+        curve = sawtooth_curve(deltas, 27)
+        assert curve == [gamma_of_delta(d, 27) for d in deltas]
+
+
+class TestPredictedSlowdowns:
+    def test_load_prediction_uses_shifted_delta(self):
+        assert predicted_slowdown_per_request(k=0, ubd=27, delta_rsk=1) == 26
+        assert predicted_slowdown_per_request(k=25, ubd=27, delta_rsk=1) == 1
+        assert predicted_slowdown_per_request(k=26, ubd=27, delta_rsk=1) == 0
+        assert predicted_slowdown_per_request(k=27, ubd=27, delta_rsk=1) == 26
+
+    def test_load_prediction_periodic_in_k(self):
+        for k in range(0, 60):
+            assert predicted_slowdown_per_request(k, 27, 1) == predicted_slowdown_per_request(
+                k + 27, 27, 1
+            )
+
+    def test_store_prediction_decreases_then_vanishes(self):
+        values = [
+            predicted_store_slowdown_per_request(k, ubd=27, lbus=9, delta_rsk=1)
+            for k in range(0, 50)
+        ]
+        assert values[0] == 27
+        assert values[-1] == 0
+        assert all(a >= b for a, b in zip(values, values[1:])), "must be non-increasing"
+
+    def test_store_prediction_zero_beyond_contended_drain_interval(self):
+        value = predicted_store_slowdown_per_request(k=40, ubd=27, lbus=9, delta_rsk=1)
+        assert value == 0
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(AnalysisError):
+            predicted_slowdown_per_request(-1, 27, 1)
+
+
+class TestContentionModel:
+    def test_reference_model_quantities(self):
+        model = ContentionModel(num_cores=4, lbus=9, delta_rsk=1)
+        assert model.ubd == 27
+        assert model.gamma(0) == 27
+        assert model.gamma_for_k(0) == 26
+        assert model.maximum_observable_gamma() == 26
+
+    def test_variant_model_maximum_observable(self):
+        """The var platform (delta_rsk = 4) observes at most 23 (Figure 6(b))."""
+        model = ContentionModel(num_cores=4, lbus=9, delta_rsk=4)
+        assert model.maximum_observable_gamma() == 23
+
+    def test_zero_delta_rsk_observes_ubd(self):
+        model = ContentionModel(num_cores=4, lbus=9, delta_rsk=0)
+        assert model.maximum_observable_gamma() == 27
+
+    def test_dbus_curve_scales_with_requests(self):
+        model = ContentionModel(num_cores=4, lbus=9, delta_rsk=1)
+        curve = model.dbus_curve([0, 1, 2], requests=100)
+        assert curve == [2600, 2500, 2400]
+
+    def test_dbus_curve_period_is_ubd(self):
+        model = ContentionModel(num_cores=2, lbus=3, delta_rsk=1)
+        ks = list(range(0, 12))
+        curve = model.dbus_curve(ks, requests=10)
+        assert curve[:3] == curve[3:6] == curve[6:9]
+
+    def test_store_curve_requires_requests(self):
+        model = ContentionModel(num_cores=4, lbus=9)
+        with pytest.raises(AnalysisError):
+            model.store_dbus_curve([1, 2], requests=0)
+
+
+class TestSynchronyTimeline:
+    @pytest.mark.parametrize("delta", [0, 1, 3, 6, 7, 9, 13, 20, 27, 28, 54, 61])
+    def test_timeline_contention_matches_equation2(self, delta):
+        """Figures 2/3/5: the schedule-based derivation agrees with Equation 2."""
+        timeline = synchrony_timeline(num_cores=4, lbus=9, delta=delta, rounds=6)
+        assert timeline["contention"] == gamma_of_delta(delta, 27)
+
+    @pytest.mark.parametrize("cores, lbus", [(2, 3), (3, 4), (4, 9), (6, 2)])
+    def test_timeline_matches_equation2_across_platforms(self, cores, lbus):
+        ubd = ubd_analytical(cores, lbus)
+        for delta in range(0, 3 * ubd + 2):
+            timeline = synchrony_timeline(cores, lbus, delta, rounds=8)
+            assert timeline["contention"] == gamma_of_delta(delta, ubd)
+
+    def test_timeline_with_short_slots(self):
+        """With 3-cycle slots (as drawn in Figure 2) a request ready exactly when
+        the round-robin pointer returns is served with zero contention."""
+        timeline = synchrony_timeline(num_cores=4, lbus=3, delta=9)
+        assert timeline["ubd"] == 9
+        assert timeline["contention"] == 0
+
+    def test_timeline_intervals_are_contiguous(self):
+        timeline = synchrony_timeline(num_cores=4, lbus=9, delta=5, rounds=3)
+        intervals = timeline["intervals"]
+        for (_, _, end), (_, start, _) in zip(intervals, intervals[1:]):
+            assert start == end
+
+    def test_timeline_rejects_bad_inputs(self):
+        with pytest.raises(AnalysisError):
+            synchrony_timeline(4, 9, delta=-1)
+        with pytest.raises(AnalysisError):
+            synchrony_timeline(4, 9, delta=0, observed_core=7)

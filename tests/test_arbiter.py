@@ -1,0 +1,162 @@
+"""Unit tests for the bus arbitration policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import BusConfig
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.arbiter import (
+    FifoArbiter,
+    FixedPriorityArbiter,
+    RoundRobinArbiter,
+    TdmaArbiter,
+    make_arbiter,
+)
+
+
+class TestRoundRobinArbiter:
+    def test_initial_priority_order_starts_at_port_zero(self):
+        arbiter = RoundRobinArbiter(4)
+        assert arbiter.priority_order() == [0, 1, 2, 3]
+
+    def test_priority_order_rotates_after_grant(self):
+        arbiter = RoundRobinArbiter(4)
+        arbiter.notify_grant(0, 1)
+        assert arbiter.priority_order() == [2, 3, 0, 1]
+
+    def test_granted_port_becomes_lowest_priority(self):
+        """Section 2: after c_i is granted, the order is c_{i+1}, ..., c_i."""
+        arbiter = RoundRobinArbiter(4)
+        arbiter.notify_grant(0, 2)
+        assert arbiter.priority_order()[-1] == 2
+
+    def test_select_picks_highest_priority_pending(self):
+        arbiter = RoundRobinArbiter(4)
+        arbiter.notify_grant(0, 0)
+        assert arbiter.select(1, [0, 2, 3]) == 2
+
+    def test_select_skips_idle_ports(self):
+        arbiter = RoundRobinArbiter(4)
+        arbiter.notify_grant(0, 0)
+        assert arbiter.select(1, [0]) == 0
+
+    def test_select_with_no_pending_raises(self):
+        with pytest.raises(SimulationError):
+            RoundRobinArbiter(2).select(0, [])
+
+    def test_lowest_priority_waits_for_all_others(self):
+        """A port that was just granted is served last among all-pending ports."""
+        arbiter = RoundRobinArbiter(4)
+        arbiter.notify_grant(0, 1)
+        order = []
+        pending = {0, 1, 2, 3}
+        for _ in range(4):
+            winner = arbiter.select(0, sorted(pending))
+            order.append(winner)
+            arbiter.notify_grant(0, winner)
+            pending.discard(winner)
+        assert order == [2, 3, 0, 1]
+
+    def test_reset_restores_initial_owner(self):
+        arbiter = RoundRobinArbiter(4, initial_owner=2)
+        arbiter.notify_grant(0, 0)
+        arbiter.reset()
+        assert arbiter.last_granted == 2
+
+    def test_invalid_initial_owner_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RoundRobinArbiter(2, initial_owner=5)
+
+    def test_single_port(self):
+        arbiter = RoundRobinArbiter(1)
+        assert arbiter.select(0, [0]) == 0
+
+    def test_zero_ports_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RoundRobinArbiter(0)
+
+
+class TestFifoArbiter:
+    def test_select_with_ready_prefers_oldest(self):
+        arbiter = FifoArbiter(3)
+        winner = arbiter.select_with_ready(10, [0, 1, 2], [7, 3, 5])
+        assert winner == 1
+
+    def test_tie_broken_by_port_index(self):
+        arbiter = FifoArbiter(3)
+        winner = arbiter.select_with_ready(10, [2, 1], [4, 4])
+        assert winner == 1
+
+    def test_plain_select_falls_back_to_port_order(self):
+        assert FifoArbiter(3).select(0, [2, 1]) == 1
+
+    def test_empty_pending_raises(self):
+        with pytest.raises(SimulationError):
+            FifoArbiter(2).select_with_ready(0, [], [])
+
+
+class TestFixedPriorityArbiter:
+    def test_lower_port_wins_by_default(self):
+        assert FixedPriorityArbiter(4).select(0, [3, 1, 2]) == 1
+
+    def test_custom_priority_permutation(self):
+        arbiter = FixedPriorityArbiter(3, priority=[2, 0, 1])
+        assert arbiter.select(0, [0, 1, 2]) == 2
+
+    def test_invalid_priority_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedPriorityArbiter(3, priority=[0, 0, 1])
+
+    def test_empty_pending_raises(self):
+        with pytest.raises(SimulationError):
+            FixedPriorityArbiter(2).select(0, [])
+
+
+class TestTdmaArbiter:
+    def test_slot_owner_rotates(self):
+        arbiter = TdmaArbiter(3, slot_cycles=5)
+        assert arbiter.slot_owner(0) == 0
+        assert arbiter.slot_owner(5) == 1
+        assert arbiter.slot_owner(14) == 2
+        assert arbiter.slot_owner(15) == 0
+
+    def test_grant_only_at_slot_start(self):
+        arbiter = TdmaArbiter(2, slot_cycles=4)
+        assert arbiter.select(0, [0]) == 0
+        assert arbiter.select(1, [0]) == -1
+
+    def test_non_owner_never_granted_even_if_only_pending(self):
+        """TDMA is not work conserving."""
+        arbiter = TdmaArbiter(2, slot_cycles=4)
+        assert arbiter.select(0, [1]) == -1
+
+    def test_next_grant_opportunity(self):
+        arbiter = TdmaArbiter(2, slot_cycles=4)
+        assert arbiter.next_grant_opportunity(1, 0) == 8
+        assert arbiter.next_grant_opportunity(0, 0) == 0
+        assert arbiter.next_grant_opportunity(0, 1) == 4
+
+    def test_zero_slot_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TdmaArbiter(2, slot_cycles=0)
+
+
+class TestMakeArbiter:
+    @pytest.mark.parametrize(
+        "policy, expected",
+        [
+            ("round_robin", RoundRobinArbiter),
+            ("fifo", FifoArbiter),
+            ("fixed_priority", FixedPriorityArbiter),
+            ("tdma", TdmaArbiter),
+        ],
+    )
+    def test_factory_builds_requested_policy(self, policy, expected):
+        arbiter = make_arbiter(BusConfig(arbitration=policy), num_ports=4)
+        assert isinstance(arbiter, expected)
+        assert arbiter.num_ports == 4
+
+    def test_tdma_slot_taken_from_config(self):
+        arbiter = make_arbiter(BusConfig(arbitration="tdma", tdma_slot=12), num_ports=2)
+        assert arbiter.slot_cycles == 12

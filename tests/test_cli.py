@@ -1,0 +1,71 @@
+"""Unit tests for the repro-bounds command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_derive_ubd_defaults(self):
+        args = build_parser().parse_args(["derive-ubd"])
+        assert args.command == "derive-ubd"
+        assert args.preset == "ref"
+        assert args.k_max == 60
+        assert args.instruction_type == "load"
+
+    def test_preset_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--preset", "p4080", "derive-ubd"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_synchrony_options(self):
+        args = build_parser().parse_args(["--preset", "var", "synchrony", "--iterations", "5"])
+        assert args.preset == "var"
+        assert args.iterations == 5
+
+    def test_campaign_options(self):
+        args = build_parser().parse_args(["campaign", "--workloads", "2", "--seed", "9"])
+        assert args.workloads == 2
+        assert args.seed == 9
+
+
+class TestCommands:
+    def test_derive_ubd_on_small_preset(self, capsys):
+        exit_code = main(
+            [
+                "--preset",
+                "small",
+                "derive-ubd",
+                "--k-max",
+                "14",
+                "--iterations",
+                "15",
+                "--show-sweep",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "ubdm = 6 cycles" in output
+        assert "[PASS] bus_saturation" in output
+        assert "dbus" in output
+
+    def test_synchrony_on_small_preset(self, capsys):
+        exit_code = main(["--preset", "small", "synchrony", "--iterations", "40"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "analytical ubd = 6" in output
+        assert "gamma=" in output
+
+    def test_campaign_on_small_preset(self, capsys):
+        exit_code = main(
+            ["--preset", "small", "campaign", "--workloads", "2", "--iterations", "5"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "EEMBC-like" in output
+        assert "contenders=" in output

@@ -1,0 +1,113 @@
+"""Unit tests for the DRAM timing model (DRAMsim2 substitute)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DramConfig
+from repro.errors import SimulationError
+from repro.sim.dram import Dram
+
+
+def make_dram(**kwargs) -> Dram:
+    return Dram(DramConfig(**kwargs))
+
+
+class TestAddressMapping:
+    def test_same_row_same_bank(self):
+        dram = make_dram()
+        assert dram.bank_of(0x0000) == dram.bank_of(0x0040)
+        assert dram.row_of(0x0000) == dram.row_of(0x0040)
+
+    def test_consecutive_rows_interleave_banks(self):
+        dram = make_dram(num_banks=4, row_size_bytes=4096)
+        banks = {dram.bank_of(row * 4096) for row in range(4)}
+        assert banks == {0, 1, 2, 3}
+
+    def test_row_index_advances_every_num_banks_rows(self):
+        dram = make_dram(num_banks=4, row_size_bytes=4096)
+        assert dram.row_of(0) == 0
+        assert dram.row_of(4 * 4096) == 1
+
+
+class TestAccessTiming:
+    def test_first_access_pays_activation(self):
+        dram = make_dram()
+        access = dram.access(0x0, cycle=0)
+        assert access.category == "empty"
+        assert access.complete_cycle == dram.config.t_rcd + dram.config.row_hit_latency
+
+    def test_row_hit_is_cheaper(self):
+        dram = make_dram()
+        dram.access(0x0, cycle=0)
+        hit = dram.access(0x40, cycle=100)
+        assert hit.category == "hit"
+        assert hit.complete_cycle - hit.issue_cycle == dram.config.row_hit_latency
+
+    def test_row_conflict_pays_precharge_and_activate(self):
+        dram = make_dram(num_banks=1)
+        dram.access(0x0, cycle=0)
+        conflict = dram.access(0x2000, cycle=100)
+        assert conflict.category == "conflict"
+        assert conflict.complete_cycle - conflict.issue_cycle == dram.config.row_miss_latency
+
+    def test_same_bank_accesses_serialise(self):
+        dram = make_dram(num_banks=1)
+        first = dram.access(0x0, cycle=0)
+        second = dram.access(0x40, cycle=0)
+        assert second.issue_cycle == first.complete_cycle
+
+    def test_different_banks_overlap(self):
+        dram = make_dram(num_banks=4, row_size_bytes=4096)
+        first = dram.access(0x0000, cycle=0)
+        second = dram.access(0x1000, cycle=0)
+        assert second.issue_cycle == 0
+        assert first.bank != second.bank
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(SimulationError):
+            make_dram().access(0x0, cycle=-1)
+
+    def test_bank_busy_until(self):
+        dram = make_dram()
+        access = dram.access(0x0, cycle=0)
+        assert dram.bank_busy_until(access.bank) == access.complete_cycle
+
+    def test_bank_busy_until_invalid_bank(self):
+        with pytest.raises(SimulationError):
+            make_dram(num_banks=2).bank_busy_until(5)
+
+
+class TestStatsAndReset:
+    def test_read_write_counters(self):
+        dram = make_dram()
+        dram.access(0x0, cycle=0, is_write=False)
+        dram.access(0x40, cycle=10, is_write=True)
+        assert dram.stats.reads == 1
+        assert dram.stats.writes == 1
+        assert dram.stats.accesses == 2
+
+    def test_row_hit_rate(self):
+        dram = make_dram()
+        dram.access(0x0, cycle=0)
+        dram.access(0x40, cycle=10)
+        dram.access(0x80, cycle=20)
+        assert dram.stats.row_hit_rate == pytest.approx(2 / 3)
+
+    def test_row_hit_rate_empty(self):
+        assert make_dram().stats.row_hit_rate == 0.0
+
+    def test_open_rows_view(self):
+        dram = make_dram(num_banks=2)
+        dram.access(0x0, cycle=0)
+        rows = dram.open_rows()
+        assert rows[dram.bank_of(0x0)] == dram.row_of(0x0)
+
+    def test_reset_closes_rows_but_keeps_stats(self):
+        dram = make_dram()
+        dram.access(0x0, cycle=0)
+        dram.reset()
+        assert all(row is None for row in dram.open_rows().values())
+        assert dram.stats.accesses == 1
+        # After a reset the next access pays activation again.
+        assert dram.access(0x0, cycle=100).category == "empty"

@@ -1,0 +1,103 @@
+"""Integration tests: the synchrony effect on the paper's platforms (Section 3, Figure 6(b)).
+
+These tests run the actual cycle-level simulator on the ``ref`` and ``var``
+NGMP-like configurations and check the quantitative claims of the paper:
+
+* under four rsk the bus saturates and (nearly) every request of the observed
+  core suffers the *same* contention delay;
+* that plateau equals ``ubd - delta_rsk``: 26 cycles on ``ref`` and 23 on
+  ``var`` — both strictly below the true ``ubd`` of 27;
+* Equation 2 predicts the measured contention delay for arbitrary injection
+  times enforced through rsk-nop kernels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.contention import contention_histogram, injection_time_histogram
+from repro.analysis.model import gamma_of_delta
+from repro.config import reference_config, variant_config
+from repro.kernels.rsk import build_rsk, build_rsk_nop
+from repro.methodology.experiment import ExperimentRunner
+
+
+def contended_histogram(config, iterations=100):
+    runner = ExperimentRunner(config)
+    scua = build_rsk(config, 0, iterations=iterations)
+    contended = runner.run_against_rsk(scua, trace=True)
+    return contention_histogram(contended.trace, 0), contended
+
+
+class TestSynchronyPlateau:
+    def test_reference_platform_plateau_is_26(self):
+        """Figure 6(b), ref bars: ubdm = 26 < ubd = 27."""
+        config = reference_config()
+        histogram, _ = contended_histogram(config)
+        assert histogram.mode == 26
+        assert histogram.max_observed == 26
+        assert histogram.fraction_at_mode() > 0.95
+
+    def test_variant_platform_plateau_is_23(self):
+        """Figure 6(b), var bars: ubdm = 23 < ubd = 27."""
+        config = variant_config()
+        histogram, _ = contended_histogram(config)
+        assert histogram.mode == 23
+        assert histogram.max_observed == 23
+        assert histogram.fraction_at_mode() > 0.95
+
+    def test_plateau_depends_on_injection_time_not_on_ubd(self):
+        """Both platforms share ubd = 27, yet their measured plateaus differ —
+        the reason the naive measurement is untrustworthy."""
+        ref_histogram, _ = contended_histogram(reference_config())
+        var_histogram, _ = contended_histogram(variant_config())
+        assert reference_config().ubd == variant_config().ubd
+        assert ref_histogram.mode != var_histogram.mode
+
+    def test_bus_is_saturated_during_the_experiment(self):
+        _, contended = contended_histogram(reference_config(), iterations=60)
+        assert contended.bus_utilisation > 0.99
+
+    def test_rsk_injection_times_equal_dl1_latency(self):
+        for config, expected in ((reference_config(), 1), (variant_config(), 4)):
+            runner = ExperimentRunner(config)
+            scua = build_rsk(config, 0, iterations=60)
+            contended = runner.run_against_rsk(scua, trace=True)
+            deltas = injection_time_histogram(contended.trace, 0)
+            assert max(deltas, key=deltas.get) == expected
+
+
+class TestEquation2OnSimulator:
+    @pytest.mark.parametrize("k", [0, 1, 5, 12, 25, 26, 27, 40, 53, 54])
+    def test_gamma_matches_equation2_for_enforced_injection_times(self, k):
+        """rsk-nop(k) makes every request suffer gamma(delta_rsk + k) exactly."""
+        config = reference_config()
+        runner = ExperimentRunner(config)
+        scua = build_rsk_nop(config, 0, k=k, iterations=40)
+        contended = runner.run_against_rsk(scua, trace=True)
+        histogram = contention_histogram(contended.trace, 0)
+        delta = config.dl1.hit_latency + k
+        assert histogram.mode == gamma_of_delta(delta, config.ubd)
+        assert histogram.fraction_at_mode() > 0.9
+
+    def test_variant_platform_also_follows_equation2(self):
+        config = variant_config()
+        runner = ExperimentRunner(config)
+        for k in (0, 3, 10, 23):
+            scua = build_rsk_nop(config, 0, k=k, iterations=30)
+            contended = runner.run_against_rsk(scua, trace=True)
+            histogram = contention_histogram(contended.trace, 0)
+            delta = config.dl1.hit_latency + k
+            assert histogram.mode == gamma_of_delta(delta, config.ubd)
+
+    def test_per_request_slowdown_equals_modal_gamma(self):
+        """Execution-time slowdown per request equals the per-request gamma,
+        tying the trace-level and execution-time-level views together."""
+        config = reference_config()
+        runner = ExperimentRunner(config)
+        scua = build_rsk_nop(config, 0, k=7, iterations=50)
+        isolation = runner.run_isolation(scua)
+        contended = runner.run_against_rsk(scua, trace=True)
+        histogram = contention_histogram(contended.trace, 0)
+        per_request = contended.slowdown_versus(isolation) / isolation.bus_requests
+        assert per_request == pytest.approx(histogram.mode, abs=0.2)

@@ -1,0 +1,142 @@
+"""Unit tests for the rsk / rsk-nop / nop kernel generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import reference_config, small_config
+from repro.errors import ProgramError
+from repro.kernels.rsk import (
+    build_nop_kernel,
+    build_rsk,
+    build_rsk_nop,
+    rsk_request_count,
+)
+from repro.sim.isa import Alu, Load, Nop, Store
+from repro.sim.system import System
+
+
+@pytest.fixture(scope="module")
+def ref():
+    return reference_config()
+
+
+class TestBuildRsk:
+    def test_body_has_w_plus_one_memory_operations(self, ref):
+        program = build_rsk(ref, 0, iterations=10)
+        assert program.body_length == ref.dl1.ways + 1
+        assert all(isinstance(instr, Load) for instr in program.body)
+
+    def test_store_variant(self, ref):
+        program = build_rsk(ref, 0, kind="store", iterations=10)
+        assert all(isinstance(instr, Store) for instr in program.body)
+
+    def test_unknown_kind_rejected(self, ref):
+        with pytest.raises(ProgramError):
+            build_rsk(ref, 0, kind="atomic")
+
+    def test_contender_is_infinite_by_default(self, ref):
+        assert build_rsk(ref, 1).is_infinite
+
+    def test_addresses_map_to_one_dl1_set(self, ref):
+        program = build_rsk(ref, 0, iterations=1)
+        shift = ref.dl1.line_size.bit_length() - 1
+        sets = {(instr.addr >> shift) & (ref.dl1.num_sets - 1) for instr in program.body}
+        assert len(sets) == 1
+
+    def test_cores_use_disjoint_addresses(self, ref):
+        a = build_rsk(ref, 0, iterations=1)
+        b = build_rsk(ref, 1, iterations=1)
+        assert a.data_lines(32).isdisjoint(b.data_lines(32))
+        assert a.base_pc != b.base_pc
+
+    def test_loop_control_overhead_appends_alu(self, ref):
+        program = build_rsk(ref, 0, iterations=1, loop_control_overhead=2)
+        assert isinstance(program.body[-1], Alu)
+        assert program.body[-1].latency == 2
+
+    def test_extra_conflict_lines_must_be_positive(self, ref):
+        with pytest.raises(ProgramError):
+            build_rsk(ref, 0, extra_conflict_lines=0)
+
+    def test_rsk_always_misses_dl1_and_hits_l2(self, ref):
+        """The defining property from Section 2 of the paper."""
+        program = build_rsk(ref, 0, iterations=20)
+        system = System(ref, [program], preload_il1=True, preload_l2=True)
+        result = system.run()
+        core = system.cores[0]
+        assert core.dl1.stats.read_hits == 0
+        assert result.pmc.dram_accesses == 0
+        assert result.pmc.core[0].bus_requests == rsk_request_count(program)
+
+
+class TestBuildRskNop:
+    def test_nops_inserted_after_each_memory_operation(self, ref):
+        program = build_rsk_nop(ref, 0, k=3, iterations=5)
+        memory_ops = ref.dl1.ways + 1
+        assert program.body_length == memory_ops * (1 + 3)
+        nops = sum(1 for instr in program.body if isinstance(instr, Nop))
+        assert nops == memory_ops * 3
+
+    def test_k_zero_reduces_to_plain_rsk_body(self, ref):
+        plain = build_rsk(ref, 0, iterations=5)
+        with_nop = build_rsk_nop(ref, 0, k=0, iterations=5)
+        assert with_nop.body == plain.body
+
+    def test_negative_k_rejected(self, ref):
+        with pytest.raises(ProgramError):
+            build_rsk_nop(ref, 0, k=-1)
+
+    def test_must_be_finite(self, ref):
+        with pytest.raises(ProgramError):
+            build_rsk_nop(ref, 0, k=1, iterations=0)
+
+    def test_store_variant_with_nops(self, ref):
+        program = build_rsk_nop(ref, 0, kind="store", k=2, iterations=5)
+        stores = sum(1 for instr in program.body if isinstance(instr, Store))
+        assert stores == ref.dl1.ways + 1
+
+    def test_request_count_independent_of_k(self, ref):
+        for k in (0, 1, 10):
+            program = build_rsk_nop(ref, 0, k=k, iterations=7)
+            assert rsk_request_count(program) == 7 * (ref.dl1.ways + 1)
+
+    def test_name_mentions_k_and_kind(self, ref):
+        program = build_rsk_nop(ref, 2, kind="store", k=4, iterations=1)
+        assert "store" in program.name
+        assert "k=4" in program.name
+        assert "core2" in program.name
+
+
+class TestBuildNopKernel:
+    def test_body_is_all_nops(self, ref):
+        program = build_nop_kernel(ref, 0, iterations=2)
+        assert all(isinstance(instr, Nop) for instr in program.body)
+
+    def test_body_fits_in_il1(self, ref):
+        program = build_nop_kernel(ref, 0, iterations=1)
+        code_bytes = program.body_length * 4
+        assert code_bytes < ref.il1.size_bytes
+
+    def test_fraction_bounds_enforced(self, ref):
+        with pytest.raises(ProgramError):
+            build_nop_kernel(ref, 0, body_fraction_of_il1=1.5)
+
+    def test_iterations_must_be_positive(self, ref):
+        with pytest.raises(ProgramError):
+            build_nop_kernel(ref, 0, iterations=0)
+
+
+class TestRequestCount:
+    def test_counts_dynamic_memory_operations(self, ref):
+        program = build_rsk(ref, 0, iterations=12)
+        assert rsk_request_count(program) == 12 * (ref.dl1.ways + 1)
+
+    def test_infinite_program_rejected(self, ref):
+        with pytest.raises(ProgramError):
+            rsk_request_count(build_rsk(ref, 0))
+
+    def test_small_platform_kernels_also_valid(self):
+        config = small_config()
+        program = build_rsk(config, 0, iterations=4)
+        assert rsk_request_count(program) == 4 * (config.dl1.ways + 1)

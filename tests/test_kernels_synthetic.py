@@ -1,0 +1,138 @@
+"""Unit tests for the synthetic EEMBC-Autobench substitute suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import reference_config
+from repro.errors import ProgramError
+from repro.kernels.synthetic import (
+    SYNTHETIC_KERNELS,
+    SyntheticKernelSpec,
+    build_synthetic_kernel,
+    synthetic_kernel_names,
+)
+from repro.kernels.layout import core_address_space
+from repro.sim.isa import Load, Store
+from repro.sim.system import System
+
+
+@pytest.fixture(scope="module")
+def ref():
+    return reference_config()
+
+
+class TestSuiteDefinition:
+    def test_suite_has_at_least_ten_kernels(self):
+        assert len(SYNTHETIC_KERNELS) >= 10
+
+    def test_names_are_sorted_and_stable(self):
+        names = synthetic_kernel_names()
+        assert list(names) == sorted(names)
+        assert set(names) == set(SYNTHETIC_KERNELS)
+
+    def test_every_spec_is_consistent(self):
+        for spec in SYNTHETIC_KERNELS.values():
+            assert 0 <= spec.load_fraction + spec.store_fraction <= 1
+            assert spec.body_length >= 4
+            assert spec.working_set_bytes >= 64
+
+    def test_suite_spans_cache_resident_and_bus_heavy(self, ref):
+        working_sets = [spec.working_set_bytes for spec in SYNTHETIC_KERNELS.values()]
+        assert min(working_sets) < ref.dl1.size_bytes
+        assert max(working_sets) > ref.dl1.size_bytes
+
+    def test_spec_validation_rejects_bad_fractions(self):
+        with pytest.raises(ProgramError):
+            SyntheticKernelSpec(
+                name="bad",
+                description="",
+                body_length=32,
+                working_set_bytes=1024,
+                load_fraction=0.8,
+                store_fraction=0.5,
+                pattern="random",
+            )
+
+    def test_spec_validation_rejects_unknown_pattern(self):
+        with pytest.raises(ProgramError):
+            SyntheticKernelSpec(
+                name="bad",
+                description="",
+                body_length=32,
+                working_set_bytes=1024,
+                load_fraction=0.1,
+                store_fraction=0.1,
+                pattern="zigzag",
+            )
+
+
+class TestKernelConstruction:
+    def test_unknown_name_rejected(self, ref):
+        with pytest.raises(ProgramError):
+            build_synthetic_kernel(ref, "quake3", 0)
+
+    def test_deterministic_for_same_seed(self, ref):
+        a = build_synthetic_kernel(ref, "a2time", 0, seed=7)
+        b = build_synthetic_kernel(ref, "a2time", 0, seed=7)
+        assert a.body == b.body
+
+    def test_different_seed_changes_random_kernels(self, ref):
+        a = build_synthetic_kernel(ref, "tblook", 0, seed=1)
+        b = build_synthetic_kernel(ref, "tblook", 0, seed=2)
+        assert a.body != b.body
+
+    def test_body_length_matches_spec(self, ref):
+        for name in synthetic_kernel_names():
+            program = build_synthetic_kernel(ref, name, 0)
+            assert program.body_length == SYNTHETIC_KERNELS[name].body_length
+
+    def test_memory_mix_close_to_spec(self, ref):
+        for name in synthetic_kernel_names():
+            spec = SYNTHETIC_KERNELS[name]
+            program = build_synthetic_kernel(ref, name, 0)
+            loads = sum(1 for instr in program.body if isinstance(instr, Load))
+            stores = sum(1 for instr in program.body if isinstance(instr, Store))
+            assert loads == round(spec.body_length * spec.load_fraction)
+            assert stores == round(spec.body_length * spec.store_fraction)
+
+    def test_addresses_stay_in_core_region(self, ref):
+        space = core_address_space(2)
+        program = build_synthetic_kernel(ref, "matrix", 2)
+        for instr in program.body:
+            if isinstance(instr, (Load, Store)):
+                assert space.data_base <= instr.addr < space.data_limit
+
+    def test_iterations_override(self, ref):
+        program = build_synthetic_kernel(ref, "a2time", 0, iterations=3)
+        assert program.iterations == 3
+
+    def test_default_iterations_from_spec(self, ref):
+        program = build_synthetic_kernel(ref, "a2time", 0)
+        assert program.iterations == SYNTHETIC_KERNELS["a2time"].default_iterations
+
+
+class TestKernelBehaviour:
+    def test_cache_resident_kernel_produces_little_bus_traffic(self, ref):
+        program = build_synthetic_kernel(ref, "basefp", 0, iterations=10)
+        system = System(ref, [program], preload_il1=True, preload_l2=True, preload_dl1=True)
+        result = system.run()
+        requests_per_instruction = (
+            result.pmc.core[0].bus_requests / result.instructions[0]
+        )
+        assert requests_per_instruction < 0.05
+
+    def test_bus_heavy_kernel_produces_more_traffic_than_light_one(self, ref):
+        def traffic(name: str) -> float:
+            program = build_synthetic_kernel(ref, name, 0, iterations=10)
+            system = System(ref, [program], preload_il1=True, preload_l2=True, preload_dl1=True)
+            result = system.run()
+            return result.pmc.core[0].bus_requests / result.instructions[0]
+
+        assert traffic("cacheb") > traffic("basefp")
+
+    def test_kernel_runs_to_completion_on_reference_platform(self, ref):
+        program = build_synthetic_kernel(ref, "canrdr", 0, iterations=5)
+        system = System(ref, [program], preload_il1=True, preload_l2=True)
+        result = system.run()
+        assert result.done_cycles[0] is not None

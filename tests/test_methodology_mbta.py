@@ -1,0 +1,94 @@
+"""Unit tests for the MBTA task-set analysis built on top of ubdm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MethodologyError
+from repro.kernels.rsk import build_rsk
+from repro.kernels.synthetic import build_synthetic_kernel
+from repro.methodology.mbta import TaskSetAnalysis, TaskSetResult
+from repro.sim.isa import Nop, Program
+
+
+def small_task_set(config):
+    return [
+        build_rsk(config, 0, iterations=10),
+        Program(name="compute", body=tuple(Nop() for _ in range(30)), iterations=5),
+    ]
+
+
+class TestTaskAnalysis:
+    def test_single_task_fields(self, tiny_config):
+        analysis = TaskSetAnalysis(tiny_config, ubdm=tiny_config.ubd).analyse_task(
+            build_rsk(tiny_config, 0, iterations=10)
+        )
+        assert analysis.requests == 10 * (tiny_config.dl1.ways + 1)
+        assert analysis.etb == analysis.isolation_time + analysis.requests * tiny_config.ubd
+        assert 0.0 < analysis.contention_share < 1.0
+
+    def test_bound_with_true_ubd_holds_under_validation(self, tiny_config):
+        analysis = TaskSetAnalysis(tiny_config, ubdm=tiny_config.ubd).analyse_task(
+            build_rsk(tiny_config, 0, iterations=15)
+        )
+        assert analysis.report.covers_observation is True
+
+    def test_compute_only_task_gets_zero_pad(self, tiny_config):
+        task = Program(name="compute", body=(Nop(),), iterations=20)
+        analysis = TaskSetAnalysis(tiny_config, ubdm=tiny_config.ubd).analyse_task(task)
+        assert analysis.requests == 0
+        assert analysis.report.pad == 0
+        assert analysis.contention_share == 0.0
+
+    def test_validation_can_be_disabled(self, tiny_config):
+        analyzer = TaskSetAnalysis(tiny_config, ubdm=3.0, validate_against_rsk=False)
+        analysis = analyzer.analyse_task(build_rsk(tiny_config, 0, iterations=5))
+        assert analysis.contended_time is None
+        assert analysis.report.covers_observation is None
+
+
+class TestTaskSet:
+    def test_analyse_task_set(self, tiny_config):
+        result = TaskSetAnalysis(tiny_config, ubdm=tiny_config.ubd).analyse(
+            small_task_set(tiny_config)
+        )
+        assert isinstance(result, TaskSetResult)
+        assert len(result.tasks) == 2
+        assert result.all_bounds_hold is True
+
+    def test_all_bounds_hold_is_none_without_validation(self, tiny_config):
+        analyzer = TaskSetAnalysis(tiny_config, ubdm=tiny_config.ubd, validate_against_rsk=False)
+        result = analyzer.analyse(small_task_set(tiny_config))
+        assert result.all_bounds_hold is None
+
+    def test_underestimated_bound_is_flagged(self, tiny_config):
+        """Padding with a too-small ubdm (e.g. from the naive estimator on a
+        sparse scua) can fail to cover the contended observation."""
+        analyzer = TaskSetAnalysis(tiny_config, ubdm=0.5)
+        result = analyzer.analyse([build_rsk(tiny_config, 0, iterations=15)])
+        assert result.all_bounds_hold is False
+
+    def test_empty_task_set_rejected(self, tiny_config):
+        with pytest.raises(MethodologyError):
+            TaskSetAnalysis(tiny_config, ubdm=1.0).analyse([])
+
+    def test_negative_ubdm_rejected(self, tiny_config):
+        with pytest.raises(MethodologyError):
+            TaskSetAnalysis(tiny_config, ubdm=-1.0)
+
+    def test_table_rendering_lists_every_task(self, tiny_config):
+        result = TaskSetAnalysis(tiny_config, ubdm=tiny_config.ubd).analyse(
+            small_task_set(tiny_config)
+        )
+        table = result.as_table()
+        assert "rsk-load" in table
+        assert "compute" in table
+        assert "ETB" in table
+
+    def test_synthetic_tasks_analysable_on_reference_platform(self, ref_config):
+        tasks = [
+            build_synthetic_kernel(ref_config, "canrdr", 0, iterations=5),
+            build_synthetic_kernel(ref_config, "rspeed", 0, iterations=5),
+        ]
+        result = TaskSetAnalysis(ref_config, ubdm=ref_config.ubd).analyse(tasks)
+        assert result.all_bounds_hold is True

@@ -1,0 +1,65 @@
+"""Unit tests for the naive det/nr estimator (the prior-art baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MethodologyError
+from repro.kernels.rsk import build_rsk
+from repro.methodology.naive import NaiveEstimate, NaiveUbdEstimator
+from repro.sim.isa import Nop, Program
+
+
+class TestNaiveEstimator:
+    def test_estimate_with_rsk_as_scua(self, tiny_config):
+        estimator = NaiveUbdEstimator(tiny_config)
+        estimate = estimator.estimate_with_rsk_as_scua(iterations=20)
+        assert estimate.requests == 20 * (tiny_config.dl1.ways + 1)
+        assert estimate.det == estimate.contended_time - estimate.isolation_time
+        assert estimate.ubdm == pytest.approx(estimate.det / estimate.requests)
+
+    def test_naive_estimate_underestimates_true_ubd(self, tiny_config):
+        """The paper's core negative result (Sections 3.1/3.2)."""
+        estimator = NaiveUbdEstimator(tiny_config)
+        estimate = estimator.estimate_with_rsk_as_scua(iterations=30)
+        assert estimate.ubdm < tiny_config.ubd
+        assert estimate.underestimation_versus(tiny_config.ubd) > 0
+
+    def test_naive_estimate_close_to_ubd_minus_delta_rsk(self, tiny_config):
+        """Under the synchrony effect every request sees gamma(delta_rsk)."""
+        estimator = NaiveUbdEstimator(tiny_config)
+        estimate = estimator.estimate_with_rsk_as_scua(iterations=40)
+        expected = tiny_config.ubd - tiny_config.dl1.hit_latency
+        assert estimate.ubdm == pytest.approx(expected, abs=0.3)
+
+    def test_reference_platform_naive_value_is_26(self, ref_config):
+        """Figure 6(b): the measured plateau on ref is 26, one below ubd = 27."""
+        estimator = NaiveUbdEstimator(ref_config)
+        estimate = estimator.estimate_with_rsk_as_scua(iterations=40)
+        assert estimate.ubdm == pytest.approx(26.0, abs=0.3)
+
+    def test_variant_platform_naive_value_is_23(self, var_config):
+        """Figure 6(b): the measured plateau on var is 23."""
+        estimator = NaiveUbdEstimator(var_config)
+        estimate = estimator.estimate_with_rsk_as_scua(iterations=40)
+        assert estimate.ubdm == pytest.approx(23.0, abs=0.3)
+
+    def test_arbitrary_scua_accepted(self, tiny_config):
+        estimator = NaiveUbdEstimator(tiny_config)
+        scua = build_rsk(tiny_config, 0, iterations=10)
+        estimate = estimator.estimate(scua)
+        assert isinstance(estimate, NaiveEstimate)
+        assert estimate.scua_name == scua.name
+
+    def test_scua_without_bus_requests_rejected(self, tiny_config):
+        estimator = NaiveUbdEstimator(tiny_config)
+        scua = Program(name="pure-compute", body=(Nop(),), iterations=10)
+        with pytest.raises(MethodologyError):
+            estimator.estimate(scua)
+
+    def test_naive_depends_on_platform_injection_time(self, ref_config, var_config):
+        """The naive value moves with delta_rsk, which is exactly why it is
+        not a trustworthy approximation of the (platform-invariant) ubd."""
+        ref_estimate = NaiveUbdEstimator(ref_config).estimate_with_rsk_as_scua(iterations=30)
+        var_estimate = NaiveUbdEstimator(var_config).estimate_with_rsk_as_scua(iterations=30)
+        assert ref_estimate.ubdm > var_estimate.ubdm

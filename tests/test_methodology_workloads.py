@@ -1,0 +1,94 @@
+"""Unit tests for the random multiprogrammed workload campaign (Figure 6(a))."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MethodologyError
+from repro.kernels.synthetic import synthetic_kernel_names
+from repro.methodology.workloads import (
+    WorkloadCampaignResult,
+    random_workloads,
+    run_rsk_reference_workload,
+    run_workload_campaign,
+)
+
+
+class TestRandomWorkloads:
+    def test_sizes_respected(self):
+        workloads = random_workloads(8, 4, seed=1)
+        assert len(workloads) == 8
+        assert all(len(workload) == 4 for workload in workloads)
+
+    def test_deterministic_for_seed(self):
+        assert random_workloads(5, 4, seed=3) == random_workloads(5, 4, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert random_workloads(5, 4, seed=3) != random_workloads(5, 4, seed=4)
+
+    def test_names_come_from_pool(self):
+        pool = ("a2time", "matrix")
+        workloads = random_workloads(4, 3, seed=0, names=pool)
+        assert all(name in pool for workload in workloads for name in workload)
+
+    def test_default_pool_is_full_suite(self):
+        workloads = random_workloads(30, 4, seed=0)
+        used = {name for workload in workloads for name in workload}
+        assert used.issubset(set(synthetic_kernel_names()))
+        assert len(used) > 5
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(MethodologyError):
+            random_workloads(0, 4)
+        with pytest.raises(MethodologyError):
+            random_workloads(4, 0)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(MethodologyError):
+            random_workloads(1, 1, names=())
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def campaign(self, request):
+        from repro.config import reference_config
+
+        return run_workload_campaign(
+            reference_config(), num_workloads=3, observed_iterations=8, seed=7
+        )
+
+    def test_campaign_runs_requested_number_of_workloads(self, campaign):
+        assert isinstance(campaign, WorkloadCampaignResult)
+        assert len(campaign.runs) == 3
+
+    def test_every_run_has_a_histogram(self, campaign):
+        for run in campaign.runs:
+            assert run.histogram.total_requests > 0
+            assert run.execution_time > 0
+
+    def test_real_workloads_mostly_find_an_idle_bus(self, campaign):
+        """The dark bars of Figure 6(a): bus empty or one contender most of the time."""
+        assert campaign.fraction_with_at_most(1) > 0.5
+
+    def test_aggregated_counts_sum_over_runs(self, campaign):
+        total = sum(campaign.aggregated_counts().values())
+        assert total == sum(run.histogram.total_requests for run in campaign.runs)
+
+    def test_campaign_on_small_platform_runs(self, tiny_config):
+        campaign = run_workload_campaign(
+            tiny_config, num_workloads=2, observed_iterations=4, seed=1
+        )
+        assert len(campaign.runs) == 2
+
+
+class TestRskReferenceWorkload:
+    def test_rsk_workload_finds_all_contenders_ready(self, ref_config):
+        """The light bars of Figure 6(a): with 4 rsk nearly every request sees
+        all other cores contending."""
+        run = run_rsk_reference_workload(ref_config, iterations=100)
+        assert run.histogram.fraction_with(ref_config.num_cores - 1) > 0.95
+        assert run.bus_utilisation > 0.95
+
+    def test_rsk_workload_on_small_platform(self, tiny_config):
+        run = run_rsk_reference_workload(tiny_config, iterations=50)
+        assert run.histogram.fraction_with(tiny_config.num_cores - 1) > 0.9

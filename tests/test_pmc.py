@@ -1,0 +1,91 @@
+"""Unit tests for the performance monitoring counter block."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.pmc import CoreCounters, PerformanceCounters
+
+
+class TestCoreCounters:
+    def test_as_dict_roundtrip(self):
+        counters = CoreCounters(instructions=5, loads=2, bus_requests=3)
+        data = counters.as_dict()
+        assert data["instructions"] == 5
+        assert data["loads"] == 2
+        assert data["bus_requests"] == 3
+
+
+class TestPerformanceCounters:
+    def test_one_counter_set_per_core(self):
+        pmc = PerformanceCounters(num_cores=3)
+        assert len(pmc.core) == 3
+
+    def test_note_bus_service_updates_core_and_global(self):
+        pmc = PerformanceCounters(num_cores=2)
+        pmc.note_bus_service(port=1, service_cycles=9, wait_cycles=4)
+        assert pmc.bus_busy_cycles == 9
+        assert pmc.core[1].bus_requests == 1
+        assert pmc.core[1].bus_busy_cycles == 9
+        assert pmc.core[1].contention_cycles == 4
+
+    def test_note_bus_service_ignores_out_of_range_port(self):
+        pmc = PerformanceCounters(num_cores=2)
+        pmc.note_bus_service(port=5, service_cycles=9, wait_cycles=0)
+        assert pmc.bus_busy_cycles == 9
+        assert pmc.total_requests() == 0
+
+    def test_note_instruction_classifies_mnemonics(self):
+        pmc = PerformanceCounters(num_cores=1)
+        for mnemonic in ("load", "store", "nop", "alu"):
+            pmc.note_instruction(0, mnemonic)
+        counters = pmc.core[0]
+        assert counters.instructions == 4
+        assert counters.loads == 1
+        assert counters.stores == 1
+        assert counters.nops == 1
+
+    def test_bus_utilisation(self):
+        pmc = PerformanceCounters(num_cores=1)
+        pmc.cycles = 100
+        pmc.bus_busy_cycles = 50
+        assert pmc.bus_utilisation() == pytest.approx(0.5)
+
+    def test_bus_utilisation_clamped_to_one(self):
+        pmc = PerformanceCounters(num_cores=1)
+        pmc.cycles = 10
+        pmc.bus_busy_cycles = 15
+        assert pmc.bus_utilisation() == 1.0
+
+    def test_bus_utilisation_zero_cycles(self):
+        assert PerformanceCounters(num_cores=1).bus_utilisation() == 0.0
+
+    def test_core_bus_utilisation(self):
+        pmc = PerformanceCounters(num_cores=2)
+        pmc.cycles = 100
+        pmc.note_bus_service(0, 25, 0)
+        assert pmc.core_bus_utilisation(0) == pytest.approx(0.25)
+        assert pmc.core_bus_utilisation(1) == 0.0
+
+    def test_average_contention(self):
+        pmc = PerformanceCounters(num_cores=1)
+        pmc.note_bus_service(0, 9, 10)
+        pmc.note_bus_service(0, 9, 20)
+        assert pmc.average_contention(0) == pytest.approx(15.0)
+
+    def test_average_contention_with_no_requests(self):
+        assert PerformanceCounters(num_cores=1).average_contention(0) == 0.0
+
+    def test_total_requests(self):
+        pmc = PerformanceCounters(num_cores=2)
+        pmc.note_bus_service(0, 9, 0)
+        pmc.note_bus_service(1, 9, 0)
+        assert pmc.total_requests() == 2
+
+    def test_as_dict_structure(self):
+        pmc = PerformanceCounters(num_cores=2)
+        pmc.cycles = 10
+        data = pmc.as_dict()
+        assert data["cycles"] == 10
+        assert len(data["cores"]) == 2
+        assert "bus_utilisation" in data

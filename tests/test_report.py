@@ -1,0 +1,74 @@
+"""Unit tests for the ASCII table and histogram renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.report.histogram import render_histogram
+from repro.report.tables import render_series, render_table
+
+
+class TestRenderTable:
+    def test_headers_and_rows_present(self):
+        text = render_table(["k", "dbus"], [[1, 100], [2, 75]])
+        lines = text.splitlines()
+        assert "k" in lines[0] and "dbus" in lines[0]
+        assert len(lines) == 4  # header + separator + 2 rows
+
+    def test_numeric_cells_right_aligned(self):
+        text = render_table(["name", "cycles"], [["rsk", 5], ["rsk-nop", 12345]])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("    5")
+        assert rows[1].endswith("12345")
+
+    def test_column_width_expands_to_fit(self):
+        text = render_table(["x"], [["a-very-long-cell"]])
+        assert "a-very-long-cell" in text
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_allowed(self):
+        text = render_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestRenderSeries:
+    def test_two_columns(self):
+        text = render_series([1, 2], [10, 20], x_label="k", y_label="dbus")
+        assert "k" in text and "dbus" in text
+        assert "10" in text and "20" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_series([1, 2], [1])
+
+
+class TestRenderHistogram:
+    def test_bars_scale_with_counts(self):
+        text = render_histogram({0: 10, 1: 5}, label="contenders")
+        lines = text.splitlines()
+        assert lines[0].count("#") == 50
+        assert lines[1].count("#") == 25
+
+    def test_title_printed_first(self):
+        text = render_histogram({1: 1}, title="Figure 6(a)")
+        assert text.splitlines()[0] == "Figure 6(a)"
+
+    def test_percentages_sum_sensibly(self):
+        text = render_histogram({0: 1, 1: 1})
+        assert text.count("( 50.0%)") == 2
+
+    def test_empty_histogram(self):
+        assert "(empty histogram)" in render_histogram({})
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            render_histogram({0: 1}, width=0)
+
+    def test_values_sorted(self):
+        text = render_histogram({3: 1, 0: 1, 2: 1})
+        lines = text.splitlines()
+        assert lines[0].startswith("value=   0")
+        assert lines[-1].startswith("value=   3")

@@ -1,0 +1,111 @@
+"""Unit tests for the per-core store buffer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import StoreBufferConfig
+from repro.errors import SimulationError
+from repro.sim.store_buffer import StoreBuffer
+
+
+def make_buffer(entries: int = 2) -> StoreBuffer:
+    return StoreBuffer(StoreBufferConfig(entries=entries), core_id=0)
+
+
+class TestPush:
+    def test_push_until_full(self):
+        buffer = make_buffer(entries=2)
+        assert buffer.try_push(0x100, 0)
+        assert buffer.try_push(0x120, 1)
+        assert buffer.is_full()
+        assert not buffer.try_push(0x140, 2)
+        assert buffer.full_rejections == 1
+
+    def test_occupancy_and_empty(self):
+        buffer = make_buffer()
+        assert buffer.is_empty()
+        buffer.try_push(0x100, 0)
+        assert buffer.occupancy() == 1
+        assert not buffer.is_empty()
+
+    def test_total_enqueued_counter(self):
+        buffer = make_buffer(entries=4)
+        for index in range(3):
+            buffer.try_push(index * 0x20, index)
+        assert buffer.total_enqueued == 3
+
+
+class TestForwarding:
+    def test_forwards_same_line(self):
+        buffer = make_buffer()
+        buffer.try_push(0x100, 0)
+        assert buffer.forwards(0x104, line_size=32)
+
+    def test_does_not_forward_other_line(self):
+        buffer = make_buffer()
+        buffer.try_push(0x100, 0)
+        assert not buffer.forwards(0x140, line_size=32)
+
+    def test_empty_buffer_never_forwards(self):
+        assert not make_buffer().forwards(0x100, line_size=32)
+
+
+class TestDraining:
+    def test_head_ready_then_issue_then_complete(self):
+        buffer = make_buffer()
+        buffer.try_push(0x100, 0)
+        entry = buffer.head_ready_to_issue()
+        assert entry is not None and entry.addr == 0x100
+        buffer.mark_head_issued()
+        assert buffer.head_in_flight
+        assert buffer.head_ready_to_issue() is None
+        popped = buffer.complete_head(10)
+        assert popped.addr == 0x100
+        assert buffer.is_empty()
+        assert buffer.total_drained == 1
+
+    def test_fifo_drain_order(self):
+        buffer = make_buffer(entries=3)
+        for index in range(3):
+            buffer.try_push(index * 0x40, index)
+        drained = []
+        for _ in range(3):
+            buffer.mark_head_issued()
+            drained.append(buffer.complete_head(0).addr)
+        assert drained == [0x00, 0x40, 0x80]
+
+    def test_issue_without_entries_raises(self):
+        with pytest.raises(SimulationError):
+            make_buffer().mark_head_issued()
+
+    def test_double_issue_raises(self):
+        buffer = make_buffer()
+        buffer.try_push(0x100, 0)
+        buffer.mark_head_issued()
+        with pytest.raises(SimulationError):
+            buffer.mark_head_issued()
+
+    def test_complete_without_issue_raises(self):
+        buffer = make_buffer()
+        buffer.try_push(0x100, 0)
+        with pytest.raises(SimulationError):
+            buffer.complete_head(0)
+
+    def test_slot_frees_after_completion(self):
+        buffer = make_buffer(entries=1)
+        buffer.try_push(0x100, 0)
+        assert not buffer.try_push(0x140, 1)
+        buffer.mark_head_issued()
+        buffer.complete_head(5)
+        assert buffer.try_push(0x140, 6)
+
+
+class TestReset:
+    def test_reset_drops_entries(self):
+        buffer = make_buffer()
+        buffer.try_push(0x100, 0)
+        buffer.mark_head_issued()
+        buffer.reset()
+        assert buffer.is_empty()
+        assert not buffer.head_in_flight
