@@ -37,6 +37,25 @@ def artifact_dir() -> Path:
 
 
 @pytest.fixture(scope="session")
+def campaign_runner():
+    """Shared campaign runner for figure sweeps (see ``repro.campaign``).
+
+    ``REPRO_BENCH_JOBS`` sets the worker-process count (default: one per
+    CPU, capped at 4); serial and parallel execution produce bit-identical
+    figures.  ``REPRO_BENCH_CACHE=1`` additionally persists per-run results
+    under ``benchmarks/out/.cache`` so re-generating an unchanged figure
+    skips its simulations.
+    """
+    from repro.campaign import ParallelRunner, ResultCache
+
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", min(4, os.cpu_count() or 1)))
+    cache = None
+    if os.environ.get("REPRO_BENCH_CACHE", "0") == "1":
+        cache = ResultCache(OUTPUT_DIR / ".cache")
+    return ParallelRunner(jobs=max(1, jobs), cache=cache)
+
+
+@pytest.fixture(scope="session")
 def quick_mode() -> bool:
     """Reduce workload sizes when REPRO_BENCH_QUICK=1 is set.
 

@@ -23,25 +23,28 @@ from repro.report.tables import render_table
 from .conftest import write_artifact
 
 
-def run_campaigns(num_workloads: int, observed_iterations: int, rsk_iterations: int):
+def run_campaigns(
+    num_workloads: int, observed_iterations: int, rsk_iterations: int, runner
+):
     config = reference_config()
     eembc_like = run_workload_campaign(
         config,
         num_workloads=num_workloads,
         observed_iterations=observed_iterations,
         seed=2015,
+        runner=runner,
     )
     rsk = run_rsk_reference_workload(config, iterations=rsk_iterations)
     return eembc_like, rsk
 
 
-def test_fig6a_contender_histograms(benchmark, artifact_dir, quick_mode):
+def test_fig6a_contender_histograms(benchmark, artifact_dir, quick_mode, campaign_runner):
     num_workloads = 3 if quick_mode else 8
     observed_iterations = 10 if quick_mode else 25
     rsk_iterations = 100 if quick_mode else 300
     eembc_like, rsk = benchmark.pedantic(
         run_campaigns,
-        args=(num_workloads, observed_iterations, rsk_iterations),
+        args=(num_workloads, observed_iterations, rsk_iterations, campaign_runner),
         rounds=1,
         iterations=1,
     )

@@ -1,0 +1,71 @@
+"""Parallel experiment-campaign engine with JSON artifacts.
+
+The paper's evaluation is built on *campaigns*: large sweeps of
+isolation-versus-contended simulation runs over workloads, contender counts,
+arbiters and seeds.  This package makes such sweeps declarative, parallel
+and cached:
+
+* :class:`CampaignSpec` / :class:`RunDescriptor` — declare the grid of runs
+  (:mod:`repro.campaign.spec`);
+* :class:`ParallelRunner` / :func:`execute_run` — execute descriptors over a
+  process pool with deterministic, order-independent results
+  (:mod:`repro.campaign.runner`);
+* :class:`ResultCache` — content-addressed cache so re-runs only simulate
+  what changed (:mod:`repro.campaign.cache`);
+* :func:`write_campaign_artifacts` / :func:`load_campaign` — the
+  ``results.jsonl`` / ``summary.json`` artifact layer
+  (:mod:`repro.campaign.artifacts`).
+
+The CLI front-end is ``repro-bounds campaign --jobs N --out DIR``; the
+report renderer lives in :mod:`repro.report.campaign`.
+"""
+
+from .artifacts import (
+    CampaignArtifacts,
+    RESULTS_NAME,
+    SUMMARY_NAME,
+    load_campaign,
+    load_results,
+    load_summary,
+    write_campaign_artifacts,
+)
+from .cache import ResultCache
+from .runner import (
+    CampaignOutcome,
+    ParallelRunner,
+    execute_run,
+    histogram_from_json,
+    summarize_records,
+    workload_run_from_record,
+)
+from .spec import (
+    KIND_RSK,
+    KIND_SYNTHETIC,
+    SCHEMA_VERSION,
+    CampaignSpec,
+    RunDescriptor,
+    workload_campaign_descriptors,
+)
+
+__all__ = [
+    "CampaignArtifacts",
+    "CampaignOutcome",
+    "CampaignSpec",
+    "KIND_RSK",
+    "KIND_SYNTHETIC",
+    "ParallelRunner",
+    "RESULTS_NAME",
+    "ResultCache",
+    "RunDescriptor",
+    "SCHEMA_VERSION",
+    "SUMMARY_NAME",
+    "execute_run",
+    "histogram_from_json",
+    "load_campaign",
+    "load_results",
+    "load_summary",
+    "summarize_records",
+    "workload_campaign_descriptors",
+    "workload_run_from_record",
+    "write_campaign_artifacts",
+]

@@ -1,0 +1,124 @@
+"""JSON artifact emission and loading for campaigns.
+
+A campaign writes two files into its output directory:
+
+* ``results.jsonl`` — one canonical-JSON line per run, in run order.  Every
+  byte is a pure function of the campaign's descriptors, so serial and
+  parallel executions of the same campaign produce identical files (the
+  artifact-level determinism check in ``tests/test_campaign.py``).
+* ``summary.json`` — the aggregated view (per-preset histograms, worst
+  contention delays versus the analytical ``ubd``) plus a ``timing`` section
+  with wall-clock/cache/job statistics.  ``timing`` is the only
+  non-deterministic content; strip it before comparing summaries.
+
+The exact field layout is documented in ``DESIGN.md`` ("Campaign artifact
+schema") and demonstrated by ``examples/campaign_artifacts.py``, which loads
+a saved campaign and re-renders its report without re-simulating anything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AnalysisError
+from .runner import CampaignOutcome
+
+#: File names inside a campaign output directory.
+RESULTS_NAME = "results.jsonl"
+SUMMARY_NAME = "summary.json"
+
+
+@dataclass(frozen=True)
+class CampaignArtifacts:
+    """Paths of the files one campaign emitted."""
+
+    directory: Path
+    results_path: Path
+    summary_path: Path
+
+
+def write_campaign_artifacts(
+    outcome: CampaignOutcome,
+    out_dir: os.PathLike,
+    summary: Optional[Dict[str, object]] = None,
+) -> CampaignArtifacts:
+    """Write ``results.jsonl`` and ``summary.json`` for ``outcome``.
+
+    The directory is created on demand; existing artifacts are overwritten
+    (a campaign directory always reflects its last run).  Pass ``summary``
+    when ``outcome.summary()`` was already computed (e.g. for rendering) to
+    avoid aggregating the records twice.
+    """
+    directory = Path(out_dir)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise AnalysisError(
+            f"cannot create campaign output directory {directory}: {exc}"
+        ) from exc
+    results_path = directory / RESULTS_NAME
+    with results_path.open("w", encoding="utf-8") as handle:
+        for record in outcome.records:
+            handle.write(json.dumps(record, sort_keys=True, separators=(",", ":")))
+            handle.write("\n")
+    summary_path = directory / SUMMARY_NAME
+    with summary_path.open("w", encoding="utf-8") as handle:
+        json.dump(
+            outcome.summary() if summary is None else summary,
+            handle,
+            sort_keys=True,
+            indent=2,
+        )
+        handle.write("\n")
+    return CampaignArtifacts(
+        directory=directory, results_path=results_path, summary_path=summary_path
+    )
+
+
+def load_results(path: os.PathLike) -> List[Dict[str, object]]:
+    """Load the per-run records from a ``results.jsonl`` file."""
+    records: List[Dict[str, object]] = []
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except ValueError as exc:
+                    raise AnalysisError(
+                        f"{path}:{number}: malformed result record: {exc}"
+                    ) from exc
+    except OSError as exc:
+        raise AnalysisError(f"cannot read campaign results: {exc}") from exc
+    return records
+
+
+def load_summary(path: os.PathLike) -> Dict[str, object]:
+    """Load a ``summary.json`` file."""
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            summary = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise AnalysisError(f"cannot read campaign summary: {exc}") from exc
+    if not isinstance(summary, dict):
+        raise AnalysisError(f"{path}: summary must be a JSON object")
+    return summary
+
+
+def load_campaign(
+    directory: os.PathLike,
+) -> Tuple[List[Dict[str, object]], Dict[str, object]]:
+    """Load ``(records, summary)`` from a campaign output directory."""
+    directory = Path(directory)
+    return (
+        load_results(directory / RESULTS_NAME),
+        load_summary(directory / SUMMARY_NAME),
+    )

@@ -1,0 +1,72 @@
+"""Content-addressed result cache for campaign runs.
+
+Every run descriptor hashes to a digest of everything that can influence its
+simulated cycles (configuration, programs, seeds — see
+:meth:`repro.campaign.spec.RunDescriptor.digest`).  The cache maps that
+digest to the run's JSON result record, so re-running a campaign only
+simulates cache misses: a warm re-run of an unchanged campaign performs zero
+simulations, and editing one axis of the grid only re-simulates the affected
+runs.
+
+Records are stored one file per digest (``<digest>.json``) under a flat
+directory.  Writes go through a temporary file plus ``os.replace`` so a
+killed campaign never leaves a truncated record behind; unreadable entries
+are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+
+
+class ResultCache:
+    """Digest-keyed JSON store under ``directory`` (created on demand)."""
+
+    def __init__(self, directory: os.PathLike) -> None:
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot use {self.directory} as a result cache: {exc}"
+            ) from exc
+
+    def _path(self, digest: str) -> Path:
+        return self.directory / f"{digest}.json"
+
+    def get(self, digest: str) -> Optional[Dict[str, object]]:
+        """Return the cached record for ``digest``, or ``None`` on a miss.
+
+        A corrupt or unreadable entry counts as a miss, and so does a record
+        whose embedded digest disagrees with its file name (e.g. a file
+        copied into the cache under the wrong name): the run is simply
+        re-simulated and the entry rewritten.
+        """
+        path = self._path(digest)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict) or record.get("digest") != digest:
+            return None
+        return record
+
+    def put(self, digest: str, record: Dict[str, object]) -> None:
+        """Store ``record`` under ``digest`` atomically."""
+        path = self._path(digest)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(record, handle, sort_keys=True, separators=(",", ":"))
+        os.replace(tmp, path)
+
+    def __contains__(self, digest: str) -> bool:
+        return self._path(digest).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))

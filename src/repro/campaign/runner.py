@@ -1,0 +1,318 @@
+"""Parallel campaign execution with deterministic results.
+
+:func:`execute_run` turns one :class:`~repro.campaign.spec.RunDescriptor`
+into a plain-JSON result record; :class:`ParallelRunner` fans a sequence of
+descriptors out over a ``concurrent.futures.ProcessPoolExecutor`` (or runs
+them in-process for ``jobs=1``) and reassembles the records in descriptor
+order.  Because every record is a pure function of its descriptor and the
+assembly order is fixed, a parallel campaign's artifacts are bit-identical
+to a serial campaign's — the only difference is wall-clock time.
+
+A :class:`~repro.campaign.cache.ResultCache` can be attached so repeated
+campaigns only simulate cache misses; :class:`CampaignOutcome.stats` reports
+how many runs were simulated versus served from the cache.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.contention import (
+    ContenderHistogram,
+    contender_histogram,
+    contention_histogram,
+)
+from ..config import config_from_dict
+from ..errors import AnalysisError, MethodologyError
+from ..kernels.rsk import build_rsk
+from ..methodology.experiment import ExperimentRunner
+from ..methodology.workloads import WorkloadRun, run_single_workload
+from ..sim.isa import Program
+from .cache import ResultCache
+from .spec import KIND_RSK, KIND_SYNTHETIC, SCHEMA_VERSION, RunDescriptor
+
+
+def execute_run(descriptor: RunDescriptor) -> Dict[str, object]:
+    """Simulate one descriptor and return its JSON-serialisable result record.
+
+    This is the worker function shipped to pool processes; it must stay a
+    module-level callable so descriptors and results pickle cleanly.  The
+    returned record intentionally contains no wall-clock or host metadata —
+    it is the cacheable, machine-independent part of a campaign result.
+    """
+    record: Dict[str, object] = {
+        "schema": SCHEMA_VERSION,
+        "digest": descriptor.digest(),
+        "preset": descriptor.preset,
+        "kind": descriptor.kind,
+        "arbiter": descriptor.config.bus.arbitration,
+        "tasks": list(descriptor.tasks),
+        "contenders": descriptor.contenders,
+        "observed_core": descriptor.observed_core,
+        "iterations": descriptor.iterations,
+        "seed": descriptor.seed,
+        "config": descriptor.config.to_dict(),
+    }
+    if descriptor.kind == KIND_SYNTHETIC:
+        record["metrics"] = _synthetic_metrics(descriptor)
+    else:
+        record["rsk_kind"] = descriptor.rsk_kind
+        record["metrics"] = _rsk_metrics(descriptor)
+    return record
+
+
+def _synthetic_metrics(descriptor: RunDescriptor) -> Dict[str, object]:
+    run = run_single_workload(
+        descriptor.config,
+        descriptor.tasks,
+        observed_core=descriptor.observed_core,
+        observed_iterations=descriptor.iterations,
+        seed=descriptor.seed,
+    )
+    return {
+        "execution_time": run.execution_time,
+        "bus_utilisation": run.bus_utilisation,
+        "contender_histogram": _json_histogram(run.histogram.counts),
+        "contender_total_requests": run.histogram.total_requests,
+    }
+
+
+def _rsk_metrics(descriptor: RunDescriptor) -> Dict[str, object]:
+    config = descriptor.config
+    observed = descriptor.observed_core
+    scua = build_rsk(
+        config, observed, kind=descriptor.rsk_kind, iterations=descriptor.iterations
+    )
+    contenders: Dict[int, Program] = {
+        core: build_rsk(config, core, kind=descriptor.rsk_kind, iterations=None)
+        for core in range(len(descriptor.tasks))
+        if core != observed
+    }
+    runner = ExperimentRunner(config)
+    isolation, contended = runner.run_pair(
+        scua, contenders, scua_core=observed, trace=True
+    )
+    metrics: Dict[str, object] = contended.as_record()
+    metrics["isolation"] = isolation.as_record()
+    metrics["slowdown"] = contended.slowdown_versus(isolation)
+    ready = contender_histogram(contended.trace, observed, config.num_cores)
+    metrics["contender_histogram"] = _json_histogram(ready.counts)
+    metrics["contender_total_requests"] = ready.total_requests
+    try:
+        delays = contention_histogram(
+            contended.trace, observed, kinds=(descriptor.rsk_kind,)
+        )
+    except AnalysisError:
+        # Store rsk traffic drains through the store buffer; if no request of
+        # the requested kind completed there is no delay histogram to report.
+        return metrics
+    metrics["contention_histogram"] = _json_histogram(delays.counts)
+    metrics["max_contention_delay"] = delays.max_observed
+    metrics["modal_contention_delay"] = delays.mode
+    return metrics
+
+
+def _json_histogram(counts: Dict[int, int]) -> Dict[str, int]:
+    """Render an int-keyed histogram with string keys, sorted for stable JSON."""
+    return {str(key): counts[key] for key in sorted(counts)}
+
+
+def histogram_from_json(counts: Dict[str, int]) -> Dict[int, int]:
+    """Invert :func:`_json_histogram` when loading artifacts."""
+    return {int(key): value for key, value in counts.items()}
+
+
+def workload_run_from_record(record: Dict[str, object]) -> WorkloadRun:
+    """Rebuild the legacy :class:`WorkloadRun` view from a synthetic record."""
+    if record["kind"] != KIND_SYNTHETIC:
+        raise MethodologyError(
+            f"record {record.get('run_id', '?')} is a {record['kind']!r} run, "
+            "not a synthetic workload"
+        )
+    metrics = record["metrics"]
+    histogram = ContenderHistogram(
+        counts=histogram_from_json(metrics["contender_histogram"]),
+        total_requests=metrics["contender_total_requests"],
+        observed_core=record["observed_core"],
+        num_cores=record["config"]["num_cores"],
+    )
+    return WorkloadRun(
+        task_names=tuple(record["tasks"]),
+        observed_core=record["observed_core"],
+        histogram=histogram,
+        execution_time=metrics["execution_time"],
+        bus_utilisation=metrics["bus_utilisation"],
+    )
+
+
+@dataclass(frozen=True)
+class CampaignOutcome:
+    """All records of a finished campaign plus execution statistics.
+
+    Attributes:
+        records: one result record per descriptor, in descriptor order, each
+            carrying its ``run_id``.  Everything here is deterministic.
+        stats: how the campaign was executed — jobs, cache hits, wall time.
+            This is *timing metadata* and never enters ``results.jsonl``.
+    """
+
+    records: Tuple[Dict[str, object], ...]
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    def summary(self) -> Dict[str, object]:
+        """Aggregate the records into the ``summary.json`` payload."""
+        summary = summarize_records(self.records)
+        summary["timing"] = dict(self.stats)
+        return summary
+
+
+class ParallelRunner:
+    """Executes run descriptors, optionally in parallel and through a cache.
+
+    Args:
+        jobs: worker processes; ``1`` executes in-process (no pool, no
+            pickling) and is the reference behaviour the parallel path must
+            reproduce bit-for-bit.
+        cache: optional content-addressed result cache shared across
+            campaigns; hits skip simulation entirely.
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None) -> None:
+        if jobs < 1:
+            raise MethodologyError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+
+    def run(self, descriptors: Sequence[RunDescriptor]) -> CampaignOutcome:
+        """Execute ``descriptors`` and return their records in input order."""
+        started = time.perf_counter()
+        digests = [descriptor.digest() for descriptor in descriptors]
+        by_digest: Dict[str, Dict[str, object]] = {}
+        pending: List[Tuple[str, RunDescriptor]] = []
+        pending_digests: set = set()
+        cached_hits = 0
+        for digest, descriptor in zip(digests, descriptors):
+            if digest in by_digest or digest in pending_digests:
+                continue
+            record = self.cache.get(digest) if self.cache is not None else None
+            if record is not None and record.get("schema") == SCHEMA_VERSION:
+                by_digest[digest] = record
+                cached_hits += 1
+            else:
+                pending.append((digest, descriptor))
+                pending_digests.add(digest)
+
+        simulated = len(pending)
+        if self.jobs > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                fresh = list(
+                    pool.map(execute_run, [descriptor for _, descriptor in pending])
+                )
+        else:
+            fresh = [execute_run(descriptor) for _, descriptor in pending]
+        for (digest, _), record in zip(pending, fresh):
+            by_digest[digest] = record
+            if self.cache is not None:
+                self.cache.put(digest, record)
+
+        records = []
+        for digest, descriptor in zip(digests, descriptors):
+            record = dict(by_digest[digest])
+            record["run_id"] = descriptor.run_id
+            records.append(record)
+        stats = {
+            "runs": len(records),
+            "unique_runs": len(by_digest),
+            "simulated": simulated,
+            "cached": cached_hits,
+            "jobs": self.jobs,
+            "elapsed_seconds": time.perf_counter() - started,
+        }
+        return CampaignOutcome(records=tuple(records), stats=stats)
+
+
+def summarize_records(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Aggregate result records into the deterministic summary payload.
+
+    Records are bucketed per *platform* — the (preset, arbiter) pair — so an
+    arbiter sweep never merges delays measured under different arbitration
+    policies.  Each bucket carries what the report layer renders: aggregated
+    contender histograms (split by workload kind), bus utilisation, and the
+    worst observed contention delay next to the analytical ``ubd`` — which
+    Equation 1 only defines for round-robin and FIFO arbitration, so other
+    arbiters report ``analytical_ubd: null``.
+    """
+    if not records:
+        raise MethodologyError("cannot summarise an empty campaign")
+    per_platform: Dict[str, Dict[str, object]] = {}
+    for record in records:
+        preset = record["preset"]
+        arbiter = record["arbiter"]
+        key = f"{preset}/{arbiter}"
+        bucket = per_platform.get(key)
+        if bucket is None:
+            bucket = per_platform[key] = {
+                "preset": preset,
+                "arbiter": arbiter,
+                "runs": 0,
+                "analytical_ubd": (
+                    config_from_dict(record["config"]).ubd
+                    if arbiter in ("round_robin", "fifo")
+                    else None
+                ),
+                "_utilisations": [],
+            }
+        bucket["runs"] += 1
+        bucket["_utilisations"].append(record["metrics"]["bus_utilisation"])
+        kind_bucket = bucket.setdefault(
+            record["kind"],
+            {"runs": 0, "aggregated_contenders": {}, "total_requests": 0},
+        )
+        kind_bucket["runs"] += 1
+        kind_bucket["total_requests"] += record["metrics"]["contender_total_requests"]
+        aggregated = kind_bucket["aggregated_contenders"]
+        for bin_key, count in record["metrics"]["contender_histogram"].items():
+            aggregated[bin_key] = aggregated.get(bin_key, 0) + count
+        if record["kind"] == KIND_RSK:
+            delay = record["metrics"].get("max_contention_delay")
+            if delay is not None:
+                previous = kind_bucket.get("max_contention_delay", 0)
+                kind_bucket["max_contention_delay"] = max(previous, delay)
+            slowdown = record["metrics"].get("slowdown")
+            if slowdown is not None:
+                kind_bucket["max_slowdown"] = max(
+                    kind_bucket.get("max_slowdown", 0), slowdown
+                )
+
+    for bucket in per_platform.values():
+        utilisations = bucket.pop("_utilisations")
+        bucket["mean_bus_utilisation"] = sum(utilisations) / len(utilisations)
+        synthetic = bucket.get(KIND_SYNTHETIC)
+        if synthetic is not None:
+            synthetic["fraction_with_at_most_1"] = _fraction_at_most(
+                synthetic["aggregated_contenders"], 1
+            )
+    return {
+        "schema": SCHEMA_VERSION,
+        "total_runs": len(records),
+        "presets": sorted({record["preset"] for record in records}),
+        "arbiters": sorted({record["arbiter"] for record in records}),
+        "kinds": {
+            kind: sum(1 for record in records if record["kind"] == kind)
+            for kind in sorted({record["kind"] for record in records})
+        },
+        "per_platform": per_platform,
+    }
+
+
+def _fraction_at_most(aggregated: Dict[str, int], contenders: int) -> float:
+    total = sum(aggregated.values())
+    if total == 0:
+        return 0.0
+    matching = sum(
+        count for key, count in aggregated.items() if int(key) <= contenders
+    )
+    return matching / total

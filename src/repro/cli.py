@@ -7,14 +7,16 @@ Python:
   platform and print the derived ``ubdm`` with its confidence report;
 * ``repro-bounds synchrony`` — run a load rsk against ``Nc - 1`` rsk and show
   the contention-delay histogram (the Figure 6(b) experiment);
-* ``repro-bounds campaign`` — run randomly composed EEMBC-like workloads and
-  show the ready-contenders histogram (the Figure 6(a) experiment).
+* ``repro-bounds campaign`` — run an experiment campaign (randomly composed
+  EEMBC-like workloads plus rsk reference runs, the Figure 6(a) experiment)
+  through the parallel campaign engine, optionally writing JSON artifacts.
 
 Examples::
 
     repro-bounds derive-ubd --preset ref --k-max 60 --iterations 40
     repro-bounds synchrony --preset var
     repro-bounds campaign --preset ref --workloads 8
+    repro-bounds campaign --jobs 4 --out out/campaign --cache-dir out/cache
 """
 
 from __future__ import annotations
@@ -24,12 +26,19 @@ import sys
 from typing import List, Optional
 
 from .analysis.contention import contention_histogram
-from .config import PRESETS, get_preset
+from .campaign import (
+    CampaignSpec,
+    ParallelRunner,
+    ResultCache,
+    write_campaign_artifacts,
+)
+from .config import ARBITRATION_POLICIES, PRESETS, get_preset
+from .errors import ReproError
 from .kernels.rsk import build_rsk
 from .methodology.experiment import ExperimentRunner
 from .methodology.naive import NaiveUbdEstimator
 from .methodology.ubd import UbdEstimator
-from .methodology.workloads import run_rsk_reference_workload, run_workload_campaign
+from .report.campaign import render_campaign_summary
 from .report.histogram import render_histogram
 from .report.tables import render_series
 
@@ -71,11 +80,41 @@ def build_parser() -> argparse.ArgumentParser:
     synchrony.add_argument("--iterations", type=int, default=150)
 
     campaign = subparsers.add_parser(
-        "campaign", help="show the ready-contenders histogram for random workloads"
+        "campaign",
+        help="run an experiment campaign (random workloads + rsk references) "
+        "with optional parallelism, caching and JSON artifacts",
     )
     campaign.add_argument("--workloads", type=int, default=8)
     campaign.add_argument("--iterations", type=int, default=25)
     campaign.add_argument("--seed", type=int, default=2015)
+    campaign.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; 1 runs in-process (results are identical)",
+    )
+    campaign.add_argument(
+        "--out",
+        metavar="DIR",
+        help="write results.jsonl and summary.json into DIR",
+    )
+    campaign.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="content-addressed result cache; re-runs only simulate misses",
+    )
+    campaign.add_argument(
+        "--arbiter",
+        action="append",
+        choices=ARBITRATION_POLICIES,
+        help="bus arbitration policy to sweep (repeatable; default round_robin)",
+    )
+    campaign.add_argument(
+        "--contenders",
+        type=int,
+        action="append",
+        help="number of co-runners to sweep (repeatable; default: all cores)",
+    )
 
     return parser
 
@@ -124,29 +163,25 @@ def _run_synchrony(args: argparse.Namespace) -> int:
 
 
 def _run_campaign(args: argparse.Namespace) -> int:
-    config = get_preset(args.preset)
-    campaign = run_workload_campaign(
-        config,
+    spec = CampaignSpec(
+        presets=(args.preset,),
+        arbiters=tuple(args.arbiter) if args.arbiter else ("round_robin",),
+        contender_counts=tuple(args.contenders) if args.contenders else (),
+        seeds=(args.seed,),
         num_workloads=args.workloads,
-        observed_iterations=args.iterations,
-        seed=args.seed,
+        iterations=args.iterations,
+        rsk_iterations=args.iterations * 5,
     )
-    rsk_run = run_rsk_reference_workload(config, iterations=args.iterations * 5)
-    print(
-        render_histogram(
-            campaign.aggregated_counts(),
-            title=f"{args.preset}: ready contenders, EEMBC-like workloads",
-            label="contenders",
-        )
-    )
-    print()
-    print(
-        render_histogram(
-            rsk_run.histogram.counts,
-            title=f"{args.preset}: ready contenders, {config.num_cores} x rsk",
-            label="contenders",
-        )
-    )
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    runner = ParallelRunner(jobs=args.jobs, cache=cache)
+    outcome = runner.run(spec.expand())
+    summary = outcome.summary()
+    print(render_campaign_summary(summary))
+    if args.out:
+        artifacts = write_campaign_artifacts(outcome, args.out, summary=summary)
+        print()
+        print(f"Wrote {artifacts.results_path}")
+        print(f"Wrote {artifacts.summary_path}")
     return 0
 
 
@@ -154,12 +189,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro-bounds`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "derive-ubd":
-        return _run_derive_ubd(args)
-    if args.command == "synchrony":
-        return _run_synchrony(args)
-    if args.command == "campaign":
-        return _run_campaign(args)
+    try:
+        if args.command == "derive-ubd":
+            return _run_derive_ubd(args)
+        if args.command == "synchrony":
+            return _run_synchrony(args)
+        if args.command == "campaign":
+            return _run_campaign(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

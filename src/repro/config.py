@@ -19,8 +19,10 @@ timing numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Tuple
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, Mapping, Tuple
 
 from .errors import ConfigurationError
 
@@ -33,6 +35,11 @@ def _require(condition: bool, message: str) -> None:
 
 def _is_power_of_two(value: int) -> bool:
     return value > 0 and (value & (value - 1)) == 0
+
+
+#: Bus arbitration policies the simulator implements (single source of truth
+#: for BusConfig validation and the CLI's ``--arbiter`` choices).
+ARBITRATION_POLICIES = ("round_robin", "fifo", "fixed_priority", "tdma")
 
 
 @dataclass(frozen=True)
@@ -115,7 +122,7 @@ class BusConfig:
 
     def __post_init__(self) -> None:
         _require(
-            self.arbitration in ("round_robin", "fifo", "fixed_priority", "tdma"),
+            self.arbitration in ARBITRATION_POLICIES,
             f"unsupported arbitration policy: {self.arbitration!r}",
         )
         _require(self.transfer_latency >= 1, "bus transfer latency must be >= 1")
@@ -282,6 +289,19 @@ class ArchConfig:
         """Return a copy of this configuration with selected fields replaced."""
         return replace(self, **kwargs)
 
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-serialisable dictionary of every configuration field.
+
+        The inverse of :func:`config_from_dict`; used by the campaign engine
+        to ship configurations across process boundaries, embed them in JSON
+        artifacts and hash them for the content-addressed result cache.
+        """
+        return asdict(self)
+
+    def digest(self) -> str:
+        """Stable SHA-256 content hash of this configuration."""
+        return canonical_digest(self.to_dict())
+
     def describe(self) -> Dict[str, object]:
         """Return a flat dictionary summarising the platform (for reports)."""
         return {
@@ -360,3 +380,39 @@ def get_preset(name: str, **overrides) -> ArchConfig:
             f"unknown preset {name!r}; available: {sorted(PRESETS)}"
         ) from exc
     return factory(**overrides)
+
+
+# ---------------------------------------------------------------------------- #
+# Serialisation and content hashing (campaign engine support).
+# ---------------------------------------------------------------------------- #
+def canonical_digest(payload: object) -> str:
+    """SHA-256 hex digest of ``payload`` rendered as canonical JSON.
+
+    Canonical means sorted keys and no insignificant whitespace, so two
+    logically equal payloads always hash identically regardless of dict
+    construction order or the process that produced them.
+    """
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def config_from_dict(data: Mapping[str, object]) -> ArchConfig:
+    """Rebuild an :class:`ArchConfig` from :meth:`ArchConfig.to_dict` output.
+
+    Validation runs again on construction, so a tampered or stale dictionary
+    fails loudly instead of producing silently wrong timing numbers.
+    """
+    try:
+        fields = dict(data)
+        l2_data = dict(fields["l2"])
+        fields["il1"] = CacheConfig(**fields["il1"])
+        fields["dl1"] = CacheConfig(**fields["dl1"])
+        fields["l2"] = L2Config(
+            cache=CacheConfig(**l2_data["cache"]), partitioned=l2_data["partitioned"]
+        )
+        fields["bus"] = BusConfig(**fields["bus"])
+        fields["dram"] = DramConfig(**fields["dram"])
+        fields["store_buffer"] = StoreBufferConfig(**fields["store_buffer"])
+        return ArchConfig(**fields)
+    except (KeyError, TypeError) as exc:
+        raise ConfigurationError(f"malformed configuration dictionary: {exc}") from exc

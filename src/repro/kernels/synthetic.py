@@ -19,6 +19,7 @@ construction here, and every generator is deterministic given its seed.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -272,7 +273,10 @@ def build_synthetic_kernel(
             f"unknown synthetic kernel {name!r}; available: {', '.join(synthetic_kernel_names())}"
         ) from exc
     space = core_address_space(core_id)
-    rng = random.Random((seed * 1_000_003 + core_id) ^ hash(name) & 0xFFFF_FFFF)
+    # crc32, not hash(): string hashing is randomised per interpreter process
+    # (PYTHONHASHSEED), which would make kernels differ between the serial
+    # path and pool workers — and between any two invocations of the tools.
+    rng = random.Random((seed * 1_000_003 + core_id) ^ zlib.crc32(name.encode("utf-8")))
     n_loads = int(round(spec.body_length * spec.load_fraction))
     n_stores = int(round(spec.body_length * spec.store_fraction))
     n_compute = spec.body_length - n_loads - n_stores

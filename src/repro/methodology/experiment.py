@@ -16,7 +16,7 @@ work with.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import ArchConfig
 from ..errors import MethodologyError
@@ -40,6 +40,14 @@ class IsolationMeasurement:
         """Bus requests issued by the scua (``nr`` in the paper)."""
         return self.bus_requests
 
+    def as_record(self) -> Dict[str, int]:
+        """JSON-serialisable summary (the shape campaign artifacts embed)."""
+        return {
+            "execution_time": self.execution_time,
+            "bus_requests": self.bus_requests,
+            "instructions": self.instructions,
+        }
+
 
 @dataclass(frozen=True)
 class ContendedMeasurement:
@@ -54,6 +62,14 @@ class ContendedMeasurement:
     def slowdown_versus(self, isolation: IsolationMeasurement) -> int:
         """Execution-time increase over the isolation run (``det``/``dbus``)."""
         return self.execution_time - isolation.execution_time
+
+    def as_record(self) -> Dict[str, object]:
+        """JSON-serialisable summary (the shape campaign artifacts embed)."""
+        return {
+            "execution_time": self.execution_time,
+            "bus_requests": self.bus_requests,
+            "bus_utilisation": self.bus_utilisation,
+        }
 
 
 def build_contender_set(
@@ -176,6 +192,25 @@ class ExperimentRunner:
         """Run ``scua`` against ``Nc - 1`` infinite rsk contenders of type ``kind``."""
         contenders = build_contender_set(self.config, scua_core, kind=kind)
         return self.run_contended(scua, contenders, scua_core=scua_core, trace=trace)
+
+    def run_pair(
+        self,
+        scua: Program,
+        contenders: Dict[int, Program],
+        scua_core: int = 0,
+        trace: bool = False,
+    ) -> Tuple[IsolationMeasurement, ContendedMeasurement]:
+        """Measure ``scua`` in isolation and against ``contenders``.
+
+        The pair is the paper's basic experiment: the difference of the two
+        execution times is the contention penalty ``det``.  The campaign
+        engine uses this for every rsk-style run descriptor.
+        """
+        isolation = self.run_isolation(scua, scua_core=scua_core)
+        contended = self.run_contended(
+            scua, contenders, scua_core=scua_core, trace=trace
+        )
+        return isolation, contended
 
     # ------------------------------------------------------------------ #
     # Internal validation.

@@ -83,13 +83,18 @@ def random_workloads(
     return workloads
 
 
-def _build_workload_programs(
+def build_workload_programs(
     config: ArchConfig,
     task_names: Sequence[str],
     observed_core: int,
     observed_iterations: int,
     seed: int,
 ) -> List[Optional[Program]]:
+    """Map ``task_names`` onto cores; the observed task gets a finite loop count.
+
+    Cores beyond ``len(task_names)`` stay idle, which is how campaigns sweep
+    the number of contenders on a fixed platform.
+    """
     if len(task_names) > config.num_cores:
         raise MethodologyError(
             f"workload has {len(task_names)} tasks for {config.num_cores} cores"
@@ -108,6 +113,41 @@ def _build_workload_programs(
     return programs
 
 
+def run_single_workload(
+    config: ArchConfig,
+    task_names: Sequence[str],
+    observed_core: int = 0,
+    observed_iterations: int = 30,
+    seed: int = 2015,
+) -> WorkloadRun:
+    """Run one multiprogrammed workload and histogram its ready contenders.
+
+    This is the simulation primitive behind both the legacy serial campaign
+    and the parallel campaign engine (:mod:`repro.campaign`): one workload,
+    one traced run, one :class:`WorkloadRun`.
+    """
+    programs = build_workload_programs(
+        config, task_names, observed_core, observed_iterations, seed=seed
+    )
+    system = System(
+        config,
+        programs,
+        trace=True,
+        preload_l2=True,
+        preload_il1=True,
+        preload_dl1=True,
+    )
+    result = system.run(observed_cores=[observed_core])
+    histogram = contender_histogram(result.trace, observed_core, config.num_cores)
+    return WorkloadRun(
+        task_names=tuple(task_names),
+        observed_core=observed_core,
+        histogram=histogram,
+        execution_time=result.execution_time(observed_core),
+        bus_utilisation=result.pmc.bus_utilisation(),
+    )
+
+
 def run_workload_campaign(
     config: ArchConfig,
     num_workloads: int = 8,
@@ -115,40 +155,47 @@ def run_workload_campaign(
     observed_iterations: int = 30,
     seed: int = 2015,
     names: Optional[Sequence[str]] = None,
+    runner: Optional[object] = None,
 ) -> WorkloadCampaignResult:
     """Run the Figure 6(a) campaign with EEMBC-like synthetic workloads.
 
     Every workload maps one synthetic task per core; the task on
     ``observed_core`` runs to completion while the histogram of ready
     contenders is collected from the request trace.
+
+    Args:
+        runner: optional :class:`repro.campaign.ParallelRunner` to fan the
+            workloads out over worker processes (and reuse its result cache).
+            ``None`` keeps the historical in-process serial execution; both
+            paths produce bit-identical results.
     """
     workloads = random_workloads(
         num_workloads, config.num_cores, seed=seed, names=names
     )
+    if runner is not None:
+        # Imported lazily: repro.campaign imports this module at load time.
+        from ..campaign import workload_campaign_descriptors, workload_run_from_record
+
+        descriptors = workload_campaign_descriptors(
+            config,
+            workloads,
+            observed_core=observed_core,
+            observed_iterations=observed_iterations,
+            seed=seed,
+        )
+        outcome = runner.run(descriptors)
+        return WorkloadCampaignResult(
+            runs=[workload_run_from_record(record) for record in outcome.records]
+        )
     runs: List[WorkloadRun] = []
     for index, task_names in enumerate(workloads):
-        programs = _build_workload_programs(
-            config, task_names, observed_core, observed_iterations, seed=seed + index
-        )
-        system = System(
-            config,
-            programs,
-            trace=True,
-            preload_l2=True,
-            preload_il1=True,
-            preload_dl1=True,
-        )
-        result = system.run(observed_cores=[observed_core])
-        histogram = contender_histogram(
-            result.trace, observed_core, config.num_cores
-        )
         runs.append(
-            WorkloadRun(
-                task_names=task_names,
+            run_single_workload(
+                config,
+                task_names,
                 observed_core=observed_core,
-                histogram=histogram,
-                execution_time=result.execution_time(observed_core),
-                bus_utilisation=result.pmc.bus_utilisation(),
+                observed_iterations=observed_iterations,
+                seed=seed + index,
             )
         )
     return WorkloadCampaignResult(runs=runs)

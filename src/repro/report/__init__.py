@@ -5,7 +5,13 @@ harness and the examples can print the same rows/series the paper reports
 without any plotting dependency.
 """
 
+from .campaign import render_campaign_summary
 from .histogram import render_histogram
 from .tables import render_series, render_table
 
-__all__ = ["render_histogram", "render_series", "render_table"]
+__all__ = [
+    "render_campaign_summary",
+    "render_histogram",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,87 @@
+"""Plain-text rendering of campaign summaries.
+
+Consumes the ``summary.json`` payload produced by
+:meth:`repro.campaign.CampaignOutcome.summary` (or loaded back with
+:func:`repro.campaign.load_summary`) and renders the Figure 6(a)-style view:
+one overview table plus, per preset, the aggregated ready-contenders
+histograms of the EEMBC-like workloads and of the rsk contrast runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .histogram import render_histogram
+from .tables import render_table
+
+
+def render_campaign_summary(summary: Dict[str, object]) -> str:
+    """Render a campaign summary dictionary as a text report.
+
+    Platforms (preset x arbiter) are reported separately: the analytical
+    ``ubd`` of Equation 1 only bounds round-robin and FIFO arbitration, so
+    delays measured under other policies must never share its row ("-" marks
+    platforms the equation does not cover).
+    """
+    sections: List[str] = []
+    per_platform = summary.get("per_platform", {})
+    rows = []
+    for key in sorted(per_platform):
+        bucket = per_platform[key]
+        rsk = bucket.get("rsk", {})
+        ubd = bucket.get("analytical_ubd")
+        rows.append(
+            [
+                bucket.get("preset", key),
+                bucket.get("arbiter", "-"),
+                bucket.get("runs", 0),
+                f"{bucket.get('mean_bus_utilisation', 0.0):.2f}",
+                "-" if ubd is None else ubd,
+                rsk.get("max_contention_delay", "-"),
+                rsk.get("max_slowdown", "-"),
+            ]
+        )
+    sections.append(
+        render_table(
+            ["preset", "arbiter", "runs", "mean bus util", "ubd", "max gamma", "max det"],
+            rows,
+        )
+    )
+    for key in sorted(per_platform):
+        bucket = per_platform[key]
+        title = f"{bucket.get('preset', key)} ({bucket.get('arbiter', '?')})"
+        synthetic = bucket.get("synthetic")
+        if synthetic and synthetic.get("aggregated_contenders"):
+            sections.append("")
+            sections.append(
+                render_histogram(
+                    _int_keys(synthetic["aggregated_contenders"]),
+                    title=f"{title}: ready contenders, EEMBC-like workloads",
+                    label="contenders",
+                )
+            )
+        rsk = bucket.get("rsk")
+        if rsk and rsk.get("aggregated_contenders"):
+            sections.append("")
+            sections.append(
+                render_histogram(
+                    _int_keys(rsk["aggregated_contenders"]),
+                    title=f"{title}: ready contenders, rsk reference workloads",
+                    label="contenders",
+                )
+            )
+    timing = summary.get("timing")
+    if timing:
+        sections.append("")
+        sections.append(
+            f"{timing.get('runs', summary.get('total_runs', 0))} runs: "
+            f"{timing.get('simulated', '?')} simulated, "
+            f"{timing.get('cached', '?')} from cache, "
+            f"jobs={timing.get('jobs', '?')}, "
+            f"elapsed {timing.get('elapsed_seconds', 0.0):.2f}s"
+        )
+    return "\n".join(sections)
+
+
+def _int_keys(counts: Dict[str, int]) -> Dict[int, int]:
+    return {int(key): value for key, value in counts.items()}

@@ -1,0 +1,351 @@
+"""Tests for the parallel campaign engine (spec, runner, cache, artifacts)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ParallelRunner,
+    ResultCache,
+    RunDescriptor,
+    execute_run,
+    load_campaign,
+    load_results,
+    load_summary,
+    workload_run_from_record,
+    write_campaign_artifacts,
+)
+from repro.config import config_from_dict, get_preset, small_config
+from repro.errors import AnalysisError, ConfigurationError, MethodologyError
+from repro.methodology.workloads import run_workload_campaign
+from repro.report.campaign import render_campaign_summary
+
+#: A campaign small enough for unit tests yet covering both run kinds.
+TINY_SPEC = CampaignSpec(
+    presets=("small",),
+    num_workloads=2,
+    iterations=4,
+    rsk_iterations=20,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Configuration serialisation (the campaign engine's transport format).
+# --------------------------------------------------------------------------- #
+
+
+class TestConfigSerialisation:
+    def test_round_trip_preserves_equality(self):
+        for preset in ("ref", "var", "small"):
+            config = get_preset(preset)
+            assert config_from_dict(config.to_dict()) == config
+
+    def test_round_trip_survives_json(self):
+        config = small_config()
+        rebuilt = config_from_dict(json.loads(json.dumps(config.to_dict())))
+        assert rebuilt == config
+        assert rebuilt.digest() == config.digest()
+
+    def test_digest_changes_with_any_field(self):
+        config = small_config()
+        assert config.digest() != config.with_overrides(num_cores=2).digest()
+        assert config.digest() != config.with_overrides(nop_latency=2).digest()
+
+    def test_malformed_dict_rejected(self):
+        data = small_config().to_dict()
+        del data["bus"]
+        with pytest.raises(ConfigurationError):
+            config_from_dict(data)
+
+
+# --------------------------------------------------------------------------- #
+# Spec expansion and descriptor digests.
+# --------------------------------------------------------------------------- #
+
+
+class TestCampaignSpec:
+    def test_expansion_is_deterministic(self):
+        assert TINY_SPEC.expand() == TINY_SPEC.expand()
+
+    def test_grid_size(self):
+        spec = CampaignSpec(
+            presets=("small", "ref"),
+            arbiters=("round_robin", "tdma"),
+            seeds=(1, 2, 3),
+            num_workloads=2,
+        )
+        descriptors = spec.expand()
+        # presets x arbiters x seeds x (workloads + rsk reference)
+        assert len(descriptors) == 2 * 2 * 3 * (2 + 1)
+        assert [d.run_id for d in descriptors] == [
+            f"{i:05d}" for i in range(len(descriptors))
+        ]
+
+    def test_arbiter_override_lands_in_config(self):
+        spec = CampaignSpec(presets=("small",), arbiters=("tdma",), num_workloads=1)
+        assert all(d.config.bus.arbitration == "tdma" for d in spec.expand())
+
+    def test_contender_count_limits_occupied_cores(self):
+        spec = CampaignSpec(
+            presets=("small",), contender_counts=(1,), num_workloads=2
+        )
+        for descriptor in spec.expand():
+            assert len(descriptor.tasks) == 2
+            assert descriptor.contenders == 1
+
+    def test_too_many_contenders_rejected(self):
+        spec = CampaignSpec(presets=("small",), contender_counts=(3,))
+        with pytest.raises(MethodologyError):
+            spec.expand()
+
+    def test_empty_campaign_rejected(self):
+        spec = CampaignSpec(num_workloads=0, include_rsk_reference=False)
+        with pytest.raises(MethodologyError):
+            spec.expand()
+
+    def test_digest_ignores_labels_but_not_inputs(self):
+        descriptor = TINY_SPEC.expand()[0]
+        relabelled = RunDescriptor(
+            run_id="99999",
+            preset="other-label",
+            config=descriptor.config,
+            kind=descriptor.kind,
+            tasks=descriptor.tasks,
+            observed_core=descriptor.observed_core,
+            iterations=descriptor.iterations,
+            seed=descriptor.seed,
+        )
+        assert relabelled.digest() == descriptor.digest()
+        reseeded = RunDescriptor(
+            run_id=descriptor.run_id,
+            preset=descriptor.preset,
+            config=descriptor.config,
+            kind=descriptor.kind,
+            tasks=descriptor.tasks,
+            observed_core=descriptor.observed_core,
+            iterations=descriptor.iterations,
+            seed=descriptor.seed + 1,
+        )
+        assert reseeded.digest() != descriptor.digest()
+
+    def test_digest_ignores_config_name_label(self):
+        descriptor = TINY_SPEC.expand()[0]
+        relabelled_config = descriptor.config.with_overrides(name="relabelled")
+        twin = RunDescriptor(
+            run_id=descriptor.run_id,
+            preset=descriptor.preset,
+            config=relabelled_config,
+            kind=descriptor.kind,
+            tasks=descriptor.tasks,
+            observed_core=descriptor.observed_core,
+            iterations=descriptor.iterations,
+            seed=descriptor.seed,
+        )
+        assert twin.digest() == descriptor.digest()
+
+    def test_descriptor_validation(self):
+        descriptor = TINY_SPEC.expand()[0]
+        with pytest.raises(MethodologyError):
+            RunDescriptor(
+                run_id="0",
+                preset="small",
+                config=descriptor.config,
+                kind="bogus",
+                tasks=descriptor.tasks,
+                observed_core=0,
+                iterations=1,
+                seed=0,
+            )
+        with pytest.raises(MethodologyError):
+            RunDescriptor(
+                run_id="0",
+                preset="small",
+                config=descriptor.config,
+                kind="rsk",
+                tasks=tuple("rsk" for _ in range(descriptor.config.num_cores + 1)),
+                observed_core=0,
+                iterations=1,
+                seed=0,
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Execution: serial/parallel equivalence and caching.
+# --------------------------------------------------------------------------- #
+
+
+class TestParallelRunner:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(MethodologyError):
+            ParallelRunner(jobs=0)
+
+    def test_records_follow_descriptor_order(self):
+        outcome = ParallelRunner(jobs=1).run(TINY_SPEC.expand())
+        assert [r["run_id"] for r in outcome.records] == [
+            d.run_id for d in TINY_SPEC.expand()
+        ]
+        assert outcome.stats["simulated"] == len(outcome.records)
+        assert outcome.stats["cached"] == 0
+
+    def test_parallel_and_serial_artifacts_identical(self, tmp_path):
+        descriptors = TINY_SPEC.expand()
+        serial = write_campaign_artifacts(
+            ParallelRunner(jobs=1).run(descriptors), tmp_path / "serial"
+        )
+        parallel = write_campaign_artifacts(
+            ParallelRunner(jobs=2).run(descriptors), tmp_path / "parallel"
+        )
+        assert (
+            serial.results_path.read_bytes() == parallel.results_path.read_bytes()
+        )
+        serial_summary = load_summary(serial.summary_path)
+        parallel_summary = load_summary(parallel.summary_path)
+        del serial_summary["timing"], parallel_summary["timing"]
+        assert serial_summary == parallel_summary
+
+    def test_warm_cache_performs_zero_simulations(self, tmp_path):
+        descriptors = TINY_SPEC.expand()
+        cache = ResultCache(tmp_path / "cache")
+        cold = ParallelRunner(jobs=1, cache=cache).run(descriptors)
+        assert cold.stats["simulated"] == len(descriptors)
+        warm = ParallelRunner(jobs=2, cache=cache).run(descriptors)
+        assert warm.stats["simulated"] == 0
+        assert warm.stats["cached"] == len(descriptors)
+        assert warm.records == cold.records
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        descriptors = TINY_SPEC.expand()[:1]
+        cache = ResultCache(tmp_path / "cache")
+        ParallelRunner(jobs=1, cache=cache).run(descriptors)
+        for path in cache.directory.glob("*.json"):
+            path.write_text("{ not json", encoding="utf-8")
+        rerun = ParallelRunner(jobs=1, cache=cache).run(descriptors)
+        assert rerun.stats["simulated"] == 1
+
+    def test_cache_entry_under_wrong_name_is_a_miss(self, tmp_path):
+        descriptors = TINY_SPEC.expand()[:2]
+        cache = ResultCache(tmp_path / "cache")
+        ParallelRunner(jobs=1, cache=cache).run(descriptors)
+        first, second = (d.digest() for d in descriptors)
+        # Simulate a mis-synced cache: the second record under the first name.
+        (cache.directory / f"{first}.json").write_bytes(
+            (cache.directory / f"{second}.json").read_bytes()
+        )
+        rerun = ParallelRunner(jobs=1, cache=cache).run(descriptors)
+        assert rerun.stats["simulated"] == 1
+        assert rerun.records[0]["digest"] == first
+
+    def test_duplicate_descriptors_simulated_once(self):
+        descriptor = TINY_SPEC.expand()[0]
+        twin = RunDescriptor(
+            run_id="00001",
+            preset=descriptor.preset,
+            config=descriptor.config,
+            kind=descriptor.kind,
+            tasks=descriptor.tasks,
+            observed_core=descriptor.observed_core,
+            iterations=descriptor.iterations,
+            seed=descriptor.seed,
+        )
+        outcome = ParallelRunner(jobs=1).run([descriptor, twin])
+        assert outcome.stats["simulated"] == 1
+        first, second = outcome.records
+        assert first["run_id"] == "00000" and second["run_id"] == "00001"
+        assert {k: v for k, v in first.items() if k != "run_id"} == {
+            k: v for k, v in second.items() if k != "run_id"
+        }
+
+    def test_rsk_records_report_slowdown_and_delays(self):
+        descriptors = [d for d in TINY_SPEC.expand() if d.kind == "rsk"]
+        record = execute_run(descriptors[0])
+        metrics = record["metrics"]
+        assert metrics["slowdown"] == (
+            metrics["execution_time"] - metrics["isolation"]["execution_time"]
+        )
+        assert metrics["slowdown"] > 0
+        config = config_from_dict(record["config"])
+        assert 0 < metrics["max_contention_delay"] <= config.ubd
+
+
+# --------------------------------------------------------------------------- #
+# Integration with the legacy workload campaign API.
+# --------------------------------------------------------------------------- #
+
+
+class TestWorkloadCampaignBridge:
+    def test_runner_path_matches_legacy_serial_path(self):
+        config = small_config()
+        legacy = run_workload_campaign(
+            config, num_workloads=3, observed_iterations=5, seed=7
+        )
+        engine = run_workload_campaign(
+            config,
+            num_workloads=3,
+            observed_iterations=5,
+            seed=7,
+            runner=ParallelRunner(jobs=2),
+        )
+        assert legacy == engine
+
+    def test_workload_run_from_record_rejects_rsk_records(self):
+        descriptor = next(d for d in TINY_SPEC.expand() if d.kind == "rsk")
+        with pytest.raises(MethodologyError):
+            workload_run_from_record(execute_run(descriptor))
+
+
+# --------------------------------------------------------------------------- #
+# Artifacts and the report renderer.
+# --------------------------------------------------------------------------- #
+
+
+class TestArtifacts:
+    def test_load_round_trip(self, tmp_path):
+        outcome = ParallelRunner(jobs=1).run(TINY_SPEC.expand())
+        artifacts = write_campaign_artifacts(outcome, tmp_path / "campaign")
+        records, summary = load_campaign(artifacts.directory)
+        assert records == list(outcome.records)
+        assert summary["total_runs"] == len(outcome.records)
+        assert "timing" in summary
+
+    def test_missing_files_raise_analysis_error(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            load_results(tmp_path / "nope.jsonl")
+        with pytest.raises(AnalysisError):
+            load_summary(tmp_path / "nope.json")
+
+    def test_malformed_results_line_raises(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n', encoding="utf-8")
+        with pytest.raises(AnalysisError):
+            load_results(path)
+
+    def test_arbiter_sweep_buckets_stay_separate(self):
+        spec = CampaignSpec(
+            presets=("small",),
+            arbiters=("round_robin", "tdma"),
+            num_workloads=1,
+            iterations=4,
+            rsk_iterations=20,
+        )
+        summary = ParallelRunner(jobs=1).run(spec.expand()).summary()
+        platforms = summary["per_platform"]
+        assert set(platforms) == {"small/round_robin", "small/tdma"}
+        # Equation 1 bounds round-robin (and FIFO) arbitration only; delays
+        # measured under TDMA must never be reported against that bound.
+        round_robin = platforms["small/round_robin"]
+        tdma = platforms["small/tdma"]
+        assert round_robin["analytical_ubd"] == 6
+        assert tdma["analytical_ubd"] is None
+        assert round_robin["rsk"]["max_contention_delay"] <= 6
+        assert tdma["rsk"]["max_contention_delay"] > 6
+
+    def test_summary_renders_both_workload_classes(self):
+        outcome = ParallelRunner(jobs=1).run(TINY_SPEC.expand())
+        text = render_campaign_summary(outcome.summary())
+        assert "EEMBC-like workloads" in text
+        assert "rsk reference workloads" in text
+        assert "contenders=" in text
+        assert "simulated" in text

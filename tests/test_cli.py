@@ -32,6 +32,32 @@ class TestParser:
         args = build_parser().parse_args(["campaign", "--workloads", "2", "--seed", "9"])
         assert args.workloads == 2
         assert args.seed == 9
+        assert args.jobs == 1
+        assert args.out is None
+        assert args.cache_dir is None
+
+    def test_campaign_engine_options(self):
+        args = build_parser().parse_args(
+            [
+                "campaign",
+                "--jobs", "4",
+                "--out", "out/campaign",
+                "--cache-dir", "out/cache",
+                "--arbiter", "round_robin",
+                "--arbiter", "tdma",
+                "--contenders", "1",
+                "--contenders", "2",
+            ]
+        )
+        assert args.jobs == 4
+        assert args.out == "out/campaign"
+        assert args.cache_dir == "out/cache"
+        assert args.arbiter == ["round_robin", "tdma"]
+        assert args.contenders == [1, 2]
+
+    def test_campaign_arbiter_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--arbiter", "lottery"])
 
 
 class TestCommands:
@@ -69,3 +95,36 @@ class TestCommands:
         assert exit_code == 0
         assert "EEMBC-like" in output
         assert "contenders=" in output
+
+    def test_library_errors_become_clean_cli_errors(self, capsys):
+        exit_code = main(
+            ["--preset", "small", "campaign", "--workloads", "1", "--jobs", "0"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "jobs must be >= 1" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_campaign_writes_artifacts_and_reuses_cache(self, tmp_path, capsys):
+        from repro.campaign import load_campaign
+
+        argv = [
+            "--preset", "small",
+            "campaign",
+            "--workloads", "2",
+            "--iterations", "5",
+            "--jobs", "2",
+            "--out", str(tmp_path / "campaign"),
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "results.jsonl" in cold
+        records, summary = load_campaign(tmp_path / "campaign")
+        assert len(records) == summary["total_runs"] == 3
+        assert summary["timing"]["simulated"] == 3
+
+        assert main(argv) == 0
+        _, warm_summary = load_campaign(tmp_path / "campaign")
+        assert warm_summary["timing"]["simulated"] == 0
+        assert warm_summary["timing"]["cached"] == 3

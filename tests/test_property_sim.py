@@ -12,7 +12,9 @@ from repro.sim.cache import SetAssociativeCache
 from repro.sim.isa import Alu, Load, Nop, Program, Store
 from repro.sim.system import System
 
-from .test_core import micro_config
+# tests/ is not a package (no __init__.py); pytest's rootdir-relative sys.path
+# insertion makes the sibling module importable absolutely.
+from test_core import micro_config
 
 # --------------------------------------------------------------------------- #
 # Cache invariants.

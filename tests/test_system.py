@@ -13,7 +13,7 @@ from repro.sim.arbiter import FixedPriorityArbiter, RoundRobinArbiter
 from repro.sim.isa import Load, Nop, Program, Store
 from repro.sim.system import System
 
-from .test_core import micro_config
+from test_core import micro_config
 
 
 class TestConstruction:

@@ -18,7 +18,7 @@ from repro.sim.arbiter import FifoArbiter, FixedPriorityArbiter, TdmaArbiter
 from repro.sim.isa import Load, Program
 from repro.sim.system import System
 
-from .test_core import micro_config
+from test_core import micro_config
 
 
 def run_rsk_under_arbiter(config, arbiter, iterations=40, observed_core=0):
