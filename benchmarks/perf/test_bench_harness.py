@@ -1,0 +1,130 @@
+"""Smoke tests for the perf harness and its compare gate.
+
+These run one tiny workload through the real measurement loop (so the
+BENCH payload schema stays exercised in tier-1) and check the compare
+gate's pass/fail behaviour with doctored payloads.  The actual speedup
+numbers are asserted only loosely here — the CI perf job and the committed
+baseline gate the real magnitudes.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchWorkload,
+    compare_payloads,
+    load_payload,
+    render_report,
+    run_benchmarks,
+)
+from repro.bench.__main__ import main as bench_main
+
+TINY = BenchWorkload(
+    name="small/round_robin/load",
+    preset="small",
+    arbiter="round_robin",
+    iterations=120,
+    quick_iterations=120,
+)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_benchmarks(workloads=(TINY,), quick=True, repeats=1, rev="test")
+
+
+class TestHarness:
+    def test_payload_schema(self, payload):
+        assert payload["schema"] == BENCH_SCHEMA_VERSION
+        assert payload["rev"] == "test"
+        (entry,) = payload["workloads"]
+        assert entry["name"] == TINY.name
+        assert entry["cycles"] > 0
+        assert entry["engines"]["stepped"]["cycles"] == entry["engines"]["event"]["cycles"]
+        assert entry["speedup"] > 0
+        assert payload["summary"]["min_speedup"] == entry["speedup"]
+
+    def test_payload_is_json_serialisable(self, payload):
+        rebuilt = json.loads(json.dumps(payload))
+        assert rebuilt["workloads"][0]["name"] == TINY.name
+
+    def test_render_report_mentions_every_workload(self, payload):
+        report = render_report(payload)
+        assert TINY.name in report
+        assert "speedup" in report
+
+
+class TestCompareGate:
+    def test_identical_payloads_pass(self, payload):
+        result = compare_payloads(payload, payload)
+        assert result.ok
+        assert not result.regressions
+
+    def test_regression_fails(self, payload):
+        slower = copy.deepcopy(payload)
+        slower["workloads"][0]["speedup"] *= 0.5
+        result = compare_payloads(payload, slower, max_regression=0.15)
+        assert not result.ok
+        assert result.regressions == [TINY.name]
+        assert "REGRESSED" in result.render()
+
+    def test_within_tolerance_passes(self, payload):
+        slightly = copy.deepcopy(payload)
+        slightly["workloads"][0]["speedup"] *= 0.9
+        assert compare_payloads(payload, slightly, max_regression=0.15).ok
+
+    def test_missing_workload_fails(self, payload):
+        empty = copy.deepcopy(payload)
+        empty["workloads"] = []
+        result = compare_payloads(payload, empty)
+        assert not result.ok
+        assert "MISSING" in result.render()
+
+    def test_new_workloads_are_not_gated(self, payload):
+        grown = copy.deepcopy(payload)
+        extra = copy.deepcopy(grown["workloads"][0])
+        extra["name"] = "extra/workload"
+        grown["workloads"].append(extra)
+        result = compare_payloads(payload, grown)
+        assert result.ok
+        assert "new" in result.render()
+
+
+class TestCli:
+    def test_run_and_compare_round_trip(self, tmp_path, capsys):
+        code = bench_main(
+            [
+                "run",
+                "--quick",
+                "--repeats",
+                "1",
+                "--rev",
+                "cli-test",
+                "--out",
+                str(tmp_path),
+                "--workload",
+                "ref/round_robin/load",
+            ]
+        )
+        assert code == 0
+        artifact = tmp_path / "BENCH_cli-test.json"
+        assert artifact.is_file()
+        payload = load_payload(artifact)
+        assert payload["workloads"][0]["name"] == "ref/round_robin/load"
+        code = bench_main(
+            ["compare", str(artifact), str(artifact), "--max-regression", "0.15"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_compare_rejects_bad_schema(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps({"schema": -1, "workloads": []}), encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_payload(bad)

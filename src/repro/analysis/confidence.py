@@ -17,7 +17,7 @@ report the methodology attaches to every estimate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from .injection import DeltaNopEstimate

@@ -16,7 +16,7 @@ Both histograms are produced from the request trace collected by
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import AnalysisError

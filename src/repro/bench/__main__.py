@@ -1,0 +1,131 @@
+"""Command-line entry point: ``python -m repro.bench``.
+
+Subcommands::
+
+    run      time the workload grid on both engines, write BENCH_<rev>.json
+    compare  gate a new payload against a baseline payload
+
+See :mod:`repro.bench` for the artifact schema and gating semantics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .compare import METRICS, compare_files
+from .harness import WORKLOADS, render_report, run_benchmarks
+
+
+def _detect_rev() -> str:
+    """Short git revision of the working tree, or ``local`` outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        return out.stdout.strip() or "local"
+    except (OSError, subprocess.SubprocessError):
+        return "local"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Create the argument parser for ``python -m repro.bench``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Perf harness: time the simulation engines and gate regressions",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="time the workload grid, emit BENCH_<rev>.json")
+    run.add_argument(
+        "--quick", action="store_true", help="reduced workload sizes (CI smoke mode)"
+    )
+    run.add_argument(
+        "--out",
+        metavar="DIR",
+        default="benchmarks/perf/out",
+        help="directory for the BENCH_<rev>.json artifact (default: benchmarks/perf/out)",
+    )
+    run.add_argument(
+        "--rev",
+        default=None,
+        help="revision label for the artifact name (default: git short hash)",
+    )
+    run.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="runs per engine per workload; best wall time is kept (default: 2)",
+    )
+    run.add_argument(
+        "--workload",
+        action="append",
+        choices=[workload.name for workload in WORKLOADS],
+        help="restrict to specific workloads (repeatable; default: all)",
+    )
+
+    compare = subparsers.add_parser(
+        "compare", help="gate new BENCH payload(s) against a baseline"
+    )
+    compare.add_argument("old", help="baseline BENCH_*.json")
+    compare.add_argument("new", nargs="+", help="candidate BENCH_*.json file(s)")
+    compare.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.15,
+        help="allowed fractional drop of the gated metric (default: 0.15)",
+    )
+    compare.add_argument(
+        "--metric",
+        choices=METRICS,
+        default="speedup",
+        help="gated metric; speedup is host-independent (default: speedup)",
+    )
+    return parser
+
+
+def _run(args: argparse.Namespace) -> int:
+    rev = args.rev if args.rev is not None else _detect_rev()
+    workloads = WORKLOADS
+    if args.workload:
+        wanted = set(args.workload)
+        workloads = tuple(w for w in WORKLOADS if w.name in wanted)
+    payload = run_benchmarks(
+        workloads=workloads, quick=args.quick, repeats=args.repeats, rev=rev
+    )
+    print(render_report(payload))
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{rev}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"\nWrote {path}")
+    return 0
+
+
+def _compare(args: argparse.Namespace) -> int:
+    result = compare_files(
+        args.old, args.new, max_regression=args.max_regression, metric=args.metric
+    )
+    print(result.render())
+    return 0 if result.ok else 2
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.bench``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _run(args)
+    return _compare(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""The perf-regression compare gate.
+
+Compares two BENCH payloads workload by workload and fails when the gated
+metric of any workload dropped by more than the allowed fraction.  The
+default metric is ``speedup`` (event vs stepped, measured in the same
+process), which is a same-machine ratio and therefore meaningful even when
+the two payloads were produced on different hosts — e.g. a committed
+baseline compared against a CI runner.  ``cycles_per_sec`` can be gated
+instead when both payloads come from the same machine.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from .harness import BENCH_SCHEMA_VERSION
+
+#: Metrics the gate can check.
+METRICS = ("speedup", "cycles_per_sec")
+
+
+@dataclass
+class CompareResult:
+    """Outcome of one payload comparison.
+
+    Attributes:
+        ok: True when no workload regressed beyond the tolerance.
+        lines: human-readable report (one row per compared workload).
+        regressions: names of the workloads that failed the gate.
+    """
+
+    ok: bool
+    lines: List[str] = field(default_factory=list)
+    regressions: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The report as a single printable string."""
+        return "\n".join(self.lines)
+
+
+def load_payload(path) -> Dict[str, object]:
+    """Read a BENCH_*.json payload, validating its schema stamp."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("schema") != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: BENCH schema {data.get('schema')!r} does not match "
+            f"this tool's schema {BENCH_SCHEMA_VERSION}"
+        )
+    return data
+
+
+def _metric_of(entry: Dict[str, object], metric: str) -> float:
+    if metric == "speedup":
+        return float(entry["speedup"])
+    if metric == "cycles_per_sec":
+        return float(entry["engines"]["event"]["cycles_per_sec"])
+    raise ValueError(f"unknown metric {metric!r}; available: {list(METRICS)}")
+
+
+def compare_payloads(
+    old: Dict[str, object],
+    new: Dict[str, object],
+    max_regression: float = 0.15,
+    metric: str = "speedup",
+) -> CompareResult:
+    """Gate ``new`` against ``old``: every old workload must still exist and
+    must not have lost more than ``max_regression`` of its metric.
+
+    Workloads only present in ``new`` are reported but never gated — adding
+    coverage must not fail the build.
+    """
+    if not 0 <= max_regression < 1:
+        raise ValueError(f"max_regression must be in [0, 1), got {max_regression}")
+    old_entries = {entry["name"]: entry for entry in old["workloads"]}
+    new_entries = {entry["name"]: entry for entry in new["workloads"]}
+    result = CompareResult(ok=True)
+    result.lines.append(
+        f"comparing {metric} (old rev {old.get('rev')}, new rev {new.get('rev')}, "
+        f"max regression {max_regression:.0%})"
+    )
+    if old.get("quick") != new.get("quick"):
+        result.lines.append(
+            f"warning: payloads were measured at different sizes "
+            f"(old quick={old.get('quick')}, new quick={new.get('quick')}); "
+            "speedups are not directly comparable — regenerate the baseline "
+            "at the same size"
+        )
+    result.lines.append(
+        f"{'workload':28s} {'old':>9s} {'new':>9s} {'ratio':>7s}  verdict"
+    )
+    for name, old_entry in old_entries.items():
+        new_entry = new_entries.get(name)
+        if new_entry is None:
+            result.ok = False
+            result.regressions.append(name)
+            result.lines.append(f"{name:28s} {'-':>9s} {'-':>9s} {'-':>7s}  MISSING")
+            continue
+        old_value = _metric_of(old_entry, metric)
+        new_value = _metric_of(new_entry, metric)
+        ratio = new_value / old_value if old_value else 0.0
+        regressed = ratio < 1.0 - max_regression
+        if regressed:
+            result.ok = False
+            result.regressions.append(name)
+        result.lines.append(
+            f"{name:28s} {old_value:>9.2f} {new_value:>9.2f} {ratio:>7.2f}  "
+            f"{'REGRESSED' if regressed else 'ok'}"
+        )
+    for name in new_entries:
+        if name not in old_entries:
+            result.lines.append(
+                f"{name:28s} {'-':>9s} "
+                f"{_metric_of(new_entries[name], metric):>9.2f} {'-':>7s}  new"
+            )
+    verdict = "PASS" if result.ok else "FAIL"
+    result.lines.append(
+        f"{verdict}: {len(result.regressions)} regression(s) out of "
+        f"{len(old_entries)} gated workload(s)"
+    )
+    return result
+
+
+def compare_files(
+    old_path,
+    new_paths: Sequence,
+    max_regression: float = 0.15,
+    metric: str = "speedup",
+) -> CompareResult:
+    """File-level wrapper: gate every payload in ``new_paths`` against ``old_path``."""
+    old = load_payload(old_path)
+    merged = CompareResult(ok=True)
+    for new_path in new_paths:
+        result = compare_payloads(
+            old, load_payload(new_path), max_regression=max_regression, metric=metric
+        )
+        merged.ok = merged.ok and result.ok
+        merged.lines.extend(result.lines)
+        merged.regressions.extend(result.regressions)
+    return merged

@@ -1,0 +1,242 @@
+"""Benchmark workloads and the measurement loop.
+
+A :class:`BenchWorkload` describes one contended rsk run — the hot path
+every campaign, methodology sweep and figure regeneration spends its time
+in — on one platform preset and arbiter.  :func:`run_benchmarks` executes
+each workload once per engine, checks that both engines simulated the exact
+same number of cycles (a cheap standing equivalence guard on top of the
+property tests) and reports wall-clock, cycles/sec and the event engine's
+speedup over the stepped oracle.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import ENGINES, get_preset
+from ..errors import SimulationError
+from ..kernels.rsk import build_rsk
+from ..methodology.experiment import build_contender_set
+from ..sim.system import System
+
+#: Version stamp embedded in BENCH_*.json; bump when the payload layout or
+#: the meaning of a metric changes, so the compare gate never misreads a
+#: stale baseline.
+BENCH_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchWorkload:
+    """One timed workload: a contended rsk run on a preset platform.
+
+    Attributes:
+        name: stable identifier used to match workloads across payloads.
+        preset: platform preset (``ref``, ``var``, ``small``).
+        arbiter: bus arbitration policy.
+        kind: rsk flavour (``"load"`` or ``"store"``).
+        preload_l2: warm the L2 first (True gives the paper's L2-hit hot
+            path; False sends every miss to the DRAM model).
+        iterations: observed-rsk loop iterations in full mode.
+        quick_iterations: reduced size for ``--quick`` (CI) runs.
+    """
+
+    name: str
+    preset: str
+    arbiter: str
+    kind: str = "load"
+    preload_l2: bool = True
+    iterations: int = 2500
+    quick_iterations: int = 700
+
+
+def _grid() -> Tuple[BenchWorkload, ...]:
+    workloads: List[BenchWorkload] = []
+    for preset in ("ref", "var"):
+        for arbiter in ("round_robin", "fifo", "fixed_priority", "tdma"):
+            workloads.append(
+                BenchWorkload(
+                    name=f"{preset}/{arbiter}/load",
+                    preset=preset,
+                    arbiter=arbiter,
+                )
+            )
+    workloads.append(
+        BenchWorkload(
+            name="ref/round_robin/load-dram",
+            preset="ref",
+            arbiter="round_robin",
+            preload_l2=False,
+            iterations=1500,
+            quick_iterations=450,
+        )
+    )
+    workloads.append(
+        BenchWorkload(
+            name="ref/round_robin/store",
+            preset="ref",
+            arbiter="round_robin",
+            kind="store",
+        )
+    )
+    return tuple(workloads)
+
+
+#: The representative workload grid (per arbiter x preset, plus the DRAM
+#: and store-buffer variants of the paper's default platform).
+WORKLOADS: Tuple[BenchWorkload, ...] = _grid()
+
+#: The workload the headline speedup is quoted on: the paper's default
+#: platform (``ref``) with its round-robin bus running the load rsk.
+DEFAULT_WORKLOAD = "ref/round_robin/load"
+
+
+def _build_system(workload: BenchWorkload, quick: bool) -> Tuple[System, int]:
+    config = get_preset(workload.preset)
+    config = config.with_overrides(bus=replace(config.bus, arbitration=workload.arbiter))
+    iterations = workload.quick_iterations if quick else workload.iterations
+    scua = build_rsk(config, 0, kind=workload.kind, iterations=iterations)
+    contenders = build_contender_set(config, 0, kind=workload.kind)
+    programs: List[Optional[object]] = [None] * config.num_cores
+    programs[0] = scua
+    for core, program in contenders.items():
+        programs[core] = program
+    system = System(
+        config,
+        programs,
+        preload_l2=workload.preload_l2,
+        preload_il1=True,
+    )
+    return system, iterations
+
+
+def _time_engine(
+    workload: BenchWorkload, engine: str, quick: bool, repeats: int
+) -> Dict[str, float]:
+    best_seconds = None
+    cycles = None
+    for _ in range(max(1, repeats)):
+        system, _ = _build_system(workload, quick)
+        started = time.perf_counter()
+        result = system.run(observed_cores=[0], engine=engine)
+        elapsed = time.perf_counter() - started
+        if cycles is None:
+            cycles = result.cycles
+        elif cycles != result.cycles:
+            raise SimulationError(
+                f"{workload.name}: {engine} engine is nondeterministic "
+                f"({cycles} vs {result.cycles} cycles)"
+            )
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+    return {
+        "cycles": cycles,
+        "seconds": best_seconds,
+        "cycles_per_sec": cycles / best_seconds if best_seconds else 0.0,
+    }
+
+
+def run_benchmarks(
+    workloads: Sequence[BenchWorkload] = WORKLOADS,
+    quick: bool = False,
+    repeats: int = 2,
+    rev: str = "local",
+) -> Dict[str, object]:
+    """Time ``workloads`` on both engines and return the BENCH payload.
+
+    Each engine is run ``repeats`` times per workload and the best wall
+    time is kept (first-run noise on shared CI machines would otherwise
+    dominate).  Both engines must simulate the same cycle count for every
+    workload — a mismatch means the event engine broke cycle-exactness and
+    is reported as an error rather than a slow result.
+    """
+    entries: List[Dict[str, object]] = []
+    for workload in workloads:
+        engines: Dict[str, Dict[str, float]] = {}
+        for engine in ENGINES:
+            engines[engine] = _time_engine(workload, engine, quick, repeats)
+        if engines["stepped"]["cycles"] != engines["event"]["cycles"]:
+            raise SimulationError(
+                f"{workload.name}: engines disagree on the cycle count "
+                f"(stepped {engines['stepped']['cycles']}, "
+                f"event {engines['event']['cycles']}); the event engine is "
+                "no longer cycle-exact"
+            )
+        speedup = (
+            engines["event"]["cycles_per_sec"] / engines["stepped"]["cycles_per_sec"]
+            if engines["stepped"]["cycles_per_sec"]
+            else 0.0
+        )
+        entries.append(
+            {
+                "name": workload.name,
+                "preset": workload.preset,
+                "arbiter": workload.arbiter,
+                "kind": workload.kind,
+                "preload_l2": workload.preload_l2,
+                "iterations": workload.quick_iterations if quick else workload.iterations,
+                "cycles": engines["event"]["cycles"],
+                "engines": engines,
+                "speedup": speedup,
+            }
+        )
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "rev": rev,
+        "quick": quick,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "workloads": entries,
+        "summary": _summarize(entries),
+    }
+
+
+def _summarize(entries: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    speedups = [entry["speedup"] for entry in entries if entry["speedup"] > 0]
+    geomean = 1.0
+    if speedups:
+        product = 1.0
+        for value in speedups:
+            product *= value
+        geomean = product ** (1.0 / len(speedups))
+    default = next(
+        (entry for entry in entries if entry["name"] == DEFAULT_WORKLOAD), None
+    )
+    return {
+        "geomean_speedup": geomean,
+        "min_speedup": min(speedups) if speedups else 0.0,
+        "max_speedup": max(speedups) if speedups else 0.0,
+        "default_workload": DEFAULT_WORKLOAD,
+        "default_speedup": default["speedup"] if default else None,
+    }
+
+
+def render_report(payload: Dict[str, object]) -> str:
+    """Render a BENCH payload as an aligned plain-text table."""
+    lines = [
+        f"rev {payload['rev']}  (quick={payload['quick']}, repeats={payload['repeats']}, "
+        f"python {payload['python']})",
+        f"{'workload':28s} {'cycles':>10s} {'stepped kc/s':>13s} "
+        f"{'event kc/s':>11s} {'speedup':>8s}",
+    ]
+    for entry in payload["workloads"]:
+        stepped = entry["engines"]["stepped"]["cycles_per_sec"] / 1e3
+        event = entry["engines"]["event"]["cycles_per_sec"] / 1e3
+        lines.append(
+            f"{entry['name']:28s} {entry['cycles']:>10d} {stepped:>13.0f} "
+            f"{event:>11.0f} {entry['speedup']:>7.2f}x"
+        )
+    summary = payload["summary"]
+    line = (
+        f"geomean {summary['geomean_speedup']:.2f}x, "
+        f"min {summary['min_speedup']:.2f}x, max {summary['max_speedup']:.2f}x"
+    )
+    if summary["default_speedup"] is not None:
+        line += (
+            f"; default ({summary['default_workload']}) "
+            f"{summary['default_speedup']:.2f}x"
+        )
+    lines.append(line)
+    return "\n".join(lines)

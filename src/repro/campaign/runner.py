@@ -41,8 +41,13 @@ def execute_run(descriptor: RunDescriptor) -> Dict[str, object]:
     This is the worker function shipped to pool processes; it must stay a
     module-level callable so descriptors and results pickle cleanly.  The
     returned record intentionally contains no wall-clock or host metadata —
-    it is the cacheable, machine-independent part of a campaign result.
+    it is the cacheable, machine-independent part of a campaign result.  The
+    simulation engine is stripped from the embedded configuration for the
+    same reason it is excluded from the digest: both engines are cycle-exact,
+    so artifacts must be byte-identical whichever one produced them.
     """
+    config_dict = descriptor.config.to_dict()
+    config_dict.pop("engine", None)
     record: Dict[str, object] = {
         "schema": SCHEMA_VERSION,
         "digest": descriptor.digest(),
@@ -54,7 +59,7 @@ def execute_run(descriptor: RunDescriptor) -> Dict[str, object]:
         "observed_core": descriptor.observed_core,
         "iterations": descriptor.iterations,
         "seed": descriptor.seed,
-        "config": descriptor.config.to_dict(),
+        "config": config_dict,
     }
     if descriptor.kind == KIND_SYNTHETIC:
         record["metrics"] = _synthetic_metrics(descriptor)

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
-from ..config import ArchConfig, canonical_digest, get_preset
+from ..config import ENGINES, ArchConfig, canonical_digest, get_preset
 from ..errors import MethodologyError
 from ..kernels.synthetic import synthetic_kernel_names
 from ..methodology.workloads import random_workloads
@@ -101,10 +101,13 @@ class RunDescriptor:
 
         ``run_id``, ``preset`` and the configuration's ``name`` are labels,
         not simulation inputs, so they do not participate; everything that
-        can change a single simulated cycle does.
+        can change a single simulated cycle does.  The simulation ``engine``
+        is excluded too: both engines are cycle-exact (property-tested), so
+        campaigns run with either engine share cache entries.
         """
         config_dict = self.config.to_dict()
         del config_dict["name"]
+        del config_dict["engine"]
         return canonical_digest(
             {
                 "schema": SCHEMA_VERSION,
@@ -136,6 +139,9 @@ class CampaignSpec:
             point (the light bars of Figure 6(a)).
         rsk_iterations: loop iterations of the observed rsk.
         kernel_pool: synthetic kernel names to draw from (default full suite).
+        engine: simulation engine for every run (``"event"`` — the fast
+            path — or ``"stepped"``, the cycle-by-cycle oracle).  Both are
+            cycle-exact, so this never changes results or cache keys.
     """
 
     presets: Tuple[str, ...] = ("ref",)
@@ -147,8 +153,13 @@ class CampaignSpec:
     include_rsk_reference: bool = True
     rsk_iterations: int = 125
     kernel_pool: Optional[Tuple[str, ...]] = None
+    engine: str = "event"
 
     def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise MethodologyError(
+                f"unknown simulation engine {self.engine!r}; available: {list(ENGINES)}"
+            )
         if not self.presets:
             raise MethodologyError("a campaign needs at least one preset")
         if not self.arbiters:
@@ -175,7 +186,8 @@ class CampaignSpec:
             base = get_preset(preset)
             for arbiter in self.arbiters:
                 config = base.with_overrides(
-                    bus=replace(base.bus, arbitration=arbiter)
+                    bus=replace(base.bus, arbitration=arbiter),
+                    engine=self.engine,
                 )
                 counts = self.contender_counts or (config.num_cores - 1,)
                 for count in counts:

@@ -32,7 +32,7 @@ from .campaign import (
     ResultCache,
     write_campaign_artifacts,
 )
-from .config import ARBITRATION_POLICIES, PRESETS, get_preset
+from .config import ARBITRATION_POLICIES, ENGINES, PRESETS, get_preset
 from .errors import ReproError
 from .kernels.rsk import build_rsk
 from .methodology.experiment import ExperimentRunner
@@ -47,13 +47,21 @@ def build_parser() -> argparse.ArgumentParser:
     """Create the argument parser for the ``repro-bounds`` command."""
     parser = argparse.ArgumentParser(
         prog="repro-bounds",
-        description="Measurement-based contention bounds for round-robin buses (DAC 2015 reproduction)",
+        description="Measurement-based contention bounds for round-robin buses "
+        "(DAC 2015 reproduction)",
     )
     parser.add_argument(
         "--preset",
         choices=sorted(PRESETS),
         default="ref",
         help="platform preset to simulate (default: ref)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="event",
+        help="simulation engine: the event-driven fast path or the stepped "
+        "cycle-by-cycle oracle; both are cycle-exact (default: event)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -120,7 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_derive_ubd(args: argparse.Namespace) -> int:
-    config = get_preset(args.preset)
+    config = get_preset(args.preset, engine=args.engine)
     estimator = UbdEstimator(
         config,
         instruction_type=args.instruction_type,
@@ -142,7 +150,7 @@ def _run_derive_ubd(args: argparse.Namespace) -> int:
 
 
 def _run_synchrony(args: argparse.Namespace) -> int:
-    config = get_preset(args.preset)
+    config = get_preset(args.preset, engine=args.engine)
     runner = ExperimentRunner(config)
     scua = build_rsk(config, 0, iterations=args.iterations)
     contended = runner.run_against_rsk(scua, trace=True)
@@ -171,6 +179,7 @@ def _run_campaign(args: argparse.Namespace) -> int:
         num_workloads=args.workloads,
         iterations=args.iterations,
         rsk_iterations=args.iterations * 5,
+        engine=args.engine,
     )
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     runner = ParallelRunner(jobs=args.jobs, cache=cache)

@@ -41,6 +41,15 @@ def _is_power_of_two(value: int) -> bool:
 #: for BusConfig validation and the CLI's ``--arbiter`` choices).
 ARBITRATION_POLICIES = ("round_robin", "fifo", "fixed_priority", "tdma")
 
+#: Simulation engines (single source of truth for ArchConfig validation and
+#: the CLI's ``--engine`` choices).  ``"stepped"`` is the cycle-by-cycle
+#: oracle loop; ``"event"`` is the event-driven fast path that skips the
+#: clock to the next component horizon.  Both are cycle-exact: they produce
+#: identical traces, PMC counts and delay histograms (see
+#: :mod:`repro.sim.scheduler`), so the engine choice is a pure speed knob
+#: and never participates in result digests.
+ENGINES = ("stepped", "event")
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -218,8 +227,13 @@ class ArchConfig:
     store_buffer: StoreBufferConfig = field(default_factory=StoreBufferConfig)
     nop_latency: int = 1
     alu_latency: int = 1
+    engine: str = "event"
 
     def __post_init__(self) -> None:
+        _require(
+            self.engine in ENGINES,
+            f"unsupported simulation engine: {self.engine!r}",
+        )
         _require(self.num_cores >= 1, "need at least one core")
         _require(self.freq_mhz > 0, "frequency must be positive")
         _require(self.nop_latency >= 1, "nop latency must be >= 1")
@@ -313,6 +327,7 @@ class ArchConfig:
             "dl1_latency": self.dl1.hit_latency,
             "l2": f"{self.l2.cache.size_bytes // 1024}KB/{self.l2.cache.ways}w",
             "l2_latency": self.l2.hit_latency,
+            "engine": self.engine,
             "bus_arbitration": self.bus.arbitration,
             "bus_transfer": self.bus.transfer_latency,
             "lbus": self.bus_service_l2_hit,

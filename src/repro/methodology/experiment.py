@@ -16,7 +16,7 @@ work with.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..config import ArchConfig
 from ..errors import MethodologyError

@@ -17,7 +17,7 @@ check an end user would perform to gain confidence in the derived bounds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..config import ArchConfig
 from ..errors import MethodologyError

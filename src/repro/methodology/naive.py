@@ -16,7 +16,6 @@ naive value and both the rsk-nop result and the analytical bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..config import ArchConfig
 from ..errors import MethodologyError

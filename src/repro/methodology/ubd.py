@@ -24,8 +24,8 @@ mode of Section 5.3, where ``ubd`` is genuinely unknown beforehand.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from ..analysis.confidence import ConfidenceReport, assess_confidence
 from ..analysis.injection import DeltaNopEstimate, derive_delta_nop
@@ -33,7 +33,7 @@ from ..analysis.sawtooth import PeriodEstimate, SawtoothAnalyzer
 from ..config import ArchConfig
 from ..errors import AnalysisError, MethodologyError
 from ..kernels.rsk import build_rsk_nop, rsk_request_count
-from .experiment import ContendedMeasurement, ExperimentRunner, IsolationMeasurement
+from .experiment import ExperimentRunner
 
 
 @dataclass(frozen=True)

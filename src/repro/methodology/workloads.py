@@ -10,7 +10,7 @@ EEMBC substitute of :mod:`repro.kernels.synthetic`.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.contention import ContenderHistogram, contender_histogram

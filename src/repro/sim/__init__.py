@@ -24,6 +24,7 @@ from .dram import Dram
 from .l2 import PartitionedL2
 from .memctrl import MemoryController
 from .pmc import PerformanceCounters
+from .scheduler import EventScheduler, SteppedEngine, make_engine
 from .store_buffer import StoreBuffer
 from .system import System, SystemResult
 from .trace import RequestRecord, TraceRecorder
@@ -36,6 +37,7 @@ __all__ = [
     "CacheStats",
     "Core",
     "Dram",
+    "EventScheduler",
     "FifoArbiter",
     "FixedPriorityArbiter",
     "Instruction",
@@ -48,6 +50,7 @@ __all__ = [
     "RequestRecord",
     "RoundRobinArbiter",
     "SetAssociativeCache",
+    "SteppedEngine",
     "Store",
     "StoreBuffer",
     "System",
@@ -55,4 +58,5 @@ __all__ = [
     "TdmaArbiter",
     "TraceRecorder",
     "make_arbiter",
+    "make_engine",
 ]

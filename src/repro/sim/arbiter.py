@@ -48,6 +48,21 @@ class Arbiter:
     def notify_grant(self, cycle: int, port: int) -> None:
         """Inform the arbiter that ``port`` was granted at ``cycle``."""
 
+    def next_event_cycle(self, cycle: int, port: int) -> int:
+        """Earliest cycle >= ``cycle`` at which ``port`` could win a free bus.
+
+        This is the arbiter's contribution to the event-driven scheduler's
+        horizon (see :mod:`repro.sim.scheduler`): work-conserving policies
+        can grant a ready request immediately, so the base implementation
+        returns ``cycle``; schedule-driven policies (TDMA) override it with
+        the start of the port's next eligible slot.  The contract is that no
+        grant may happen strictly before the returned cycle — returning a
+        too-early cycle only costs speed, returning a too-late one would
+        change timing.
+        """
+        del port
+        return cycle
+
     def reset(self) -> None:
         """Restore the arbiter's initial state."""
 
@@ -83,8 +98,17 @@ class RoundRobinArbiter(Arbiter):
 
     def select(self, cycle: int, pending_ports: Sequence[int]) -> int:
         del cycle
+        if len(pending_ports) == 1:
+            return pending_ports[0]
         pending = set(pending_ports)
-        for port in self.priority_order():
+        # Scan i+1, i+2, ... without materialising priority_order(): this
+        # runs once per grant and dominates saturated-bus arbitration.
+        port = self._last_granted
+        num_ports = self.num_ports
+        for _ in range(num_ports):
+            port += 1
+            if port >= num_ports:
+                port = 0
             if port in pending:
                 return port
         raise SimulationError("round-robin arbiter called with no pending ports")
@@ -196,6 +220,10 @@ class TdmaArbiter(Arbiter):
                 if start >= cycle:
                     return start
         raise SimulationError("TDMA schedule search failed")  # pragma: no cover
+
+    def next_event_cycle(self, cycle: int, port: int) -> int:
+        """TDMA horizon: the start of ``port``'s next slot (see base class)."""
+        return self.next_grant_opportunity(cycle, port)
 
 
 def make_arbiter(config: BusConfig, num_ports: int) -> Arbiter:

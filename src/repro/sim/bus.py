@@ -24,11 +24,10 @@ what produces the synchrony effect the paper studies.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Callable, Deque, List, Optional
 
 from ..errors import SimulationError
-from .arbiter import Arbiter, FifoArbiter, TdmaArbiter
+from .arbiter import Arbiter, FifoArbiter
 from .pmc import PerformanceCounters
 from .trace import RequestRecord, TraceRecorder
 
@@ -38,9 +37,12 @@ ServiceCallback = Callable[["BusRequest", int], int]
 CompletionCallback = Callable[["BusRequest", int], None]
 
 
-@dataclass
 class BusRequest:
     """One bus transaction from readiness to completion.
+
+    A ``__slots__`` class rather than a dataclass: request objects are
+    created for every memory access of a simulation, so construction cost
+    matters.
 
     Attributes:
         port: issuing port (core id, or the response port for memory data).
@@ -54,20 +56,49 @@ class BusRequest:
         record: the trace record attached to this request, if tracing is on.
     """
 
-    port: int
-    kind: str
-    addr: int
-    ready_cycle: int
-    origin_core: int = -1
-    on_complete: Optional[CompletionCallback] = None
-    service_cycles: int = 0
-    grant_cycle: int = -1
-    complete_cycle: int = -1
-    record: Optional[RequestRecord] = field(default=None, repr=False)
+    __slots__ = (
+        "port",
+        "kind",
+        "addr",
+        "ready_cycle",
+        "origin_core",
+        "on_complete",
+        "service_cycles",
+        "grant_cycle",
+        "complete_cycle",
+        "record",
+    )
 
-    def __post_init__(self) -> None:
-        if self.origin_core < 0:
-            self.origin_core = self.port
+    def __init__(
+        self,
+        port: int,
+        kind: str,
+        addr: int,
+        ready_cycle: int,
+        origin_core: int = -1,
+        on_complete: Optional[CompletionCallback] = None,
+        service_cycles: int = 0,
+        grant_cycle: int = -1,
+        complete_cycle: int = -1,
+        record: Optional[RequestRecord] = None,
+    ) -> None:
+        self.port = port
+        self.kind = kind
+        self.addr = addr
+        self.ready_cycle = ready_cycle
+        self.origin_core = origin_core if origin_core >= 0 else port
+        self.on_complete = on_complete
+        self.service_cycles = service_cycles
+        self.grant_cycle = grant_cycle
+        self.complete_cycle = complete_cycle
+        self.record = record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BusRequest(port={self.port}, kind={self.kind!r}, addr={self.addr:#x}, "
+            f"ready_cycle={self.ready_cycle}, grant_cycle={self.grant_cycle}, "
+            f"complete_cycle={self.complete_cycle})"
+        )
 
     @property
     def granted(self) -> bool:
@@ -101,6 +132,10 @@ class Bus:
         self._queues: List[Deque[BusRequest]] = [deque() for _ in range(num_ports)]
         self._current: Optional[BusRequest] = None
         self._busy_until = 0
+        #: Number of queued (not yet granted) requests across all ports; a
+        #: cheap counter so the per-cycle arbitration fast path avoids
+        #: scanning the queues when nothing is pending.
+        self._queued_total = 0
         self.granted_count = 0
 
     # ------------------------------------------------------------------ #
@@ -110,16 +145,18 @@ class Bus:
         """Queue ``request`` on its port and snapshot contention information."""
         if not 0 <= request.port < self.num_ports:
             raise SimulationError(f"request posted on invalid port {request.port}")
-        contenders = sum(
-            1
-            for port, queue in enumerate(self._queues)
-            if port != request.port and queue
-        )
-        if self._current is not None and self._current.port != request.port:
-            # A transaction currently holding the bus is also a ready contender
-            # from the point of view of the request being posted.
-            contenders += 1
         if self.trace is not None and self.trace.enabled:
+            # The contention snapshot is only needed for the trace record, so
+            # untraced runs skip the queue scan entirely (posting is hot).
+            contenders = sum(
+                1
+                for port, queue in enumerate(self._queues)
+                if port != request.port and queue
+            )
+            if self._current is not None and self._current.port != request.port:
+                # A transaction currently holding the bus is also a ready
+                # contender from the point of view of the request being posted.
+                contenders += 1
             request.record = RequestRecord(
                 port=request.port,
                 kind=request.kind,
@@ -133,6 +170,7 @@ class Bus:
             # fields in place.
             self.trace.record(request.record)
         self._queues[request.port].append(request)
+        self._queued_total += 1
 
     def pending_count(self, port: int) -> int:
         """Number of queued (not yet granted) requests on ``port``."""
@@ -159,10 +197,15 @@ class Bus:
     # ------------------------------------------------------------------ #
     # Per-cycle phases.
     # ------------------------------------------------------------------ #
-    def deliver(self, cycle: int) -> None:
-        """Phase 1: finish the in-flight transaction if its occupancy ends now."""
+    def deliver(self, cycle: int) -> Optional[BusRequest]:
+        """Phase 1: finish the in-flight transaction if its occupancy ends now.
+
+        Returns the completed request, or ``None`` when nothing completed —
+        the event engine uses this to decide whether any core may have been
+        woken this cycle.
+        """
         if self._current is None or cycle < self._busy_until:
-            return
+            return None
         request = self._current
         self._current = None
         request.complete_cycle = cycle
@@ -173,6 +216,7 @@ class Bus:
             self.pmc.note_bus_service(request.origin_core, request.service_cycles, wait)
         if request.on_complete is not None:
             request.on_complete(request, cycle)
+        return request
 
     def arbitrate(self, cycle: int) -> Optional[BusRequest]:
         """Phase 2: grant one pending request if the bus is free.
@@ -180,7 +224,7 @@ class Bus:
         Returns the granted request, or ``None`` when nothing was granted
         (bus busy, no ready request, or a TDMA slot mismatch).
         """
-        if self._current is not None:
+        if self._current is not None or self._queued_total == 0:
             return None
         pending_ports = [
             port
@@ -197,6 +241,7 @@ class Bus:
         if winner < 0:
             return None  # TDMA: no eligible slot owner this cycle
         request = self._queues[winner].popleft()
+        self._queued_total -= 1
         request.grant_cycle = cycle
         request.service_cycles = self.service_callback(request, cycle)
         if request.service_cycles < 1:
@@ -213,21 +258,39 @@ class Bus:
         return request
 
     # ------------------------------------------------------------------ #
-    # Skip-ahead support.
+    # Event-horizon support (see repro.sim.scheduler).
     # ------------------------------------------------------------------ #
-    def next_activity(self, cycle: int) -> float:
-        """Earliest future cycle at which the bus state can change."""
+    def next_event_cycle(self, cycle: int) -> float:
+        """Earliest future cycle at which the bus state can change.
+
+        While a transaction is in flight the next event is its delivery at
+        ``busy_until``.  On a free bus, the next event is the earliest cycle
+        at which a queued request both is ready and could win arbitration —
+        the arbiter contributes the latter through
+        :meth:`repro.sim.arbiter.Arbiter.next_event_cycle`, which lets
+        schedule-driven policies (TDMA) push the horizon to their next slot.
+        ``inf`` means the bus is idle with empty queues and will only move
+        again when someone posts a request.
+        """
         if self._current is not None:
             return self._busy_until
-        candidates: List[float] = []
+        if self._queued_total == 0:
+            return float("inf")
+        arbiter = self.arbiter
+        horizon = float("inf")
         for port, queue in enumerate(self._queues):
             if not queue:
                 continue
-            ready = max(queue[0].ready_cycle, cycle)
-            if isinstance(self.arbiter, TdmaArbiter):
-                ready = max(ready, self.arbiter.next_grant_opportunity(ready, port))
-            candidates.append(ready)
-        return min(candidates) if candidates else float("inf")
+            ready = queue[0].ready_cycle
+            if ready < cycle:
+                ready = cycle
+            grant = arbiter.next_event_cycle(ready, port)
+            if grant < horizon:
+                horizon = grant
+        return horizon
+
+    #: Backwards-compatible alias for the pre-scheduler skip-ahead API.
+    next_activity = next_event_cycle
 
     def reset(self) -> None:
         """Drop all queued requests and clear the in-flight transaction."""
@@ -235,5 +298,6 @@ class Bus:
             queue.clear()
         self._current = None
         self._busy_until = 0
+        self._queued_total = 0
         self.granted_count = 0
         self.arbiter.reset()

@@ -8,7 +8,7 @@ way masking, the way-partitioned shared L2 (see :mod:`repro.sim.l2`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import CacheConfig
@@ -54,13 +54,11 @@ class CacheStats:
         self.evictions = 0
 
 
-@dataclass
-class _Line:
-    """One cache line: its tag plus the recency/insertion stamp."""
-
-    tag: int
-    stamp: int
-    dirty: bool = False
+# A resident line is a two-element list ``[stamp, dirty]`` keyed by tag in
+# its set's dict.  A plain list (not a dataclass) because line creation and
+# stamp updates run for every memory access of a simulation.
+_STAMP = 0
+_DIRTY = 1
 
 
 class SetAssociativeCache:
@@ -75,10 +73,16 @@ class SetAssociativeCache:
         self.config = config
         self.name = name
         self.stats = CacheStats()
-        self._sets: List[Dict[int, _Line]] = [dict() for _ in range(config.num_sets)]
+        self._sets: List[Dict[int, List]] = [dict() for _ in range(config.num_sets)]
         self._stamp = 0
         self._line_shift = config.line_size.bit_length() - 1
         self._index_mask = config.num_sets - 1
+        # Hot-path constants: lookups/fills run for every instruction of a
+        # simulation, so the policy strings and index geometry are resolved
+        # once here instead of per access.
+        self._index_bits = self._index_mask.bit_length()
+        self._lru = config.replacement == "lru"
+        self._write_back = config.write_policy == "write_back"
 
     # ------------------------------------------------------------------ #
     # Address helpers.
@@ -93,7 +97,7 @@ class SetAssociativeCache:
 
     def tag(self, addr: int) -> int:
         """Return the tag bits of ``addr``."""
-        return addr >> self._line_shift >> (self._index_mask.bit_length())
+        return addr >> self._line_shift >> self._index_bits
 
     # ------------------------------------------------------------------ #
     # Lookups and fills.
@@ -104,9 +108,12 @@ class SetAssociativeCache:
 
     def contains(self, addr: int) -> bool:
         """Return True if the line holding ``addr`` is present (no side effects)."""
-        return self.tag(addr) in self._sets[self.set_index(addr)]
+        block = addr >> self._line_shift
+        return (block >> self._index_bits) in self._sets[block & self._index_mask]
 
-    def lookup(self, addr: int, is_write: bool = False, ways: Optional[Sequence[int]] = None) -> bool:
+    def lookup(
+        self, addr: int, is_write: bool = False, ways: Optional[Sequence[int]] = None
+    ) -> bool:
         """Perform one access and return whether it hit.
 
         Args:
@@ -121,14 +128,15 @@ class SetAssociativeCache:
         the bus.
         """
         del ways  # the flat cache ignores way restrictions
-        line_set = self._sets[self.set_index(addr)]
-        tag = self.tag(addr)
-        line = line_set.get(tag)
+        block = addr >> self._line_shift
+        line_set = self._sets[block & self._index_mask]
+        line = line_set.get(block >> self._index_bits)
         if line is not None:
-            if self.config.replacement == "lru":
-                line.stamp = self._next_stamp()
+            if self._lru:
+                self._stamp += 1
+                line[_STAMP] = self._stamp
             if is_write:
-                line.dirty = self.config.write_policy == "write_back"
+                line[_DIRTY] = self._write_back
                 self.stats.write_hits += 1
             else:
                 self.stats.read_hits += 1
@@ -145,20 +153,29 @@ class SetAssociativeCache:
         Returns ``None`` when no eviction was necessary.  The caller is
         responsible for issuing any write-back traffic for dirty victims.
         """
-        line_set = self._sets[self.set_index(addr)]
-        tag = self.tag(addr)
-        if tag in line_set:
+        block = addr >> self._line_shift
+        index = block & self._index_mask
+        line_set = self._sets[index]
+        tag = block >> self._index_bits
+        line = line_set.get(tag)
+        if line is not None:
             # Refilling a present line only refreshes its stamp.
-            line_set[tag].stamp = self._next_stamp()
-            line_set[tag].dirty = line_set[tag].dirty or dirty
+            line[_STAMP] = self._next_stamp()
+            line[_DIRTY] = line[_DIRTY] or dirty
             return None
         victim_addr: Optional[int] = None
         if len(line_set) >= self.config.ways:
-            victim_tag, victim = min(line_set.items(), key=lambda item: item[1].stamp)
+            victim_tag = None
+            victim_stamp = None
+            for candidate_tag, candidate in line_set.items():
+                stamp = candidate[_STAMP]
+                if victim_stamp is None or stamp < victim_stamp:
+                    victim_stamp = stamp
+                    victim_tag = candidate_tag
             del line_set[victim_tag]
             self.stats.evictions += 1
-            victim_addr = self._reconstruct_address(victim_tag, self.set_index(addr))
-        line_set[tag] = _Line(tag=tag, stamp=self._next_stamp(), dirty=dirty)
+            victim_addr = self._reconstruct_address(victim_tag, index)
+        line_set[tag] = [self._next_stamp(), dirty]
         self.stats.fills += 1
         return victim_addr
 
@@ -246,9 +263,10 @@ class WayPartitionedCache(SetAssociativeCache):
         tag = self.tag(addr)
         line_set = self._sets[index]
         way_map = self._line_way[index]
-        if tag in line_set:
-            line_set[tag].stamp = self._next_stamp()
-            line_set[tag].dirty = line_set[tag].dirty or dirty
+        line = line_set.get(tag)
+        if line is not None:
+            line[_STAMP] = self._next_stamp()
+            line[_DIRTY] = line[_DIRTY] or dirty
             return None
         used = {way_map[t]: t for t in line_set if way_map.get(t) is not None}
         free_ways = [w for w in ways if w not in used]
@@ -257,7 +275,9 @@ class WayPartitionedCache(SetAssociativeCache):
             chosen_way = free_ways[0]
         else:
             # Evict the least recently used line among the owner's ways.
-            candidates = [(line_set[t].stamp, t, w) for w, t in used.items() if w in ways]
+            candidates = [
+                (line_set[t][_STAMP], t, w) for w, t in used.items() if w in ways
+            ]
             if not candidates:
                 raise SimulationError(
                     f"partition for owner {owner} has no resident lines to evict"
@@ -267,7 +287,7 @@ class WayPartitionedCache(SetAssociativeCache):
             del way_map[victim_tag]
             self.stats.evictions += 1
             victim_addr = self._reconstruct_address(victim_tag, index)
-        line_set[tag] = _Line(tag=tag, stamp=self._next_stamp(), dirty=dirty)
+        line_set[tag] = [self._next_stamp(), dirty]
         way_map[tag] = chosen_way
         self.stats.fills += 1
         return victim_addr

@@ -115,18 +115,46 @@ class Core:
         """True while the core is stalled waiting for a bus transaction."""
         return self.state in (CoreState.WAIT_IFETCH, CoreState.WAIT_LOAD)
 
-    def next_activity(self, cycle: int) -> float:
+    def next_event_cycle(self, cycle: int) -> float:
         """Earliest future cycle at which this core will do work on its own.
 
-        Cores stalled on the bus or on the store buffer are woken by bus
-        completions, which the system already includes in its skip-ahead
-        computation, so they report "no self-driven activity".
+        This is the core's horizon contribution to the event-driven scheduler
+        (see :mod:`repro.sim.scheduler`): an executing core's next event is
+        the end of its occupancy; a ready core acts on the very next visited
+        cycle.  Cores stalled on the bus or on the store buffer are woken by
+        bus completions, which the scheduler already includes through the bus
+        and memory-controller horizons, so they report "no self-driven
+        activity" (``inf``).
         """
         if self.state is CoreState.EXECUTING:
             return max(self._busy_until, cycle + 1)
-        if self.state in (CoreState.READY,):
+        if self.state is CoreState.READY:
             return cycle
         return float("inf")
+
+    #: Backwards-compatible alias for the pre-scheduler skip-ahead API.
+    next_activity = next_event_cycle
+
+    def needs_tick(self, cycle: int) -> bool:
+        """True when :meth:`tick` would change state at ``cycle``.
+
+        The event engine uses this to skip the per-cycle tick of cores that
+        provably cannot act: a core waiting on the bus (or done) with no
+        drainable store does nothing in :meth:`tick`, so skipping the call is
+        observationally equivalent.  Must be evaluated *after* the cycle's
+        delivery phases — a bus completion may have just made the core ready
+        or exposed a new store-buffer head.
+        """
+        state = self.state
+        if state is CoreState.READY or state is CoreState.STALL_STORE_BUFFER:
+            return True
+        if state is CoreState.EXECUTING and cycle >= self._busy_until:
+            return True
+        # Equivalent to store_buffer.head_ready_to_issue() is not None, open-
+        # coded because this predicate runs for every core on every visited
+        # cycle of the event engine.
+        store_buffer = self.store_buffer
+        return bool(store_buffer._entries) and not store_buffer._head_in_flight
 
     # ------------------------------------------------------------------ #
     # Per-cycle execution.

@@ -21,8 +21,8 @@ on a single clock domain.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from ..config import DramConfig
 from ..errors import SimulationError
@@ -142,6 +142,22 @@ class Dram:
             row=row,
             category=category,
         )
+
+    def next_event_cycle(self, cycle: int) -> float:
+        """Earliest future cycle at which any busy bank becomes free again.
+
+        The DRAM is pull-based — accesses are scheduled synchronously by the
+        memory controller, and read completions are tracked by the
+        controller's in-flight heap — so this horizon is *not* needed for
+        cycle-exact event scheduling.  It is exposed for introspection and
+        symmetry with the other components' ``next_event_cycle`` contract:
+        ``inf`` means every bank is idle.
+        """
+        horizon = float("inf")
+        for bank in self._banks:
+            if bank.busy_until > cycle and bank.busy_until < horizon:
+                horizon = bank.busy_until
+        return horizon
 
     def bank_busy_until(self, bank_index: int) -> int:
         """Cycle at which ``bank_index`` becomes free."""

@@ -13,7 +13,7 @@ access statistics per core.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..config import ArchConfig

@@ -11,7 +11,7 @@ subsequent reads, as on the real platform.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from ..config import DramConfig
@@ -58,7 +58,9 @@ class MemoryController:
             uses it to post the response transfer on the bus.
     """
 
-    def __init__(self, dram_config: DramConfig, read_callback: Optional[ReadCallback] = None) -> None:
+    def __init__(
+        self, dram_config: DramConfig, read_callback: Optional[ReadCallback] = None
+    ) -> None:
         self.dram = Dram(dram_config)
         self.read_callback = read_callback
         self.stats = MemCtrlStats()
@@ -104,12 +106,22 @@ class MemoryController:
                 )
             self.read_callback(pending, cycle)
 
-    def next_activity(self, cycle: int) -> float:
-        """Earliest future cycle at which a read completion must be delivered."""
+    def next_event_cycle(self, cycle: int) -> float:
+        """Earliest future cycle at which a read completion must be delivered.
+
+        This is the controller's horizon contribution to the event-driven
+        scheduler (see :mod:`repro.sim.scheduler`).  Only read completions
+        are events: writes are fire-and-forget and bank release times matter
+        only when the *next* access arrives, which is always triggered by a
+        bus delivery the scheduler already visits.
+        """
         del cycle
         if not self._in_flight:
             return float("inf")
         return self._in_flight[0][0]
+
+    #: Backwards-compatible alias for the pre-scheduler skip-ahead API.
+    next_activity = next_event_cycle
 
     @property
     def outstanding_reads(self) -> int:

@@ -49,6 +49,11 @@ class StoreBuffer:
         self._head_in_flight = False
         self.total_enqueued = 0
         self.total_drained = 0
+        #: Count of rejected pushes.  This is a *polling* counter: a stalled
+        #: core retries once per processed cycle, so its value depends on the
+        #: simulation engine (the event engine skips no-op retry cycles).  It
+        #: is a debugging aid only and must never feed results, PMCs or
+        #: artifacts — everything observable is engine-independent.
         self.full_rejections = 0
 
     # ------------------------------------------------------------------ #
@@ -83,6 +88,8 @@ class StoreBuffer:
         the side of forwarding, which is harmless for a timing model that
         does not track data values.
         """
+        if not self._entries:
+            return False
         line = addr - (addr % line_size)
         return any(entry.addr - (entry.addr % line_size) == line for entry in self._entries)
 

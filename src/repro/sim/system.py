@@ -13,17 +13,19 @@ Cycle structure (see DESIGN.md, Section 5):
    are ready in this very cycle, and drain its store buffer;
 4. the bus arbitrates and, if free, grants one pending request.
 
-The loop optionally *skips ahead* over cycles in which no component can make
-progress (all cores stalled on the bus, bus busy for several cycles, …),
-which speeds up saturated-bus experiments by roughly the bus occupancy
-without changing any observable timing; tests cross-check skip-ahead against
-the strict cycle-by-cycle mode.
+The loop itself lives in :mod:`repro.sim.scheduler` and comes in two
+cycle-exact flavours selected by ``config.engine``: the ``stepped`` oracle
+that visits every cycle, and the ``event`` fast path that jumps the clock to
+the earliest component horizon (bus delivery, DRAM completion, execute-stage
+end).  Saturated-bus experiments speed up by roughly the bus occupancy
+without changing any observable timing; a property test cross-checks the two
+engines instruction for instruction.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from ..config import ArchConfig
 from ..errors import ConfigurationError, SimulationError
@@ -34,6 +36,7 @@ from .isa import Program
 from .l2 import PartitionedL2
 from .memctrl import MemoryController, PendingRead
 from .pmc import PerformanceCounters
+from .scheduler import make_engine
 from .trace import TraceRecorder
 
 #: Default safety bound on simulated cycles; long experiments may raise it.
@@ -245,7 +248,8 @@ class System:
         self,
         observed_cores: Optional[Sequence[int]] = None,
         max_cycles: int = DEFAULT_MAX_CYCLES,
-        skip_ahead: bool = True,
+        skip_ahead: Optional[bool] = None,
+        engine: Optional[str] = None,
     ) -> SystemResult:
         """Simulate until every observed core finished its program.
 
@@ -255,8 +259,12 @@ class System:
                 running infinite kernels keep executing until then.
             max_cycles: safety bound; the run stops (with ``timed_out=True``)
                 if it is reached.
-            skip_ahead: enable the fast-forward optimisation (identical
-                observable timing; see class docstring).
+            skip_ahead: legacy engine switch kept for backwards
+                compatibility — ``True`` selects the event engine, ``False``
+                the stepped oracle.  Prefer ``engine``.
+            engine: ``"stepped"`` or ``"event"``; ``None`` uses
+                ``config.engine``.  Both engines are cycle-exact (see
+                :mod:`repro.sim.scheduler`), so this only changes speed.
         """
         if observed_cores is None:
             observed_cores = [
@@ -277,30 +285,16 @@ class System:
         if not observed:
             raise ConfigurationError("no observed cores: the run would never terminate")
 
-        cycle = self.current_cycle
-        timed_out = False
-        while True:
-            self.bus.deliver(cycle)
-            self.memctrl.tick(cycle)
-            for core in self.cores:
-                core.tick(cycle)
-            self.bus.arbitrate(cycle)
-            self.pmc.cycles = cycle + 1
-
-            if all(self.cores[core_id].is_done for core_id in observed):
-                break
-            if cycle >= max_cycles:
-                timed_out = True
-                break
-
-            next_cycle = cycle + 1
-            if skip_ahead:
-                horizon = self._next_activity(cycle)
-                if horizon > next_cycle:
-                    next_cycle = int(horizon)
-            cycle = next_cycle
-
-        self.current_cycle = cycle
+        if engine is None:
+            if skip_ahead is None:
+                engine = self.config.engine
+            else:
+                engine = "event" if skip_ahead else "stepped"
+        elif skip_ahead is not None:
+            raise ConfigurationError(
+                "pass either engine= or the legacy skip_ahead=, not both"
+            )
+        cycle, timed_out = make_engine(engine, self).run(observed, max_cycles)
         return SystemResult(
             cycles=cycle + 1,
             done_cycles=[core.done_cycle for core in self.cores],
@@ -309,17 +303,6 @@ class System:
             trace=self.trace if self.trace.enabled else None,
             timed_out=timed_out,
         )
-
-    def _next_activity(self, cycle: int) -> float:
-        """Earliest future cycle at which any component can change state."""
-        horizon = min(
-            self.bus.next_activity(cycle),
-            self.memctrl.next_activity(cycle),
-            min(core.next_activity(cycle) for core in self.cores),
-        )
-        if horizon <= cycle:
-            return cycle + 1
-        return horizon
 
     # ------------------------------------------------------------------ #
     # Introspection helpers used by the methodology layer.

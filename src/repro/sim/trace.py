@@ -97,7 +97,9 @@ class TraceRecorder:
     # ------------------------------------------------------------------ #
     # Convenience selectors used by the analysis layer.
     # ------------------------------------------------------------------ #
-    def for_port(self, port: int, kinds: Optional[Sequence[str]] = None) -> Tuple[RequestRecord, ...]:
+    def for_port(
+        self, port: int, kinds: Optional[Sequence[str]] = None
+    ) -> Tuple[RequestRecord, ...]:
         """Records issued by ``port``, optionally filtered by request kind."""
         selected = (r for r in self._records if r.port == port)
         if kinds is not None:

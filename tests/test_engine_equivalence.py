@@ -1,0 +1,197 @@
+"""Stepped vs event engine equivalence (the scheduler's oracle contract).
+
+The event engine's whole value proposition is that it is *cycle-exact*: it
+must produce the same execution times, PMC counts, request traces and delay
+histograms as the stepped oracle, only faster.  These tests check that
+contract deterministically for all four arbiters and both rsk flavours, and
+property-test it (hypothesis) across random platform geometries, programs
+and preload combinations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.contention import contention_histogram
+from repro.config import (
+    ARBITRATION_POLICIES,
+    BusConfig,
+    CacheConfig,
+    L2Config,
+    StoreBufferConfig,
+    small_config,
+)
+from repro.errors import AnalysisError
+from repro.kernels.rsk import build_rsk
+from repro.methodology.experiment import build_contender_set
+from repro.sim.isa import Alu, Load, Nop, Program, Store
+from repro.sim.system import System
+
+
+def _trace_tuples(result):
+    if result.trace is None:
+        return None
+    return [
+        (
+            record.port,
+            record.kind,
+            record.addr,
+            record.ready_cycle,
+            record.grant_cycle,
+            record.complete_cycle,
+            record.service_cycles,
+            record.contenders_at_ready,
+            record.bus_busy_at_ready,
+        )
+        for record in result.trace.records
+    ]
+
+
+def _observable_state(result) -> Dict[str, object]:
+    return {
+        "cycles": result.cycles,
+        "done_cycles": result.done_cycles,
+        "instructions": result.instructions,
+        "timed_out": result.timed_out,
+        "pmc": result.pmc.as_dict(),
+        "trace": _trace_tuples(result),
+    }
+
+
+def _run_both(config, programs, observed, trace=True, max_cycles=2_000_000, **kwargs):
+    outcomes = {}
+    for engine in ("stepped", "event"):
+        system = System(config, list(programs), trace=trace, **kwargs)
+        outcomes[engine] = system.run(
+            observed_cores=observed, max_cycles=max_cycles, engine=engine
+        )
+    return outcomes
+
+
+class TestAllArbitersEquivalent:
+    @pytest.mark.parametrize("arbiter", ARBITRATION_POLICIES)
+    @pytest.mark.parametrize("kind", ["load", "store"])
+    def test_rsk_contention_is_identical(self, arbiter, kind):
+        config = small_config(bus=BusConfig(arbitration=arbiter, transfer_latency=1))
+        scua = build_rsk(config, 0, kind=kind, iterations=60)
+        contenders = build_contender_set(config, 0, kind=kind)
+        programs: List[Optional[Program]] = [None] * config.num_cores
+        programs[0] = scua
+        for core, program in contenders.items():
+            programs[core] = program
+        outcomes = _run_both(
+            config, programs, observed=[0], preload_l2=True, preload_il1=True
+        )
+        stepped = _observable_state(outcomes["stepped"])
+        event = _observable_state(outcomes["event"])
+        assert stepped == event
+        # The delay histogram — the paper's headline artifact — must match
+        # bin for bin (loads only; store traffic drains via the buffer).
+        if kind == "load":
+            histograms = {}
+            for engine, outcome in outcomes.items():
+                try:
+                    histograms[engine] = contention_histogram(outcome.trace, 0).counts
+                except AnalysisError:
+                    histograms[engine] = None
+            assert histograms["stepped"] == histograms["event"]
+
+    def test_dram_path_is_identical(self):
+        # No preloading: every miss walks the full controller + DRAM path.
+        config = small_config()
+        scua = build_rsk(config, 0, iterations=40)
+        contenders = build_contender_set(config, 0)
+        programs: List[Optional[Program]] = [None] * config.num_cores
+        programs[0] = scua
+        for core, program in contenders.items():
+            programs[core] = program
+        outcomes = _run_both(config, programs, observed=[0])
+        assert _observable_state(outcomes["stepped"]) == _observable_state(
+            outcomes["event"]
+        )
+
+    def test_timeout_stops_on_the_same_cycle(self):
+        config = small_config()
+        scua = build_rsk(config, 0, iterations=10_000)
+        programs: List[Optional[Program]] = [None] * config.num_cores
+        programs[0] = scua
+        outcomes = _run_both(
+            config, programs, observed=[0], max_cycles=777, preload_l2=True
+        )
+        for outcome in outcomes.values():
+            assert outcome.timed_out
+        assert _observable_state(outcomes["stepped"]) == _observable_state(
+            outcomes["event"]
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Property-based equivalence over random configs, arbiters and kernels.
+# --------------------------------------------------------------------------- #
+
+_addresses = st.integers(min_value=0, max_value=31).map(lambda i: 0x100 + 32 * i)
+
+_bodies = st.lists(
+    st.one_of(
+        st.builds(Nop),
+        st.builds(Alu, latency=st.integers(min_value=1, max_value=4)),
+        st.builds(Load, addr=_addresses),
+        st.builds(Store, addr=_addresses),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+_programs = st.builds(
+    lambda body, iterations: Program(name="random", body=tuple(body), iterations=iterations),
+    body=_bodies,
+    iterations=st.integers(min_value=1, max_value=5),
+)
+
+_configs = st.builds(
+    lambda arbiter, transfer, slot, dl1_latency, entries, cores: small_config(
+        num_cores=cores,
+        bus=BusConfig(arbitration=arbiter, transfer_latency=transfer, tdma_slot=slot),
+        dl1=CacheConfig(size_bytes=1024, ways=2, hit_latency=dl1_latency),
+        l2=L2Config(
+            cache=CacheConfig(size_bytes=8 * 1024, ways=4, line_size=32, hit_latency=2)
+        ),
+        store_buffer=StoreBufferConfig(entries=entries),
+    ),
+    arbiter=st.sampled_from(ARBITRATION_POLICIES),
+    transfer=st.integers(min_value=1, max_value=3),
+    slot=st.integers(min_value=3, max_value=9),
+    dl1_latency=st.sampled_from([1, 4]),
+    entries=st.integers(min_value=1, max_value=2),
+    cores=st.integers(min_value=2, max_value=4),
+)
+
+
+class TestEngineEquivalenceProperties:
+    @given(
+        config=_configs,
+        observed_program=_programs,
+        contender_programs=st.lists(st.one_of(st.none(), _programs), max_size=3),
+        preload_l2=st.booleans(),
+        preload_il1=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_engines_agree_on_everything_observable(
+        self, config, observed_program, contender_programs, preload_l2, preload_il1
+    ):
+        programs: List[Optional[Program]] = [observed_program]
+        programs.extend(contender_programs[: config.num_cores - 1])
+        programs.extend([None] * (config.num_cores - len(programs)))
+        outcomes = _run_both(
+            config,
+            programs,
+            observed=[0],
+            preload_l2=preload_l2,
+            preload_il1=preload_il1,
+        )
+        assert _observable_state(outcomes["stepped"]) == _observable_state(
+            outcomes["event"]
+        )
