@@ -69,8 +69,11 @@ def compare_payloads(
     """Gate ``new`` against ``old``: every old workload must still exist and
     must not have lost more than ``max_regression`` of its metric.
 
-    Workloads only present in ``new`` are reported but never gated — adding
-    coverage must not fail the build.
+    Workloads only present in ``new`` — scenarios the baseline predates —
+    are *additions*: they are reported with a warning asking for a baseline
+    refresh, but never gated, so adding bench coverage cannot fail the
+    build.  (Workloads that *disappear* from ``new`` still fail: losing
+    coverage silently is a regression.)
     """
     if not 0 <= max_regression < 1:
         raise ValueError(f"max_regression must be in [0, 1), got {max_regression}")
@@ -109,12 +112,18 @@ def compare_payloads(
             f"{name:28s} {old_value:>9.2f} {new_value:>9.2f} {ratio:>7.2f}  "
             f"{'REGRESSED' if regressed else 'ok'}"
         )
-    for name in new_entries:
-        if name not in old_entries:
-            result.lines.append(
-                f"{name:28s} {'-':>9s} "
-                f"{_metric_of(new_entries[name], metric):>9.2f} {'-':>7s}  new"
-            )
+    additions = [name for name in new_entries if name not in old_entries]
+    for name in additions:
+        result.lines.append(
+            f"{name:28s} {'-':>9s} "
+            f"{_metric_of(new_entries[name], metric):>9.2f} {'-':>7s}  ADDED"
+        )
+    if additions:
+        result.lines.append(
+            f"warning: {len(additions)} workload(s) missing from the baseline "
+            f"treated as additions (not gated): {', '.join(additions)}; "
+            "refresh the baseline to start gating them"
+        )
     verdict = "PASS" if result.ok else "FAIL"
     result.lines.append(
         f"{verdict}: {len(result.regressions)} regression(s) out of "

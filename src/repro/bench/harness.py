@@ -36,6 +36,10 @@ class BenchWorkload:
         name: stable identifier used to match workloads across payloads.
         preset: platform preset (``ref``, ``var``, ``small``).
         arbiter: bus arbitration policy.
+        topology: shared-resource topology name overriding the preset's own
+            (``bus_only`` or ``bus_bank_queues``); ``None`` keeps the
+            preset's topology untouched, including its memory-side
+            arbitration parameters.
         kind: rsk flavour (``"load"`` or ``"store"``).
         preload_l2: warm the L2 first (True gives the paper's L2-hit hot
             path; False sends every miss to the DRAM model).
@@ -46,6 +50,7 @@ class BenchWorkload:
     name: str
     preset: str
     arbiter: str
+    topology: Optional[str] = None
     kind: str = "load"
     preload_l2: bool = True
     iterations: int = 2500
@@ -81,6 +86,19 @@ def _grid() -> Tuple[BenchWorkload, ...]:
             kind="store",
         )
     )
+    workloads.append(
+        # Bank contention: every miss crosses the bus *and* arbitrates for
+        # its DRAM bank queue (the multi_resource topology's hot path).
+        BenchWorkload(
+            name="ref/round_robin/load-bank-queues",
+            preset="ref",
+            arbiter="round_robin",
+            topology="bus_bank_queues",
+            preload_l2=False,
+            iterations=1500,
+            quick_iterations=450,
+        )
+    )
     return tuple(workloads)
 
 
@@ -93,9 +111,18 @@ WORKLOADS: Tuple[BenchWorkload, ...] = _grid()
 DEFAULT_WORKLOAD = "ref/round_robin/load"
 
 
+def _effective_topology(workload: BenchWorkload) -> str:
+    """The topology a workload actually runs on (preset's own unless overridden)."""
+    if workload.topology is not None:
+        return workload.topology
+    return get_preset(workload.preset).topology.name
+
+
 def _build_system(workload: BenchWorkload, quick: bool) -> Tuple[System, int]:
     config = get_preset(workload.preset)
     config = config.with_overrides(bus=replace(config.bus, arbitration=workload.arbiter))
+    if workload.topology is not None:
+        config = config.with_topology_name(workload.topology)
     iterations = workload.quick_iterations if quick else workload.iterations
     scua = build_rsk(config, 0, kind=workload.kind, iterations=iterations)
     contenders = build_contender_set(config, 0, kind=workload.kind)
@@ -174,6 +201,7 @@ def run_benchmarks(
                 "name": workload.name,
                 "preset": workload.preset,
                 "arbiter": workload.arbiter,
+                "topology": _effective_topology(workload),
                 "kind": workload.kind,
                 "preload_l2": workload.preload_l2,
                 "iterations": workload.quick_iterations if quick else workload.iterations,

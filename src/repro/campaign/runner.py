@@ -25,7 +25,7 @@ from ..analysis.contention import (
     contender_histogram,
     contention_histogram,
 )
-from ..config import config_from_dict
+from ..config import FAIR_ARBITRATION_POLICIES, config_from_dict
 from ..errors import AnalysisError, MethodologyError
 from ..kernels.rsk import build_rsk
 from ..methodology.experiment import ExperimentRunner
@@ -54,6 +54,7 @@ def execute_run(descriptor: RunDescriptor) -> Dict[str, object]:
         "preset": descriptor.preset,
         "kind": descriptor.kind,
         "arbiter": descriptor.config.bus.arbitration,
+        "topology": descriptor.config.topology.name,
         "tasks": list(descriptor.tasks),
         "contenders": descriptor.contenders,
         "observed_core": descriptor.observed_core,
@@ -256,16 +257,38 @@ def summarize_records(records: Sequence[Dict[str, object]]) -> Dict[str, object]
     for record in records:
         preset = record["preset"]
         arbiter = record["arbiter"]
+        # Records predating the topology field describe bus_only platforms.
+        topology = record.get("topology", "bus_only")
+        # The historical bucket key stays "<preset>/<arbiter>" for the
+        # paper's single-bus platform; chained topologies append the
+        # topology *and* its bank-queue arbitration, so delays measured on
+        # different resource chains or bank policies never merge.
         key = f"{preset}/{arbiter}"
+        mem_arbitration = None
+        if topology != "bus_only":
+            mem_arbitration = record["config"]["topology"]["mem_arbitration"]
+            key = f"{key}/{topology}/{mem_arbitration}"
         bucket = per_platform.get(key)
         if bucket is None:
+            config = config_from_dict(record["config"])
             bucket = per_platform[key] = {
                 "preset": preset,
                 "arbiter": arbiter,
+                "topology": topology,
+                "mem_arbitration": mem_arbitration,
                 "runs": 0,
                 "analytical_ubd": (
-                    config_from_dict(record["config"]).ubd
-                    if arbiter in ("round_robin", "fifo")
+                    config.ubd
+                    if arbiter in FAIR_ARBITRATION_POLICIES
+                    else None
+                ),
+                # Like analytical_ubd, only reported where the fair-round
+                # reasoning holds — has_composable_bounds checks *both*
+                # stages: the bus arbiter and the bank-queue arbiter.
+                "end_to_end_ubd": (
+                    config.end_to_end_ubd
+                    if config.topology.has_memory_queues
+                    and config.has_composable_bounds
                     else None
                 ),
                 "_utilisations": [],
@@ -305,6 +328,9 @@ def summarize_records(records: Sequence[Dict[str, object]]) -> Dict[str, object]
         "total_runs": len(records),
         "presets": sorted({record["preset"] for record in records}),
         "arbiters": sorted({record["arbiter"] for record in records}),
+        "topologies": sorted(
+            {record.get("topology", "bus_only") for record in records}
+        ),
         "kinds": {
             kind: sum(1 for record in records if record["kind"] == kind)
             for kind in sorted({record["kind"] for record in records})

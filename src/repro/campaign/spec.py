@@ -23,15 +23,17 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
-from ..config import ENGINES, ArchConfig, canonical_digest, get_preset
-from ..errors import MethodologyError
+from ..config import ArchConfig, TopologyConfig, canonical_digest, get_preset
+from ..errors import MethodologyError, ReproError
 from ..kernels.synthetic import synthetic_kernel_names
 from ..methodology.workloads import random_workloads
 
 #: Version stamp embedded in digests and artifacts; bump when the meaning of
 #: a descriptor field or the result record layout changes, so stale cache
-#: entries and artifacts are never misread.
-SCHEMA_VERSION = 1
+#: entries and artifacts are never misread.  Version 2: configurations carry
+#: a ``topology`` section (shared-resource chaining) and records a
+#: ``topology`` field.
+SCHEMA_VERSION = 2
 
 #: Workload kinds a descriptor can request.
 KIND_SYNTHETIC = "synthetic"
@@ -127,9 +129,14 @@ class CampaignSpec:
     """Declarative grid of runs: preset x arbiter x contenders x seed x workload.
 
     Attributes:
-        presets: platform preset names (``ref``, ``var``, ``small``).
+        presets: platform preset names (``ref``, ``var``, ``small``,
+            ``multi_resource``).
         arbiters: bus arbitration policies to sweep; each overrides the
             preset's ``BusConfig.arbitration``.
+        topologies: shared-resource topologies to sweep; each overrides the
+            *name* of the preset's ``TopologyConfig``, keeping the preset's
+            memory-side arbitration parameters.  ``()`` keeps every
+            preset's own topology — the backwards-compatible default.
         contender_counts: numbers of co-runners to sweep; ``()`` means the
             platform maximum (``num_cores - 1``), the paper's default.
         seeds: base seeds; each seed draws an independent set of workloads.
@@ -146,6 +153,7 @@ class CampaignSpec:
 
     presets: Tuple[str, ...] = ("ref",)
     arbiters: Tuple[str, ...] = ("round_robin",)
+    topologies: Tuple[str, ...] = ()
     contender_counts: Tuple[int, ...] = ()
     seeds: Tuple[int, ...] = (2015,)
     num_workloads: int = 8
@@ -156,14 +164,22 @@ class CampaignSpec:
     engine: str = "event"
 
     def __post_init__(self) -> None:
-        if self.engine not in ENGINES:
+        from ..sim.scheduler import registered_engines
+
+        if self.engine not in registered_engines():
             raise MethodologyError(
-                f"unknown simulation engine {self.engine!r}; available: {list(ENGINES)}"
+                f"unknown simulation engine {self.engine!r}; "
+                f"registered: {list(registered_engines())}"
             )
         if not self.presets:
             raise MethodologyError("a campaign needs at least one preset")
         if not self.arbiters:
             raise MethodologyError("a campaign needs at least one arbiter")
+        for topology in self.topologies:
+            try:
+                TopologyConfig(name=topology)
+            except ReproError as exc:
+                raise MethodologyError(f"unknown topology {topology!r}") from exc
         if not self.seeds:
             raise MethodologyError("a campaign needs at least one seed")
         if self.num_workloads < 0:
@@ -184,52 +200,57 @@ class CampaignSpec:
         descriptors: List[RunDescriptor] = []
         for preset in self.presets:
             base = get_preset(preset)
+            # () keeps the preset's own topology (None marks "no override").
+            topology_axis = self.topologies or (None,)
             for arbiter in self.arbiters:
-                config = base.with_overrides(
-                    bus=replace(base.bus, arbitration=arbiter),
-                    engine=self.engine,
-                )
-                counts = self.contender_counts or (config.num_cores - 1,)
-                for count in counts:
-                    if count >= config.num_cores:
-                        raise MethodologyError(
-                            f"preset {preset!r} has {config.num_cores} cores; "
-                            f"cannot host {count} contenders"
-                        )
-                    for seed in self.seeds:
-                        if self.num_workloads:
-                            workloads = random_workloads(
-                                self.num_workloads,
-                                count + 1,
-                                seed=seed,
-                                names=pool,
+                for topology in topology_axis:
+                    config = base.with_overrides(
+                        bus=replace(base.bus, arbitration=arbiter),
+                        engine=self.engine,
+                    )
+                    if topology is not None:
+                        config = config.with_topology_name(topology)
+                    counts = self.contender_counts or (config.num_cores - 1,)
+                    for count in counts:
+                        if count >= config.num_cores:
+                            raise MethodologyError(
+                                f"preset {preset!r} has {config.num_cores} cores; "
+                                f"cannot host {count} contenders"
                             )
-                            for index, tasks in enumerate(workloads):
+                        for seed in self.seeds:
+                            if self.num_workloads:
+                                workloads = random_workloads(
+                                    self.num_workloads,
+                                    count + 1,
+                                    seed=seed,
+                                    names=pool,
+                                )
+                                for index, tasks in enumerate(workloads):
+                                    descriptors.append(
+                                        RunDescriptor(
+                                            run_id=_run_id(len(descriptors)),
+                                            preset=preset,
+                                            config=config,
+                                            kind=KIND_SYNTHETIC,
+                                            tasks=tasks,
+                                            observed_core=0,
+                                            iterations=self.iterations,
+                                            seed=seed + index,
+                                        )
+                                    )
+                            if self.include_rsk_reference:
                                 descriptors.append(
                                     RunDescriptor(
                                         run_id=_run_id(len(descriptors)),
                                         preset=preset,
                                         config=config,
-                                        kind=KIND_SYNTHETIC,
-                                        tasks=tasks,
+                                        kind=KIND_RSK,
+                                        tasks=tuple("rsk-load" for _ in range(count + 1)),
                                         observed_core=0,
-                                        iterations=self.iterations,
-                                        seed=seed + index,
+                                        iterations=self.rsk_iterations,
+                                        seed=seed,
                                     )
                                 )
-                        if self.include_rsk_reference:
-                            descriptors.append(
-                                RunDescriptor(
-                                    run_id=_run_id(len(descriptors)),
-                                    preset=preset,
-                                    config=config,
-                                    kind=KIND_RSK,
-                                    tasks=tuple("rsk-load" for _ in range(count + 1)),
-                                    observed_core=0,
-                                    iterations=self.rsk_iterations,
-                                    seed=seed,
-                                )
-                            )
         if not descriptors:
             raise MethodologyError(
                 "campaign expands to zero runs; enable workloads or the rsk reference"

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands cover the library's main use cases without writing any
+Four subcommands cover the library's main use cases without writing any
 Python:
 
 * ``repro-bounds derive-ubd`` — run the full rsk-nop methodology on a preset
@@ -9,7 +9,11 @@ Python:
   the contention-delay histogram (the Figure 6(b) experiment);
 * ``repro-bounds campaign`` — run an experiment campaign (randomly composed
   EEMBC-like workloads plus rsk reference runs, the Figure 6(a) experiment)
-  through the parallel campaign engine, optionally writing JSON artifacts.
+  through the parallel campaign engine, optionally writing JSON artifacts;
+* ``repro-bounds list`` — print the registered presets, arbitration
+  policies, simulation engines and topologies.  The listing is read straight
+  from the factories' registries, so it can never drift from what the
+  simulator actually builds.
 
 Examples::
 
@@ -17,6 +21,8 @@ Examples::
     repro-bounds synchrony --preset var
     repro-bounds campaign --preset ref --workloads 8
     repro-bounds campaign --jobs 4 --out out/campaign --cache-dir out/cache
+    repro-bounds campaign --topology bus_only --topology bus_bank_queues
+    repro-bounds list
 """
 
 from __future__ import annotations
@@ -32,15 +38,18 @@ from .campaign import (
     ResultCache,
     write_campaign_artifacts,
 )
-from .config import ARBITRATION_POLICIES, ENGINES, PRESETS, get_preset
+from .config import PRESETS, get_preset
 from .errors import ReproError
+from .sim.arbiter import registered_arbiters
+from .sim.scheduler import registered_engines
+from .sim.topology import registered_topologies
 from .kernels.rsk import build_rsk
 from .methodology.experiment import ExperimentRunner
 from .methodology.naive import NaiveUbdEstimator
 from .methodology.ubd import UbdEstimator
 from .report.campaign import render_campaign_summary
 from .report.histogram import render_histogram
-from .report.tables import render_series
+from .report.tables import render_series, render_table
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,7 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=ENGINES,
+        choices=registered_engines(),
         default="event",
         help="simulation engine: the event-driven fast path or the stepped "
         "cycle-by-cycle oracle; both are cycle-exact (default: event)",
@@ -81,11 +90,23 @@ def build_parser() -> argparse.ArgumentParser:
     derive.add_argument(
         "--show-sweep", action="store_true", help="print the measured dbus(k) series"
     )
+    derive.add_argument(
+        "--topology",
+        choices=registered_topologies(),
+        default=None,
+        help="override the preset's shared-resource topology",
+    )
 
     synchrony = subparsers.add_parser(
         "synchrony", help="show the per-request contention histogram of rsk vs rsk"
     )
     synchrony.add_argument("--iterations", type=int, default=150)
+    synchrony.add_argument(
+        "--topology",
+        choices=registered_topologies(),
+        default=None,
+        help="override the preset's shared-resource topology",
+    )
 
     campaign = subparsers.add_parser(
         "campaign",
@@ -114,7 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--arbiter",
         action="append",
-        choices=ARBITRATION_POLICIES,
+        choices=registered_arbiters(),
         help="bus arbitration policy to sweep (repeatable; default round_robin)",
     )
     campaign.add_argument(
@@ -123,12 +144,33 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         help="number of co-runners to sweep (repeatable; default: all cores)",
     )
+    campaign.add_argument(
+        "--topology",
+        action="append",
+        choices=registered_topologies(),
+        help="shared-resource topology to sweep (repeatable; default: the "
+        "preset's own topology)",
+    )
+
+    subparsers.add_parser(
+        "list",
+        help="print registered presets, arbiters, engines and topologies "
+        "(read from the factories' registries)",
+    )
 
     return parser
 
 
-def _run_derive_ubd(args: argparse.Namespace) -> int:
+def _preset_config(args: argparse.Namespace):
+    """Resolve the platform from the common --preset/--engine/--topology flags."""
     config = get_preset(args.preset, engine=args.engine)
+    if getattr(args, "topology", None):
+        config = config.with_topology_name(args.topology)
+    return config
+
+
+def _run_derive_ubd(args: argparse.Namespace) -> int:
+    config = _preset_config(args)
     estimator = UbdEstimator(
         config,
         instruction_type=args.instruction_type,
@@ -137,6 +179,20 @@ def _run_derive_ubd(args: argparse.Namespace) -> int:
     )
     result = estimator.run()
     print(f"Platform: {args.preset} (analytical ubd = {config.ubd} cycles)")
+    if config.topology.has_memory_queues:
+        if config.has_composable_bounds:
+            terms = " + ".join(
+                f"{resource}:{term}" for resource, term in config.ubd_terms.items()
+            )
+            print(
+                f"Topology {config.topology.name}: per-resource bounds {terms} "
+                f"= end-to-end {config.end_to_end_ubd} cycles per memory request"
+            )
+        else:
+            print(
+                f"Topology {config.topology.name}: no analytical per-resource "
+                f"bound for {config.topology.mem_arbitration!r} bank arbitration"
+            )
     print(f"delta_nop = {result.delta_nop.cycles_per_nop:.3f} cycles/nop "
           f"(rounded {result.delta_nop.rounded})")
     print(result.period.summary())
@@ -150,7 +206,7 @@ def _run_derive_ubd(args: argparse.Namespace) -> int:
 
 
 def _run_synchrony(args: argparse.Namespace) -> int:
-    config = get_preset(args.preset, engine=args.engine)
+    config = _preset_config(args)
     runner = ExperimentRunner(config)
     scua = build_rsk(config, 0, iterations=args.iterations)
     contended = runner.run_against_rsk(scua, trace=True)
@@ -174,6 +230,7 @@ def _run_campaign(args: argparse.Namespace) -> int:
     spec = CampaignSpec(
         presets=(args.preset,),
         arbiters=tuple(args.arbiter) if args.arbiter else ("round_robin",),
+        topologies=tuple(args.topology) if args.topology else (),
         contender_counts=tuple(args.contenders) if args.contenders else (),
         seeds=(args.seed,),
         num_workloads=args.workloads,
@@ -194,6 +251,64 @@ def _run_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_list(args: argparse.Namespace) -> int:
+    """Print every registered preset, arbiter, engine and topology.
+
+    Reads the registries the factories themselves use
+    (:mod:`repro.sim.arbiter`, :mod:`repro.sim.scheduler`,
+    :mod:`repro.sim.topology`), so the listing cannot drift from what
+    ``System`` actually builds.
+    """
+    del args
+    from .sim.arbiter import ARBITER_REGISTRY
+    from .sim.scheduler import ENGINE_REGISTRY
+    from .sim.topology import TOPOLOGY_REGISTRY
+
+    print("Presets (--preset):")
+    rows = []
+    for name in sorted(PRESETS):
+        config = get_preset(name)
+        rows.append(
+            [
+                name,
+                config.num_cores,
+                config.bus.arbitration,
+                config.topology.name,
+                config.engine,
+                config.ubd,
+            ]
+        )
+    print(render_table(["name", "cores", "bus arbiter", "topology", "engine", "ubd"], rows))
+
+    print()
+    print("Arbitration policies (--arbiter, TopologyConfig.mem_arbitration):")
+    print(
+        render_table(
+            ["name", "description"],
+            [[entry.name, entry.description] for entry in ARBITER_REGISTRY.values()],
+        )
+    )
+
+    print()
+    print("Simulation engines (--engine):")
+    print(
+        render_table(
+            ["name", "description"],
+            [[entry.name, entry.description] for entry in ENGINE_REGISTRY.values()],
+        )
+    )
+
+    print()
+    print("Topologies (--topology):")
+    print(
+        render_table(
+            ["name", "description"],
+            [[entry.name, entry.description] for entry in TOPOLOGY_REGISTRY.values()],
+        )
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro-bounds`` console script."""
     parser = build_parser()
@@ -205,6 +320,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_synchrony(args)
         if args.command == "campaign":
             return _run_campaign(args)
+        if args.command == "list":
+            return _run_list(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

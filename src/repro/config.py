@@ -37,18 +37,75 @@ def _is_power_of_two(value: int) -> bool:
     return value > 0 and (value & (value - 1)) == 0
 
 
-#: Bus arbitration policies the simulator implements (single source of truth
-#: for BusConfig validation and the CLI's ``--arbiter`` choices).
+#: Arbitration policies whose worst case fair-round reasoning bounds: every
+#: competitor is served at most once before the victim.  Fixed priority can
+#: starve a port unboundedly and TDMA waits on the slot schedule rather than
+#: the competitor count, so Equation 1 (and the per-resource terms built on
+#: the same argument) cover only these two.
+FAIR_ARBITRATION_POLICIES = ("round_robin", "fifo")
+
+#: Arbitration policies shipped with the simulator.  The authoritative set
+#: is the registry in :mod:`repro.sim.arbiter` (policies self-register with
+#: the ``@register_arbiter`` decorator); this tuple lists the built-ins for
+#: CLI choices and documentation, and a tier-1 test pins the two in sync.
 ARBITRATION_POLICIES = ("round_robin", "fifo", "fixed_priority", "tdma")
 
-#: Simulation engines (single source of truth for ArchConfig validation and
-#: the CLI's ``--engine`` choices).  ``"stepped"`` is the cycle-by-cycle
-#: oracle loop; ``"event"`` is the event-driven fast path that skips the
-#: clock to the next component horizon.  Both are cycle-exact: they produce
-#: identical traces, PMC counts and delay histograms (see
-#: :mod:`repro.sim.scheduler`), so the engine choice is a pure speed knob
-#: and never participates in result digests.
+
+def _known_arbitrations() -> Tuple[str, ...]:
+    """Names accepted by ``BusConfig.arbitration``/``TopologyConfig``.
+
+    Delegates to the arbiter registry (lazily, to keep ``repro.config`` the
+    bottom layer) so a policy registered at runtime is immediately
+    constructible through a configuration; falls back to the built-in tuple
+    while :mod:`repro.sim.arbiter` is still initialising.
+    """
+    try:
+        from .sim.arbiter import registered_arbiters
+
+        return registered_arbiters()
+    except ImportError:  # pragma: no cover - partial-initialisation fallback
+        return ARBITRATION_POLICIES
+
+
+#: Simulation engines shipped with the simulator.  The authoritative set is
+#: the registry in :mod:`repro.sim.scheduler` (engines self-register with
+#: the ``@register_engine`` decorator); this tuple lists the built-ins for
+#: documentation, and a tier-1 test pins the two in sync.  ``"stepped"`` is
+#: the cycle-by-cycle oracle loop; ``"event"`` is the event-driven fast
+#: path that skips the clock to the next component horizon.  Both are
+#: cycle-exact: they produce identical traces, PMC counts and delay
+#: histograms, so the engine choice is a pure speed knob and never
+#: participates in result digests.
 ENGINES = ("stepped", "event")
+
+
+def _known_engines() -> Tuple[str, ...]:
+    """Names accepted by ``ArchConfig.engine`` (see :func:`_known_arbitrations`)."""
+    try:
+        from .sim.scheduler import registered_engines
+
+        return registered_engines()
+    except ImportError:  # pragma: no cover - partial-initialisation fallback
+        return ENGINES
+
+
+#: Shared-resource topologies shipped with the simulator.  Like
+#: :data:`ARBITRATION_POLICIES`, the authoritative set is the registry in
+#: :mod:`repro.sim.topology`; this tuple lists the built-ins and a tier-1
+#: test pins the two in sync.  ``bus_only`` is the paper's platform — one
+#: arbitrated bus in front of a FIFO memory controller; ``bus_bank_queues``
+#: chains the bus into per-DRAM-bank arbitrated memory-controller queues.
+TOPOLOGIES = ("bus_only", "bus_bank_queues")
+
+
+def _known_topologies() -> Tuple[str, ...]:
+    """Names accepted by ``TopologyConfig.name`` (see :func:`_known_arbitrations`)."""
+    try:
+        from .sim.topology import registered_topologies
+
+        return registered_topologies()
+    except ImportError:  # pragma: no cover - partial-initialisation fallback
+        return TOPOLOGIES
 
 
 @dataclass(frozen=True)
@@ -131,11 +188,53 @@ class BusConfig:
 
     def __post_init__(self) -> None:
         _require(
-            self.arbitration in ARBITRATION_POLICIES,
+            self.arbitration in _known_arbitrations(),
             f"unsupported arbitration policy: {self.arbitration!r}",
         )
         _require(self.transfer_latency >= 1, "bus transfer latency must be >= 1")
         _require(self.tdma_slot >= 1, "TDMA slot must be >= 1 cycle")
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """How the platform's shared resources are chained (the contention topology).
+
+    The paper's platform is a single contention point: every request
+    arbitrates once, for the bus (``bus_only``).  ``bus_bank_queues`` chains
+    a second arbitrated stage behind it — per-DRAM-bank memory-controller
+    queues, each with its *own* arbitration policy — so a request can
+    contend twice: once for the bus, once for its bank.  Topology builders
+    are registered in :mod:`repro.sim.topology`; this configuration only
+    names one and parameterises its memory-side arbitration.
+
+    Attributes:
+        name: registered topology name (``bus_only`` or ``bus_bank_queues``).
+        mem_arbitration: arbitration policy of each per-bank memory queue
+            (any registered arbiter; the classic stack is a round-robin bus
+            over FIFO bank queues).  Ignored by ``bus_only``.
+        mem_tdma_slot: slot length in cycles when ``mem_arbitration`` is
+            ``tdma`` (one slot per core, like the bus TDMA arbiter).
+    """
+
+    name: str = "bus_only"
+    mem_arbitration: str = "fifo"
+    mem_tdma_slot: int = 40
+
+    def __post_init__(self) -> None:
+        _require(
+            self.name in _known_topologies(),
+            f"unsupported topology: {self.name!r}",
+        )
+        _require(
+            self.mem_arbitration in _known_arbitrations(),
+            f"unsupported memory-queue arbitration policy: {self.mem_arbitration!r}",
+        )
+        _require(self.mem_tdma_slot >= 1, "memory TDMA slot must be >= 1 cycle")
+
+    @property
+    def has_memory_queues(self) -> bool:
+        """True when the memory controller is an arbitrated contention point."""
+        return self.name != "bus_only"
 
 
 @dataclass(frozen=True)
@@ -225,13 +324,14 @@ class ArchConfig:
     bus: BusConfig = field(default_factory=BusConfig)
     dram: DramConfig = field(default_factory=DramConfig)
     store_buffer: StoreBufferConfig = field(default_factory=StoreBufferConfig)
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
     nop_latency: int = 1
     alu_latency: int = 1
     engine: str = "event"
 
     def __post_init__(self) -> None:
         _require(
-            self.engine in ENGINES,
+            self.engine in _known_engines(),
             f"unsupported simulation engine: {self.engine!r}",
         )
         _require(self.num_cores >= 1, "need at least one core")
@@ -278,8 +378,84 @@ class ArchConfig:
 
     @property
     def ubd(self) -> int:
-        """Analytical upper-bound delay ``(Nc - 1) * lbus`` (Equation 1)."""
+        """Analytical upper-bound delay ``(Nc - 1) * lbus`` (Equation 1).
+
+        This is the paper's *single-resource* bound: the bus term alone,
+        valid for the preloaded-L2 experiments where no request travels past
+        the L2.  Multi-resource topologies decompose into per-resource terms
+        via :attr:`ubd_terms` / :attr:`end_to_end_ubd`.
+        """
         return (self.num_cores - 1) * self.bus_service_l2_hit
+
+    @property
+    def has_composable_bounds(self) -> bool:
+        """True when :attr:`ubd_terms` constitutes a valid end-to-end bound.
+
+        Every term relies on fair-round reasoning — each competitor is
+        served at most once before the victim — so *every* arbitrated stage
+        of the topology must run a policy in
+        :data:`FAIR_ARBITRATION_POLICIES`: the bus (exactly Equation 1's
+        applicability condition) and, on chained topologies, the bank
+        queues.  A fixed-priority stage can starve a port unboundedly and a
+        TDMA stage waits on its slot schedule, so for those the
+        decomposition is undefined and consumers must report "no bound"
+        instead (mirroring ``analytical_ubd: null`` in campaign summaries).
+        """
+        if self.bus.arbitration not in FAIR_ARBITRATION_POLICIES:
+            return False
+        if self.topology.has_memory_queues:
+            return self.topology.mem_arbitration in FAIR_ARBITRATION_POLICIES
+        return True
+
+    @property
+    def ubd_terms(self) -> Dict[str, int]:
+        """Per-resource worst-case delay terms of one end-to-end request.
+
+        Each entry bounds the contention delay a single request can pick up
+        at one shared resource of the configured topology; the terms sum to
+        :attr:`end_to_end_ubd`.  For ``bus_only`` the dictionary is just the
+        paper's Equation 1 bus term.  With arbitrated per-bank memory queues
+        three more effects appear, each bounded separately (assuming at most
+        one outstanding demand request per core, which holds for the
+        load/ifetch traffic the methodology measures).  Only defined when
+        :attr:`has_composable_bounds` holds; raises
+        :class:`~repro.errors.ConfigurationError` otherwise, because
+        returning a number that contention can exceed would defeat the
+        whole bounding exercise:
+
+        * ``bus`` — the request-phase bus wait: one transaction per other
+          port per round-robin round, i.e. ``(Nc - 1) * lbus`` for the other
+          cores plus one response occupancy for the response port.
+        * ``memory`` — the bank-queue wait: up to ``Nc - 1`` competing
+          accesses each occupying the bank for at most a row-miss service,
+          plus the victim's own row hit turning into a row conflict.
+        * ``bus_response`` — the response-phase bus wait: the response port
+          serialises responses, so a response can sit behind ``Nc - 1``
+          others, each paying its own occupancy plus a full round of
+          request-port grants.
+        """
+        _require(
+            self.has_composable_bounds,
+            f"per-resource bounds are undefined for a {self.bus.arbitration!r} "
+            f"bus over {self.topology.mem_arbitration!r} bank queues (fair-round "
+            f"reasoning covers {list(FAIR_ARBITRATION_POLICIES)} on every stage)",
+        )
+        terms = {"bus": (self.num_cores - 1) * self.bus_service_l2_hit}
+        if self.topology.has_memory_queues:
+            others = self.num_cores - 1
+            row_hit = self.dram.row_hit_latency
+            row_miss = self.dram.row_miss_latency
+            terms["bus"] += self.bus_service_response
+            terms["memory"] = others * row_miss + (row_miss - row_hit)
+            terms["bus_response"] = others * (
+                self.bus_service_response + others * self.bus_service_l2_hit
+            )
+        return terms
+
+    @property
+    def end_to_end_ubd(self) -> int:
+        """Sum of :attr:`ubd_terms`: the end-to-end per-request delay bound."""
+        return sum(self.ubd_terms.values())
 
     @property
     def expected_rsk_injection_time(self) -> int:
@@ -302,6 +478,17 @@ class ArchConfig:
     def with_overrides(self, **kwargs) -> "ArchConfig":
         """Return a copy of this configuration with selected fields replaced."""
         return replace(self, **kwargs)
+
+    def with_topology_name(self, name: str) -> "ArchConfig":
+        """Return a copy running topology ``name`` with this platform's
+        memory-side arbitration parameters intact.
+
+        The single override path shared by the CLI ``--topology`` flags, the
+        campaign topology axis and the bench harness: swapping only the
+        *name* means a preset's non-default bank-queue arbitration is never
+        silently reset to the ``TopologyConfig`` defaults.
+        """
+        return replace(self, topology=replace(self.topology, name=name))
 
     def to_dict(self) -> Dict[str, object]:
         """Return a JSON-serialisable dictionary of every configuration field.
@@ -328,6 +515,12 @@ class ArchConfig:
             "l2": f"{self.l2.cache.size_bytes // 1024}KB/{self.l2.cache.ways}w",
             "l2_latency": self.l2.hit_latency,
             "engine": self.engine,
+            "topology": self.topology.name,
+            "mem_arbitration": (
+                self.topology.mem_arbitration
+                if self.topology.has_memory_queues
+                else None
+            ),
             "bus_arbitration": self.bus.arbitration,
             "bus_transfer": self.bus.transfer_latency,
             "lbus": self.bus_service_l2_hit,
@@ -379,15 +572,33 @@ def small_config(**overrides) -> ArchConfig:
     return cfg.with_overrides(**overrides) if overrides else cfg
 
 
+def multi_resource_config(**overrides) -> ArchConfig:
+    """The ``ref`` platform with a chained contention topology.
+
+    Identical timing parameters to :func:`reference_config`, but the memory
+    controller becomes a second first-class contention point: the
+    round-robin bus feeds per-DRAM-bank FIFO queues (topology
+    ``bus_bank_queues``), so an L2 miss arbitrates twice — once for the bus
+    and once for its bank.  The end-to-end request bound decomposes into
+    per-resource terms (:attr:`ArchConfig.ubd_terms`).
+    """
+    cfg = ArchConfig(
+        name="multi_resource",
+        topology=TopologyConfig(name="bus_bank_queues", mem_arbitration="fifo"),
+    )
+    return cfg.with_overrides(**overrides) if overrides else cfg
+
+
 PRESETS = {
     "ref": reference_config,
     "var": variant_config,
     "small": small_config,
+    "multi_resource": multi_resource_config,
 }
 
 
 def get_preset(name: str, **overrides) -> ArchConfig:
-    """Look up a preset configuration by name (``ref``, ``var`` or ``small``)."""
+    """Look up a preset configuration by name (see :data:`PRESETS`)."""
     try:
         factory = PRESETS[name]
     except KeyError as exc:
@@ -428,6 +639,10 @@ def config_from_dict(data: Mapping[str, object]) -> ArchConfig:
         fields["bus"] = BusConfig(**fields["bus"])
         fields["dram"] = DramConfig(**fields["dram"])
         fields["store_buffer"] = StoreBufferConfig(**fields["store_buffer"])
+        # Dictionaries predating the topology field describe the paper's
+        # single-bus platform; default rather than reject them.
+        if "topology" in fields:
+            fields["topology"] = TopologyConfig(**fields["topology"])
         return ArchConfig(**fields)
     except (KeyError, TypeError) as exc:
         raise ConfigurationError(f"malformed configuration dictionary: {exc}") from exc

@@ -11,6 +11,9 @@
   underestimate ``ubd``.
 * :mod:`repro.methodology.etb` — using ``ubdm`` to pad execution-time bounds
   for MBTA, or as a per-access contention term for STA.
+* :mod:`repro.methodology.composition` — per-resource worst-case delay terms
+  for multi-resource topologies; they sum to the end-to-end bound and pad
+  execution times resource by resource.
 * :mod:`repro.methodology.workloads` — randomly composed multiprogrammed
   workloads (the Figure 6(a) campaign).
 """
@@ -24,6 +27,13 @@ from .experiment import (
 from .ubd import UbdEstimator, UbdMethodologyResult
 from .naive import NaiveEstimate, NaiveUbdEstimator
 from .etb import EtbReport, compute_etb, mbta_padding
+from .composition import (
+    ComposedEtbReport,
+    compose_etb,
+    compose_etb_for_config,
+    end_to_end_bound,
+    per_resource_bounds,
+)
 from .mbta import TaskAnalysis, TaskSetAnalysis, TaskSetResult
 from .workloads import (
     WorkloadCampaignResult,
@@ -34,6 +44,7 @@ from .workloads import (
 )
 
 __all__ = [
+    "ComposedEtbReport",
     "ContendedMeasurement",
     "EtbReport",
     "ExperimentRunner",
@@ -48,8 +59,12 @@ __all__ = [
     "WorkloadCampaignResult",
     "WorkloadRun",
     "build_contender_set",
+    "compose_etb",
+    "compose_etb_for_config",
     "compute_etb",
+    "end_to_end_bound",
     "mbta_padding",
+    "per_resource_bounds",
     "random_workloads",
     "run_rsk_reference_workload",
     "run_workload_campaign",

@@ -1,0 +1,195 @@
+"""Per-resource bound composition for multi-resource topologies.
+
+The paper derives a *single* per-request bound — ``ubd``/``ubdm`` for the
+shared bus — because its platform has a single contention point.  On a
+chained topology (``bus_bank_queues``: an arbitrated bus feeding per-bank
+arbitrated memory-controller queues) one request can contend at several
+resources, so the end-to-end bound decomposes into **per-resource worst-case
+delay terms that sum**:
+
+* ``bus`` — the request-phase bus wait (Equation 1 extended with the
+  response port);
+* ``memory`` — the bank-queue wait plus the row-state interference of the
+  access itself;
+* ``bus_response`` — the response-phase bus wait of an L2 miss.
+
+The analytical terms live on the configuration
+(:attr:`repro.config.ArchConfig.ubd_terms`) because they are pure functions
+of the platform parameters; this module turns them into execution-time
+bounds the MBTA way (Section 4.3 of the paper): each term pads every request
+that *visits* the resource, so
+
+``etb = isolation + nr_bus * bound(bus) + nr_mem * (bound(memory) + bound(bus_response))``
+
+where ``nr_bus`` is the task's bus request count and ``nr_mem`` the subset
+that misses the L2 and reaches the memory stage.  The bounds assume at most
+one outstanding demand request per core (true for the load/ifetch traffic
+the methodology measures; deep store-buffer write bursts can exceed the
+memory term — see the ROADMAP open items).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..config import ArchConfig
+from ..errors import MethodologyError
+from .etb import mbta_padding
+
+#: Resources whose terms pad only requests that reach the memory stage.
+_MEMORY_STAGE_RESOURCES = ("memory", "bus_response")
+
+
+@dataclass(frozen=True)
+class ComposedEtbReport:
+    """Execution-time bound assembled from per-resource delay terms.
+
+    Attributes:
+        task_name: the analysed task.
+        isolation_time: measured execution time in isolation (cycles).
+        bus_requests: upper bound on the task's bus requests (``nr``).
+        memory_requests: upper bound on the subset reaching the memory stage.
+        terms: per-resource per-request delay bounds (cycles).
+        pads: per-resource contention pads (``requests x term``).
+        etb: the resulting end-to-end execution-time bound.
+        observed_contended_time: contended measurement, if available.
+    """
+
+    task_name: str
+    isolation_time: int
+    bus_requests: int
+    memory_requests: int
+    terms: Dict[str, int]
+    pads: Dict[str, int]
+    etb: int
+    observed_contended_time: Optional[int] = None
+
+    @property
+    def pad(self) -> int:
+        """Total contention pad on top of the isolation time."""
+        return self.etb - self.isolation_time
+
+    @property
+    def covers_observation(self) -> Optional[bool]:
+        """True/False if an observation is available, ``None`` otherwise."""
+        if self.observed_contended_time is None:
+            return None
+        return self.etb >= self.observed_contended_time
+
+    @property
+    def margin(self) -> Optional[int]:
+        """ETB minus the observation (negative means the bound was violated)."""
+        if self.observed_contended_time is None:
+            return None
+        return self.etb - self.observed_contended_time
+
+    def summary(self) -> str:
+        """One-line human readable report."""
+        decomposition = " + ".join(
+            f"{resource}:{pad}" for resource, pad in self.pads.items()
+        )
+        base = (
+            f"{self.task_name}: isolation {self.isolation_time} + pads "
+            f"[{decomposition}] = ETB {self.etb} cycles "
+            f"(nr={self.bus_requests}, nr_mem={self.memory_requests})"
+        )
+        if self.observed_contended_time is None:
+            return base
+        status = "covers" if self.covers_observation else "VIOLATED by"
+        return f"{base}; {status} observed {self.observed_contended_time}"
+
+
+def per_resource_bounds(config: ArchConfig) -> Dict[str, int]:
+    """Per-resource per-request delay terms of ``config``'s topology.
+
+    Thin forwarding of :attr:`~repro.config.ArchConfig.ubd_terms`, exposed
+    here so methodology consumers do not reach into the configuration layer
+    for bound semantics.
+    """
+    return dict(config.ubd_terms)
+
+
+def end_to_end_bound(config: ArchConfig) -> int:
+    """Sum of the per-resource terms: the end-to-end per-request bound."""
+    return sum(per_resource_bounds(config).values())
+
+
+def compose_etb(
+    task_name: str,
+    isolation_time: int,
+    bus_requests: int,
+    memory_requests: int,
+    terms: Mapping[str, int],
+    observed_contended_time: Optional[int] = None,
+) -> ComposedEtbReport:
+    """Build the composed execution-time bound for one task.
+
+    Args:
+        task_name: label for the report.
+        isolation_time: measured isolation execution time (cycles).
+        bus_requests: bound on the task's bus requests (every request pays
+            the ``bus`` term).
+        memory_requests: bound on the requests reaching the memory stage
+            (each additionally pays every memory-stage term).
+        terms: per-resource per-request delay bounds, e.g.
+            :func:`per_resource_bounds` output.
+        observed_contended_time: contended measurement to check coverage.
+    """
+    if isolation_time < 0:
+        raise MethodologyError(f"isolation time must be >= 0, got {isolation_time}")
+    if memory_requests > bus_requests:
+        raise MethodologyError(
+            f"memory requests ({memory_requests}) cannot exceed bus requests "
+            f"({bus_requests}): every memory access crosses the bus first"
+        )
+    if memory_requests > 0 and not any(
+        resource in _MEMORY_STAGE_RESOURCES for resource in terms
+    ):
+        # Refuse rather than underbound (the same rule ArchConfig.ubd_terms
+        # applies to unfair policies): a bus-only decomposition carries no
+        # terms for DRAM-bank or response-port contention, so a task whose
+        # requests reach the memory stage would get an ETB real contention
+        # can exceed.
+        raise MethodologyError(
+            f"{memory_requests} request(s) reach the memory stage but the "
+            "terms carry no memory-stage entries: the bus_only decomposition "
+            "does not bound DRAM-stage contention — use a chained topology "
+            "(e.g. bus_bank_queues) or a preloaded workload with "
+            "memory_requests=0"
+        )
+    pads: Dict[str, int] = {}
+    for resource, term in terms.items():
+        requests = (
+            memory_requests if resource in _MEMORY_STAGE_RESOURCES else bus_requests
+        )
+        pads[resource] = mbta_padding(requests, term)
+    return ComposedEtbReport(
+        task_name=task_name,
+        isolation_time=isolation_time,
+        bus_requests=bus_requests,
+        memory_requests=memory_requests,
+        terms=dict(terms),
+        pads=pads,
+        etb=isolation_time + sum(pads.values()),
+        observed_contended_time=observed_contended_time,
+    )
+
+
+def compose_etb_for_config(
+    config: ArchConfig,
+    task_name: str,
+    isolation_time: int,
+    bus_requests: int,
+    memory_requests: int,
+    observed_contended_time: Optional[int] = None,
+) -> ComposedEtbReport:
+    """Convenience wrapper using ``config``'s analytical per-resource terms."""
+    return compose_etb(
+        task_name=task_name,
+        isolation_time=isolation_time,
+        bus_requests=bus_requests,
+        memory_requests=memory_requests,
+        terms=per_resource_bounds(config),
+        observed_contended_time=observed_contended_time,
+    )

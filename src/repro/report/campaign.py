@@ -34,6 +34,7 @@ def render_campaign_summary(summary: Dict[str, object]) -> str:
             [
                 bucket.get("preset", key),
                 bucket.get("arbiter", "-"),
+                bucket.get("topology", "bus_only"),
                 bucket.get("runs", 0),
                 f"{bucket.get('mean_bus_utilisation', 0.0):.2f}",
                 "-" if ubd is None else ubd,
@@ -43,13 +44,25 @@ def render_campaign_summary(summary: Dict[str, object]) -> str:
         )
     sections.append(
         render_table(
-            ["preset", "arbiter", "runs", "mean bus util", "ubd", "max gamma", "max det"],
+            [
+                "preset",
+                "arbiter",
+                "topology",
+                "runs",
+                "mean bus util",
+                "ubd",
+                "max gamma",
+                "max det",
+            ],
             rows,
         )
     )
     for key in sorted(per_platform):
         bucket = per_platform[key]
         title = f"{bucket.get('preset', key)} ({bucket.get('arbiter', '?')})"
+        topology = bucket.get("topology", "bus_only")
+        if topology != "bus_only":
+            title = f"{title} ({topology})"
         synthetic = bucket.get("synthetic")
         if synthetic and synthetic.get("aggregated_contenders"):
             sections.append("")

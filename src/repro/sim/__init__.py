@@ -1,48 +1,78 @@
 """Cycle-level multicore simulator substrate.
 
 This subpackage implements the platform the paper experiments on: in-order
-cores with private L1 caches, a shared round-robin bus, a way-partitioned L2,
+cores with private L1 caches, a shared arbitrated bus, a way-partitioned L2,
 a memory controller with a banked DRAM model, per-core store buffers,
-performance monitoring counters and a request-level trace.
+performance monitoring counters and a request-level trace.  Contention
+points implement the :class:`repro.sim.resource.SharedResource` protocol
+and compose into topologies (:mod:`repro.sim.topology`): the paper's single
+bus, or the bus chained into per-DRAM-bank arbitrated memory queues.
+
+Arbitration policies, simulation engines and topologies are all
+registry-backed (``register_arbiter`` / ``register_engine`` /
+``register_topology``), so new ones plug in without editing the simulator
+core.
 
 The top-level entry point is :class:`repro.sim.system.System`.
 """
 
 from .isa import Alu, Instruction, Load, Nop, Program, Store
 from .arbiter import (
+    ARBITER_REGISTRY,
     Arbiter,
     FifoArbiter,
     FixedPriorityArbiter,
     RoundRobinArbiter,
     TdmaArbiter,
+    create_arbiter,
     make_arbiter,
+    register_arbiter,
+    registered_arbiters,
 )
 from .bus import Bus, BusRequest
 from .cache import CacheStats, SetAssociativeCache
 from .core import Core
 from .dram import Dram
 from .l2 import PartitionedL2
-from .memctrl import MemoryController
+from .memctrl import BankQueuedMemoryController, MemoryController
 from .pmc import PerformanceCounters
-from .scheduler import EventScheduler, SteppedEngine, make_engine
+from .resource import NO_EVENT, SharedResource, min_horizon
+from .scheduler import (
+    ENGINE_REGISTRY,
+    EventScheduler,
+    SteppedEngine,
+    make_engine,
+    register_engine,
+    registered_engines,
+)
 from .store_buffer import StoreBuffer
 from .system import System, SystemResult
+from .topology import (
+    TOPOLOGY_REGISTRY,
+    build_memory_subsystem,
+    register_topology,
+    registered_topologies,
+)
 from .trace import RequestRecord, TraceRecorder
 
 __all__ = [
+    "ARBITER_REGISTRY",
     "Alu",
     "Arbiter",
+    "BankQueuedMemoryController",
     "Bus",
     "BusRequest",
     "CacheStats",
     "Core",
     "Dram",
+    "ENGINE_REGISTRY",
     "EventScheduler",
     "FifoArbiter",
     "FixedPriorityArbiter",
     "Instruction",
     "Load",
     "MemoryController",
+    "NO_EVENT",
     "Nop",
     "PartitionedL2",
     "PerformanceCounters",
@@ -50,13 +80,24 @@ __all__ = [
     "RequestRecord",
     "RoundRobinArbiter",
     "SetAssociativeCache",
+    "SharedResource",
     "SteppedEngine",
     "Store",
     "StoreBuffer",
     "System",
     "SystemResult",
+    "TOPOLOGY_REGISTRY",
     "TdmaArbiter",
     "TraceRecorder",
+    "build_memory_subsystem",
+    "create_arbiter",
     "make_arbiter",
     "make_engine",
+    "min_horizon",
+    "register_arbiter",
+    "register_engine",
+    "register_topology",
+    "registered_arbiters",
+    "registered_engines",
+    "registered_topologies",
 ]

@@ -1,4 +1,4 @@
-"""Bus arbitration policies.
+"""Arbitration policies and their registry.
 
 The paper targets round-robin (RR) arbitration, whose worst-case single
 request delay is ``ubd = (Nc - 1) * lbus``.  For the ablation studies we also
@@ -6,14 +6,27 @@ provide first-come-first-served (FIFO by readiness time), fixed priority and
 TDMA arbiters, mirroring the policies discussed in the related work section
 (Kelter's TDMA analysis, Paolieri's RR bus, Jalle's policy comparison).
 
-An arbiter only decides *which* pending request is granted when the bus is
-free; all timing (occupancy, response delivery) is handled by
-:class:`repro.sim.bus.Bus`.
+An arbiter only decides *which* pending request is granted when a shared
+resource is free; all timing (occupancy, completion delivery) is handled by
+the resource it is attached to — the bus (:class:`repro.sim.bus.Bus`) or a
+per-bank memory-controller queue
+(:class:`repro.sim.memctrl.BankQueuedMemoryController`).
+
+Policies are *registered*, not hardwired: the :func:`register_arbiter`
+decorator adds a factory to :data:`ARBITER_REGISTRY`, and every consumer —
+:func:`make_arbiter`, the bank-queue controller, the CLI's ``list``
+subcommand and the campaign ``--arbiter`` axis — reads the registry, so a
+new policy plugs in without touching the simulator core::
+
+    @register_arbiter("lottery", "deterministic weighted lottery")
+    def _build_lottery(num_ports: int, tdma_slot: int) -> Arbiter:
+        return LotteryArbiter(num_ports)
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..config import BusConfig
 from ..errors import ConfigurationError, SimulationError
@@ -30,6 +43,12 @@ class Arbiter:
     #: Short policy name used by factories, reports and configuration files.
     policy_name = "abstract"
 
+    #: True when the attached resource should call :meth:`select_with_ready`
+    #: (passing per-port readiness cycles) instead of :meth:`select`.  A
+    #: capability flag rather than an ``isinstance`` check so registered
+    #: third-party policies can opt in.
+    uses_ready_order = False
+
     def __init__(self, num_ports: int) -> None:
         if num_ports < 1:
             raise ConfigurationError("an arbiter needs at least one port")
@@ -44,6 +63,28 @@ class Arbiter:
                 empty when this method is called.
         """
         raise NotImplementedError
+
+    def choose(
+        self,
+        cycle: int,
+        pending_ports: Sequence[int],
+        ready_cycles: Optional[Sequence[int]] = None,
+    ) -> int:
+        """Dispatch to :meth:`select` or ``select_with_ready``.
+
+        The single place that interprets :attr:`uses_ready_order`, shared by
+        every resource that hosts an arbiter (the bus, the bank queues), so
+        the capability contract cannot drift between them.  ``ready_cycles``
+        must be supplied (parallel to ``pending_ports``) when the policy
+        declares ``uses_ready_order``.
+        """
+        if self.uses_ready_order:
+            if ready_cycles is None:
+                raise SimulationError(
+                    f"{self.policy_name} arbitration needs per-port readiness cycles"
+                )
+            return self.select_with_ready(cycle, pending_ports, ready_cycles)
+        return self.select(cycle, pending_ports)
 
     def notify_grant(self, cycle: int, port: int) -> None:
         """Inform the arbiter that ``port`` was granted at ``cycle``."""
@@ -130,6 +171,7 @@ class FifoArbiter(Arbiter):
     """
 
     policy_name = "fifo"
+    uses_ready_order = True
 
     def select(self, cycle: int, pending_ports: Sequence[int]) -> int:
         del cycle
@@ -226,15 +268,93 @@ class TdmaArbiter(Arbiter):
         return self.next_grant_opportunity(cycle, port)
 
 
+# --------------------------------------------------------------------------- #
+# Registry-backed factory.
+# --------------------------------------------------------------------------- #
+
+#: Factory signature: ``factory(num_ports, tdma_slot) -> Arbiter``.  The slot
+#: length is the only policy parameter any built-in needs; policies that do
+#: not use it simply ignore it.
+ArbiterFactory = Callable[[int, int], "Arbiter"]
+
+
+@dataclass(frozen=True)
+class ArbiterEntry:
+    """One registered arbitration policy."""
+
+    name: str
+    factory: ArbiterFactory
+    description: str = ""
+
+
+#: Policy name -> registered entry, in registration order.  The built-ins
+#: below register themselves at import time; ``repro.config`` validates
+#: configuration fields against these keys (lazily, so runtime registrations
+#: are honoured) and ``repro-bounds list`` prints them.
+ARBITER_REGISTRY: Dict[str, ArbiterEntry] = {}
+
+
+def register_arbiter(name: str, description: str = ""):
+    """Class/function decorator registering an arbiter factory under ``name``.
+
+    The decorated callable must accept ``(num_ports, tdma_slot)`` and return
+    an :class:`Arbiter`.  Registering an already-taken name is a
+    configuration error — silently replacing a policy would let two runs
+    with identical configurations simulate different platforms.
+    """
+    if not name:
+        raise ConfigurationError("an arbiter needs a non-empty registry name")
+
+    def decorator(factory: ArbiterFactory) -> ArbiterFactory:
+        if name in ARBITER_REGISTRY:
+            raise ConfigurationError(f"arbitration policy {name!r} already registered")
+        ARBITER_REGISTRY[name] = ArbiterEntry(
+            name=name, factory=factory, description=description
+        )
+        return factory
+
+    return decorator
+
+
+def registered_arbiters() -> Tuple[str, ...]:
+    """Names of every registered arbitration policy, in registration order."""
+    return tuple(ARBITER_REGISTRY)
+
+
+def create_arbiter(policy: str, num_ports: int, *, tdma_slot: int = 9) -> Arbiter:
+    """Instantiate the registered policy ``policy`` for ``num_ports`` ports."""
+    entry = ARBITER_REGISTRY.get(policy)
+    if entry is None:
+        raise ConfigurationError(
+            f"unknown arbitration policy {policy!r}; "
+            f"registered: {list(ARBITER_REGISTRY)}"
+        )
+    return entry.factory(num_ports, tdma_slot)
+
+
 def make_arbiter(config: BusConfig, num_ports: int) -> Arbiter:
     """Create the arbiter selected by ``config.arbitration`` for ``num_ports`` ports."""
-    policy = config.arbitration
-    if policy == "round_robin":
-        return RoundRobinArbiter(num_ports)
-    if policy == "fifo":
-        return FifoArbiter(num_ports)
-    if policy == "fixed_priority":
-        return FixedPriorityArbiter(num_ports)
-    if policy == "tdma":
-        return TdmaArbiter(num_ports, config.tdma_slot)
-    raise ConfigurationError(f"unknown arbitration policy {policy!r}")
+    return create_arbiter(config.arbitration, num_ports, tdma_slot=config.tdma_slot)
+
+
+@register_arbiter("round_robin", "work-conserving round robin (the paper's policy)")
+def _build_round_robin(num_ports: int, tdma_slot: int) -> Arbiter:
+    del tdma_slot
+    return RoundRobinArbiter(num_ports)
+
+
+@register_arbiter("fifo", "first-come-first-served by request readiness time")
+def _build_fifo(num_ports: int, tdma_slot: int) -> Arbiter:
+    del tdma_slot
+    return FifoArbiter(num_ports)
+
+
+@register_arbiter("fixed_priority", "static priority: lower port index wins")
+def _build_fixed_priority(num_ports: int, tdma_slot: int) -> Arbiter:
+    del tdma_slot
+    return FixedPriorityArbiter(num_ports)
+
+
+@register_arbiter("tdma", "time-division slots, one per port (not work conserving)")
+def _build_tdma(num_ports: int, tdma_slot: int) -> Arbiter:
+    return TdmaArbiter(num_ports, tdma_slot)

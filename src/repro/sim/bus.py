@@ -27,8 +27,9 @@ from collections import deque
 from typing import Callable, Deque, List, Optional
 
 from ..errors import SimulationError
-from .arbiter import Arbiter, FifoArbiter
+from .arbiter import Arbiter
 from .pmc import PerformanceCounters
+from .resource import NO_EVENT
 from .trace import RequestRecord, TraceRecorder
 
 #: Signature of the grant-time callback: (request, cycle) -> bus occupancy.
@@ -107,7 +108,15 @@ class BusRequest:
 
 
 class Bus:
-    """The shared bus: per-port queues, one transaction in flight at a time."""
+    """The shared bus: per-port queues, one transaction in flight at a time.
+
+    The bus is the first :class:`repro.sim.resource.SharedResource` of every
+    topology: it implements the deliver/arbitrate lifecycle, the integer
+    event horizon, and the PMC surface (via the attached counter block).
+    """
+
+    #: SharedResource protocol surface (see :mod:`repro.sim.resource`).
+    resource_name = "bus"
 
     def __init__(
         self,
@@ -233,11 +242,10 @@ class Bus:
         ]
         if not pending_ports:
             return None
-        if isinstance(self.arbiter, FifoArbiter):
+        ready_cycles = None
+        if self.arbiter.uses_ready_order:
             ready_cycles = [self._queues[port][0].ready_cycle for port in pending_ports]
-            winner = self.arbiter.select_with_ready(cycle, pending_ports, ready_cycles)
-        else:
-            winner = self.arbiter.select(cycle, pending_ports)
+        winner = self.arbiter.choose(cycle, pending_ports, ready_cycles)
         if winner < 0:
             return None  # TDMA: no eligible slot owner this cycle
         request = self._queues[winner].popleft()
@@ -260,7 +268,7 @@ class Bus:
     # ------------------------------------------------------------------ #
     # Event-horizon support (see repro.sim.scheduler).
     # ------------------------------------------------------------------ #
-    def next_event_cycle(self, cycle: int) -> float:
+    def next_event_cycle(self, cycle: int) -> int:
         """Earliest future cycle at which the bus state can change.
 
         While a transaction is in flight the next event is its delivery at
@@ -269,15 +277,15 @@ class Bus:
         the arbiter contributes the latter through
         :meth:`repro.sim.arbiter.Arbiter.next_event_cycle`, which lets
         schedule-driven policies (TDMA) push the horizon to their next slot.
-        ``inf`` means the bus is idle with empty queues and will only move
-        again when someone posts a request.
+        :data:`~repro.sim.resource.NO_EVENT` means the bus is idle with empty
+        queues and will only move again when someone posts a request.
         """
         if self._current is not None:
             return self._busy_until
         if self._queued_total == 0:
-            return float("inf")
+            return NO_EVENT
         arbiter = self.arbiter
-        horizon = float("inf")
+        horizon = NO_EVENT
         for port, queue in enumerate(self._queues):
             if not queue:
                 continue

@@ -30,6 +30,7 @@ from ..errors import SimulationError
 from .cache import SetAssociativeCache
 from .isa import Alu, Instruction, Load, Nop, Program, Store
 from .pmc import PerformanceCounters
+from .resource import NO_EVENT
 from .store_buffer import StoreBuffer
 
 #: Callback used by the core to start a bus transaction:
@@ -115,7 +116,7 @@ class Core:
         """True while the core is stalled waiting for a bus transaction."""
         return self.state in (CoreState.WAIT_IFETCH, CoreState.WAIT_LOAD)
 
-    def next_event_cycle(self, cycle: int) -> float:
+    def next_event_cycle(self, cycle: int) -> int:
         """Earliest future cycle at which this core will do work on its own.
 
         This is the core's horizon contribution to the event-driven scheduler
@@ -124,13 +125,13 @@ class Core:
         cycle.  Cores stalled on the bus or on the store buffer are woken by
         bus completions, which the scheduler already includes through the bus
         and memory-controller horizons, so they report "no self-driven
-        activity" (``inf``).
+        activity" (:data:`~repro.sim.resource.NO_EVENT`).
         """
         if self.state is CoreState.EXECUTING:
             return max(self._busy_until, cycle + 1)
         if self.state is CoreState.READY:
             return cycle
-        return float("inf")
+        return NO_EVENT
 
     #: Backwards-compatible alias for the pre-scheduler skip-ahead API.
     next_activity = next_event_cycle

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 
 from ..config import DramConfig
 from ..errors import SimulationError
+from .resource import NO_EVENT
 
 
 @dataclass
@@ -143,7 +144,7 @@ class Dram:
             category=category,
         )
 
-    def next_event_cycle(self, cycle: int) -> float:
+    def next_event_cycle(self, cycle: int) -> int:
         """Earliest future cycle at which any busy bank becomes free again.
 
         The DRAM is pull-based — accesses are scheduled synchronously by the
@@ -151,9 +152,9 @@ class Dram:
         controller's in-flight heap — so this horizon is *not* needed for
         cycle-exact event scheduling.  It is exposed for introspection and
         symmetry with the other components' ``next_event_cycle`` contract:
-        ``inf`` means every bank is idle.
+        :data:`~repro.sim.resource.NO_EVENT` means every bank is idle.
         """
-        horizon = float("inf")
+        horizon = NO_EVENT
         for bank in self._banks:
             if bank.busy_until > cycle and bank.busy_until < horizon:
                 horizon = bank.busy_until

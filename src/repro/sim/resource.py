@@ -1,0 +1,85 @@
+"""The ``SharedResource`` protocol: what it means to be a contention point.
+
+The paper models a single arbitrated resource — the processor-to-L2 bus.
+Real platforms stack several: the bus feeds a memory controller whose
+per-bank queues are themselves arbitrated, and the DRAM banks serialise
+accesses independently.  This module declares the protocol that lets such
+contention points *compose* into a topology (see :mod:`repro.sim.topology`)
+instead of being hardwired into :class:`repro.sim.system.System`.
+
+A shared resource owns a request/grant lifecycle and exposes four surfaces:
+
+* ``deliver(cycle)`` — phase 1 of the cycle structure: finish any work whose
+  occupancy ends at ``cycle`` and hand the result downstream (wake a core,
+  enqueue into the next resource, post a response).
+* ``arbitrate(cycle)`` — the closing phase: if the resource is free, pick
+  one pending request per internal channel (bus, DRAM bank, ...) through an
+  :class:`repro.sim.arbiter.Arbiter` and start its occupancy.
+* ``next_event_cycle(cycle)`` — the event horizon: the earliest future cycle
+  at which this resource can change state on its own.  The event engine
+  jumps the clock to the minimum over all resources (plus the cores), so
+  the contract is *conservative*: reporting too early only costs speed,
+  reporting too late changes timing.  ``NO_EVENT`` means "inert until
+  someone posts new work".
+* a PMC surface — counters describing the traffic the resource served
+  (:class:`repro.sim.pmc.PerformanceCounters` for the bus,
+  :class:`repro.sim.memctrl.MemCtrlStats` for the memory queues).
+
+Horizon type contract (DESIGN.md Section 5.1): every ``next_event_cycle``
+implementation — components *and* arbiters — returns an ``int``.  Cycles are
+integers throughout the simulator; the former mixture of ``int`` and
+``float('inf')`` returns is replaced by the :data:`NO_EVENT` sentinel, which
+compares greater than any reachable cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Protocol, runtime_checkable
+
+#: Horizon sentinel: "this resource has no self-driven future event".
+#: An ``int`` (not ``float('inf')``) so the horizon arithmetic of
+#: :mod:`repro.sim.scheduler` stays in integers; far beyond any reachable
+#: cycle (the default simulation bound is 2e8).
+NO_EVENT: int = 1 << 62
+
+
+@runtime_checkable
+class SharedResource(Protocol):
+    """Structural protocol every composable contention point satisfies.
+
+    :class:`repro.sim.bus.Bus` and the memory controllers in
+    :mod:`repro.sim.memctrl` implement it; topologies
+    (:mod:`repro.sim.topology`) chain instances into
+    ``System.resources``, and both simulation engines drive that chain
+    generically — deliver all resources, tick the cores, arbitrate all
+    resources, with the event horizon taken as the minimum over the chain.
+    """
+
+    #: Short name used in reports and per-resource bound decompositions.
+    resource_name: str
+
+    def deliver(self, cycle: int) -> Optional[object]:
+        """Finish work whose occupancy ends at ``cycle``; return it, if any."""
+        ...
+
+    def arbitrate(self, cycle: int) -> Optional[object]:
+        """Grant pending work if the resource is free; return the grant."""
+        ...
+
+    def next_event_cycle(self, cycle: int) -> int:
+        """Earliest future cycle this resource changes state on its own."""
+        ...
+
+    def reset(self) -> None:
+        """Restore the initial (empty, idle) state."""
+        ...
+
+
+def min_horizon(resources: Iterable[SharedResource], cycle: int) -> int:
+    """Minimum event horizon over ``resources`` (``NO_EVENT`` if all inert)."""
+    horizon = NO_EVENT
+    for resource in resources:
+        candidate = resource.next_event_cycle(cycle)
+        if candidate < horizon:
+            horizon = candidate
+    return horizon

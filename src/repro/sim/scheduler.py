@@ -4,32 +4,43 @@ The simulator supports two interchangeable engines, selected through
 ``ArchConfig.engine`` (or per run via ``System.run(engine=...)``):
 
 * :class:`SteppedEngine` — the reference loop.  It advances the clock one
-  cycle at a time and runs the full Section 5 cycle structure (deliver,
-  memory tick, core ticks, arbitrate) on every cycle.  It is deliberately
-  unoptimised: it is the oracle the fast path is validated against.
-* :class:`EventScheduler` — the fast path.  After processing a cycle it asks
-  every component for its *event horizon* — the earliest future cycle at
-  which that component can change state on its own — and jumps the clock
-  directly to the minimum.  Saturated-bus experiments (the paper's hot
-  path) spend most of their cycles with every core stalled on a 9-cycle bus
-  occupancy, so the fast path visits a small fraction of the cycles while
-  producing bit-identical results.
+  cycle at a time and runs the full Section 5 cycle structure (deliver all
+  resources, tick the cores, arbitrate all resources) on every cycle.  It is
+  deliberately unoptimised: it is the oracle the fast path is validated
+  against, and it drives ``System.resources`` generically, so any topology
+  of :class:`repro.sim.resource.SharedResource` chains works unchanged.
+* :class:`EventScheduler` — the fast path.  After processing a cycle it
+  takes the *event horizon* — the minimum over every resource's and core's
+  ``next_event_cycle`` (the earliest future cycle at which that component
+  can change state on its own) — and jumps the clock directly to it.
+  Saturated-bus experiments (the paper's hot path) spend most of their
+  cycles with every core stalled on a 9-cycle bus occupancy, so the fast
+  path visits a small fraction of the cycles while producing bit-identical
+  results.
+
+Engines are registered, not hardwired: the :func:`register_engine` decorator
+adds a class to :data:`ENGINE_REGISTRY`, and :func:`make_engine`, the CLI's
+``list`` subcommand and ``ArchConfig`` validation all read the registry.
 
 Horizon contract
 ----------------
 
-Each component exposes ``next_event_cycle(cycle)``, called *after* the
-cycle's phases have run:
+Each component exposes ``next_event_cycle(cycle) -> int``, called *after*
+the cycle's phases have run (the integer-only contract is documented in
+:mod:`repro.sim.resource`; "no self-driven event" is the
+:data:`~repro.sim.resource.NO_EVENT` sentinel, never ``float('inf')``):
 
 * ``Bus.next_event_cycle`` — delivery of the in-flight transaction
   (``busy_until``), or the earliest ready/grantable queued request on a free
   bus (the arbiter contributes slot constraints for TDMA through
   ``Arbiter.next_event_cycle``);
 * ``MemoryController.next_event_cycle`` — the earliest in-flight DRAM read
-  completion;
+  completion; the bank-queued controller of multi-resource topologies adds
+  the earliest bank-grant opportunity (free bank with a ready queued
+  access, modulo its arbiter's schedule);
 * ``Core.next_event_cycle`` — the end of the execute-stage occupancy;
-  waiting/stalled/done cores report ``inf`` because only a bus or memory
-  event (already in the horizon) can wake them.
+  waiting/stalled/done cores report ``NO_EVENT`` because only a bus or
+  memory event (already in the horizon) can wake them.
 
 Invariants that make the jump cycle-exact:
 
@@ -40,8 +51,8 @@ Invariants that make the jump cycle-exact:
    its true next event (costing speed, not correctness) but never a later
    one.
 3. *Wake-ups are events*: any cycle at which one component can change
-   another's state (bus delivery, DRAM completion) appears in the horizon
-   of the component that drives it.
+   another's state (bus delivery, DRAM completion, bank grant) appears in
+   the horizon of the component that drives it.
 4. *Phase order is preserved*: every visited cycle runs the exact Section 5
    phase sequence, so intra-cycle orderings (deliver before tick before
    arbitrate) — which produce the paper's synchrony effect — are untouched.
@@ -53,9 +64,9 @@ the visited cycles themselves cheaper than the oracle's.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Type
 
-from ..config import ENGINES
 from ..errors import ConfigurationError
 
 
@@ -76,8 +87,7 @@ class SteppedEngine:
         finished (or ``max_cycles`` is reached); returns the final cycle and
         whether the run timed out."""
         system = self.system
-        bus = system.bus
-        memctrl = system.memctrl
+        resources = system.resources
         cores = system.cores
         pmc = system.pmc
         observed_cores = [cores[core_id] for core_id in observed]
@@ -85,11 +95,12 @@ class SteppedEngine:
         cycle = system.current_cycle
         timed_out = False
         while True:
-            bus.deliver(cycle)
-            memctrl.tick(cycle)
+            for resource in resources:
+                resource.deliver(cycle)
             for core in cores:
                 core.tick(cycle)
-            bus.arbitrate(cycle)
+            for resource in resources:
+                resource.arbitrate(cycle)
             pmc.cycles = cycle + 1
 
             if all(core.is_done for core in observed_cores):
@@ -135,6 +146,10 @@ class EventScheduler:
         # Dedicated fast path for the overwhelmingly common single-observed-
         # core case (every methodology and campaign run).
         only_observed = observed_cores[0] if len(observed_cores) == 1 else None
+        # Multi-resource topologies add an arbitrated bank-queue stage to the
+        # memory controller; ``None`` on the paper's bus_only platform keeps
+        # the hot loop free of the extra phase and horizon scan.
+        queued_mem = memctrl if memctrl.has_queue else None
 
         # Bind hot names to locals and read sibling internals directly: the
         # loop below runs once per *event* cycle but still dominates the
@@ -144,7 +159,7 @@ class EventScheduler:
         bus_deliver = bus.deliver
         bus_arbitrate = bus.arbitrate
         bus_horizon = bus.next_event_cycle
-        memctrl_tick = memctrl.tick
+        memctrl_deliver = memctrl.deliver
         in_flight = memctrl._in_flight
         executing = CoreState.EXECUTING
         ready = CoreState.READY
@@ -158,7 +173,7 @@ class EventScheduler:
             if bus._current is not None and cycle >= bus._busy_until:
                 completed = bus_deliver(cycle)
             if in_flight and in_flight[0][0] <= cycle:
-                memctrl_tick(cycle)
+                memctrl_deliver(cycle)
             # Only self-driven cores can act on their own: one finishing its
             # execute-stage occupancy, one ready to start an instruction, or
             # one retrying a full store buffer (the retry is a no-op until a
@@ -180,6 +195,8 @@ class EventScheduler:
                     core.tick(cycle)
             if bus._current is None and bus._queued_total:
                 bus_arbitrate(cycle)
+            if queued_mem is not None and queued_mem._queued_total:
+                queued_mem.arbitrate(cycle)
 
             if only_observed is not None:
                 if only_observed.state is done:
@@ -190,12 +207,14 @@ class EventScheduler:
                 timed_out = True
                 break
 
-            # Inline horizon minimisation over the components.  Core states
-            # are read directly (rather than via Core.next_event_cycle) to
-            # spare four method calls per visited cycle; the semantics are
-            # identical: executing cores wake at the end of their occupancy,
-            # ready cores on the next cycle, everyone else on a bus or
-            # memory event already in the bus/memctrl horizons.
+            # Inline horizon minimisation: conceptually
+            # ``min(r.next_event_cycle(cycle) for r in system.resources)``
+            # folded with the core horizons.  Core states are read directly
+            # (rather than via Core.next_event_cycle) to spare four method
+            # calls per visited cycle; the semantics are identical:
+            # executing cores wake at the end of their occupancy, ready
+            # cores on the next cycle, everyone else on a bus or memory
+            # event already in the bus/memctrl horizons.
             if bus._current is not None:
                 horizon = bus._busy_until
             else:
@@ -204,6 +223,10 @@ class EventScheduler:
                 mem_horizon = in_flight[0][0]
                 if mem_horizon < horizon:
                     horizon = mem_horizon
+            if queued_mem is not None and queued_mem._queued_total:
+                grant_horizon = queued_mem.grant_horizon(cycle)
+                if grant_horizon < horizon:
+                    horizon = grant_horizon
             for core in cores:
                 state = core.state
                 if state is executing:
@@ -219,22 +242,74 @@ class EventScheduler:
             else:
                 # Never jump past the cycle budget: the oracle processes
                 # max_cycles as its last cycle, and so must we.
-                cycle = int(horizon) if horizon <= max_cycles else max_cycles
+                cycle = horizon if horizon <= max_cycles else max_cycles
         pmc.cycles = cycle + 1
         system.current_cycle = cycle
         return cycle, timed_out
 
 
+# --------------------------------------------------------------------------- #
+# Registry-backed factory.
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class EngineEntry:
+    """One registered simulation engine."""
+
+    name: str
+    cls: Type
+    description: str = ""
+
+
+#: Engine name -> registered entry, in registration order.  ``repro.config``
+#: keeps the built-in tuple :data:`repro.config.ENGINES` for documentation
+#: and CLI choices; a tier-1 test pins the two in sync.
+ENGINE_REGISTRY: Dict[str, EngineEntry] = {}
+
+
+def register_engine(name: str, description: str = ""):
+    """Class decorator registering a simulation engine under ``name``.
+
+    The class must accept a :class:`repro.sim.system.System` and expose
+    ``run(observed, max_cycles) -> (cycle, timed_out)``.
+    """
+    if not name:
+        raise ConfigurationError("an engine needs a non-empty registry name")
+
+    def decorator(cls: Type) -> Type:
+        if name in ENGINE_REGISTRY:
+            raise ConfigurationError(f"simulation engine {name!r} already registered")
+        ENGINE_REGISTRY[name] = EngineEntry(name=name, cls=cls, description=description)
+        return cls
+
+    return decorator
+
+
+def registered_engines() -> Tuple[str, ...]:
+    """Names of every registered engine, in registration order."""
+    return tuple(ENGINE_REGISTRY)
+
+
 def make_engine(name: str, system):
     """Instantiate the engine called ``name`` for ``system``.
 
-    Accepts the values of :data:`repro.config.ENGINES`; anything else raises
+    Accepts any registered engine name (the built-ins mirror
+    :data:`repro.config.ENGINES`); anything else raises
     :class:`~repro.errors.ConfigurationError`.
     """
-    if name == "event":
-        return EventScheduler(system)
-    if name == "stepped":
-        return SteppedEngine(system)
-    raise ConfigurationError(
-        f"unknown simulation engine {name!r}; available: {list(ENGINES)}"
-    )
+    entry = ENGINE_REGISTRY.get(name)
+    if entry is None:
+        raise ConfigurationError(
+            f"unknown simulation engine {name!r}; "
+            f"registered: {list(ENGINE_REGISTRY)}"
+        )
+    return entry.cls(system)
+
+
+register_engine("stepped", "cycle-by-cycle oracle loop (reference semantics)")(
+    SteppedEngine
+)
+register_engine(
+    "event", "event-driven fast path: jump the clock to the min component horizon"
+)(EventScheduler)

@@ -1,17 +1,22 @@
 """Multicore system assembly and simulation loop.
 
-:class:`System` wires together the cores, the shared round-robin bus, the
-way-partitioned L2, the memory controller/DRAM and the measurement
-infrastructure (PMCs and the request trace), and owns the per-cycle loop.
+:class:`System` wires together the cores, the shared bus, the
+way-partitioned L2, the memory subsystem selected by ``config.topology``
+(:mod:`repro.sim.topology`) and the measurement infrastructure (PMCs and the
+request trace), and exposes the platform's shared-resource chain
+(``System.resources``) to the simulation engines.
 
-Cycle structure (see DESIGN.md, Section 5):
+Cycle structure (see DESIGN.md, Section 5) — deliver every resource front to
+back, tick the cores, arbitrate every resource front to back:
 
 1. the bus delivers a transaction whose occupancy ends in this cycle;
 2. the memory controller delivers DRAM reads that completed, posting their
    split-transaction responses on the dedicated response port;
 3. every core ticks: it may retire instructions, post demand requests that
    are ready in this very cycle, and drain its store buffer;
-4. the bus arbitrates and, if free, grants one pending request.
+4. the bus arbitrates and, if free, grants one pending request;
+5. on multi-resource topologies, each free DRAM bank's queue arbitrates and
+   starts one pending access (a no-op on the paper's ``bus_only`` platform).
 
 The loop itself lives in :mod:`repro.sim.scheduler` and comes in two
 cycle-exact flavours selected by ``config.engine``: the ``stepped`` oracle
@@ -34,9 +39,10 @@ from .bus import Bus, BusRequest
 from .core import Core, CoreState
 from .isa import Program
 from .l2 import PartitionedL2
-from .memctrl import MemoryController, PendingRead
+from .memctrl import PendingRead
 from .pmc import PerformanceCounters
 from .scheduler import make_engine
+from .topology import build_memory_subsystem
 from .trace import TraceRecorder
 
 #: Default safety bound on simulated cycles; long experiments may raise it.
@@ -121,7 +127,9 @@ class System:
         #: Maps a response request (by identity) to the demand kind it resolves.
         self._response_kinds: Dict[int, str] = {}
         self.l2 = PartitionedL2(config)
-        self.memctrl = MemoryController(config.dram, read_callback=self._on_dram_read_done)
+        self.memctrl = build_memory_subsystem(
+            config, read_callback=self._on_dram_read_done
+        )
 
         num_ports = config.num_cores + 1  # one demand port per core + response port
         self.response_port = config.num_cores
@@ -134,6 +142,12 @@ class System:
             trace=self.trace,
             pmc=self.pmc,
         )
+        #: The platform's shared-resource chain, in phase order (see
+        #: :mod:`repro.sim.resource`): both engines deliver these front to
+        #: back, tick the cores, then arbitrate front to back, and the event
+        #: horizon is the minimum over the chain.  Which resources exist is
+        #: decided by ``config.topology`` (:mod:`repro.sim.topology`).
+        self.resources = (self.bus, self.memctrl)
 
         self.cores: List[Core] = [
             Core(
@@ -201,7 +215,9 @@ class System:
             core.on_store_drained(cycle)
             if not self.l2.contains(request.addr):
                 # Write-through, no-allocate: the write continues to memory.
-                self.memctrl.enqueue_write(request.addr, cycle)
+                self.memctrl.enqueue_write(
+                    request.addr, cycle, core_id=request.origin_core
+                )
             return
         if request.kind in ("load", "ifetch"):
             if self.l2.contains(request.addr):

@@ -1,0 +1,117 @@
+"""Shared-resource topologies: composing contention points into a platform.
+
+A *topology* decides which :class:`repro.sim.resource.SharedResource`
+instances sit behind the cores and how they chain.  The paper's platform is
+the single-stage ``bus_only`` topology — one arbitrated bus in front of a
+memory controller that schedules DRAM accesses on arrival.  The
+``bus_bank_queues`` topology chains a second arbitrated stage behind the
+bus: per-DRAM-bank memory-controller queues, each with its own arbitration
+policy (:class:`repro.sim.memctrl.BankQueuedMemoryController`), so an L2
+miss contends twice — once for the bus, once for its bank.
+
+Like arbiters (:mod:`repro.sim.arbiter`) and engines
+(:mod:`repro.sim.scheduler`), topologies are registered, not hardwired::
+
+    @register_topology("bus_crossbar", "per-core links into a crossbar")
+    def _build_crossbar(config, read_callback):
+        return CrossbarMemoryController(...)
+
+:class:`repro.sim.system.System` calls :func:`build_memory_subsystem` with
+the platform's :class:`~repro.config.TopologyConfig`; the CLI's ``list``
+subcommand and the campaign ``--topology`` axis read the same registry, so
+a registered topology is immediately selectable everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..config import ArchConfig
+from ..errors import ConfigurationError
+from .memctrl import BankQueuedMemoryController, MemoryController, ReadCallback
+
+#: Builder signature: given the platform configuration and the system's
+#: read-completion callback, return the memory-side resource chained behind
+#: the bus (today a single controller; richer topologies may return deeper
+#: chains once the system grows more hop points).
+TopologyBuilder = Callable[[ArchConfig, Optional[ReadCallback]], MemoryController]
+
+
+@dataclass(frozen=True)
+class TopologyEntry:
+    """One registered topology."""
+
+    name: str
+    builder: TopologyBuilder
+    description: str = ""
+
+
+#: Topology name -> registered entry, in registration order.
+TOPOLOGY_REGISTRY: Dict[str, TopologyEntry] = {}
+
+
+def register_topology(name: str, description: str = ""):
+    """Decorator registering a topology builder under ``name``.
+
+    Re-registering a name is a configuration error, for the same reason as
+    with arbiters: two identical configurations must never build different
+    platforms.
+    """
+    if not name:
+        raise ConfigurationError("a topology needs a non-empty registry name")
+
+    def decorator(builder: TopologyBuilder) -> TopologyBuilder:
+        if name in TOPOLOGY_REGISTRY:
+            raise ConfigurationError(f"topology {name!r} already registered")
+        TOPOLOGY_REGISTRY[name] = TopologyEntry(
+            name=name, builder=builder, description=description
+        )
+        return builder
+
+    return decorator
+
+
+def registered_topologies() -> Tuple[str, ...]:
+    """Names of every registered topology, in registration order."""
+    return tuple(TOPOLOGY_REGISTRY)
+
+
+def build_memory_subsystem(
+    config: ArchConfig, read_callback: Optional[ReadCallback] = None
+) -> MemoryController:
+    """Build the memory-side resource chain named by ``config.topology``."""
+    entry = TOPOLOGY_REGISTRY.get(config.topology.name)
+    if entry is None:
+        raise ConfigurationError(
+            f"unknown topology {config.topology.name!r}; "
+            f"registered: {list(TOPOLOGY_REGISTRY)}"
+        )
+    return entry.builder(config, read_callback)
+
+
+@register_topology(
+    "bus_only",
+    "single arbitrated bus; memory accesses schedule on arrival (the paper's platform)",
+)
+def _build_bus_only(
+    config: ArchConfig, read_callback: Optional[ReadCallback]
+) -> MemoryController:
+    return MemoryController(config.dram, read_callback=read_callback)
+
+
+@register_topology(
+    "bus_bank_queues",
+    "arbitrated bus feeding per-DRAM-bank arbitrated memory-controller queues",
+)
+def _build_bus_bank_queues(
+    config: ArchConfig, read_callback: Optional[ReadCallback]
+) -> BankQueuedMemoryController:
+    topology = config.topology
+    return BankQueuedMemoryController(
+        config.dram,
+        read_callback=read_callback,
+        num_ports=config.num_cores,
+        arbitration=topology.mem_arbitration,
+        tdma_slot=topology.mem_tdma_slot,
+    )

@@ -10,6 +10,7 @@ from repro.errors import SimulationError
 from repro.sim.arbiter import FifoArbiter, RoundRobinArbiter, TdmaArbiter
 from repro.sim.bus import Bus, BusRequest
 from repro.sim.pmc import PerformanceCounters
+from repro.sim.resource import NO_EVENT
 from repro.sim.trace import TraceRecorder
 
 
@@ -212,7 +213,9 @@ class TestNextActivityAndReset:
         assert bus.next_activity(2) == 9
 
     def test_next_activity_idle(self):
-        assert make_bus().next_activity(0) == float("inf")
+        # Horizon contract (DESIGN.md 5.1): integer cycles only; "no event"
+        # is the NO_EVENT sentinel, never float('inf').
+        assert make_bus().next_activity(0) == NO_EVENT
 
     def test_next_activity_respects_tdma_schedule(self):
         arbiter = TdmaArbiter(2, slot_cycles=4)

@@ -88,6 +88,54 @@ class TestCampaignSpec:
         spec = CampaignSpec(presets=("small",), arbiters=("tdma",), num_workloads=1)
         assert all(d.config.bus.arbitration == "tdma" for d in spec.expand())
 
+    def test_topology_axis_expands_the_grid(self):
+        spec = CampaignSpec(
+            presets=("small",),
+            topologies=("bus_only", "bus_bank_queues"),
+            num_workloads=1,
+        )
+        descriptors = spec.expand()
+        # topologies x (workloads + rsk reference)
+        assert len(descriptors) == 2 * (1 + 1)
+        names = {d.config.topology.name for d in descriptors}
+        assert names == {"bus_only", "bus_bank_queues"}
+        # Different resource chains must never share cache entries.
+        digests = {d.config.topology.name: d.digest() for d in descriptors if d.kind == "rsk"}
+        assert digests["bus_only"] != digests["bus_bank_queues"]
+
+    def test_topology_override_keeps_preset_mem_arbitration(self):
+        """The axis overrides the topology *name* only: a preset with
+        non-default bank-queue arbitration must not be silently reset to
+        FIFO banks when --topology selects the same (or another) chain."""
+        from repro.config import PRESETS, TopologyConfig, small_config
+
+        PRESETS["_rr_banks"] = lambda **overrides: small_config(
+            topology=TopologyConfig(
+                name="bus_bank_queues", mem_arbitration="round_robin"
+            ),
+            **overrides,
+        )
+        try:
+            spec = CampaignSpec(
+                presets=("_rr_banks",),
+                topologies=("bus_bank_queues",),
+                num_workloads=1,
+            )
+            for descriptor in spec.expand():
+                assert descriptor.config.topology.mem_arbitration == "round_robin"
+        finally:
+            PRESETS.pop("_rr_banks")
+
+    def test_default_keeps_preset_topology(self):
+        spec = CampaignSpec(presets=("multi_resource",), num_workloads=1, iterations=4)
+        assert all(
+            d.config.topology.name == "bus_bank_queues" for d in spec.expand()
+        )
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(MethodologyError):
+            CampaignSpec(presets=("small",), topologies=("mesh",))
+
     def test_contender_count_limits_occupied_cores(self):
         spec = CampaignSpec(
             presets=("small",), contender_counts=(1,), num_workloads=2
@@ -341,6 +389,36 @@ class TestArtifacts:
         assert tdma["analytical_ubd"] is None
         assert round_robin["rsk"]["max_contention_delay"] <= 6
         assert tdma["rsk"]["max_contention_delay"] > 6
+
+    def test_topology_sweep_buckets_stay_separate(self):
+        spec = CampaignSpec(
+            presets=("small",),
+            topologies=("bus_only", "bus_bank_queues"),
+            num_workloads=1,
+            iterations=4,
+            rsk_iterations=20,
+        )
+        outcome = ParallelRunner(jobs=1).run(spec.expand())
+        assert {record["topology"] for record in outcome.records} == {
+            "bus_only",
+            "bus_bank_queues",
+        }
+        summary = outcome.summary()
+        platforms = summary["per_platform"]
+        # The historical key survives for the paper's platform; topology
+        # sweeps get their own bucket so delays never merge across chains.
+        assert set(platforms) == {
+            "small/round_robin",
+            "small/round_robin/bus_bank_queues/fifo",
+        }
+        assert summary["topologies"] == ["bus_bank_queues", "bus_only"]
+        chained = platforms["small/round_robin/bus_bank_queues/fifo"]
+        assert chained["topology"] == "bus_bank_queues"
+        assert chained["mem_arbitration"] == "fifo"
+        assert platforms["small/round_robin"]["mem_arbitration"] is None
+        assert chained["end_to_end_ubd"] is not None
+        assert chained["end_to_end_ubd"] > chained["analytical_ubd"]
+        assert platforms["small/round_robin"]["end_to_end_ubd"] is None
 
     def test_summary_renders_both_workload_classes(self):
         outcome = ParallelRunner(jobs=1).run(TINY_SPEC.expand())

@@ -59,6 +59,31 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign", "--arbiter", "lottery"])
 
+    def test_campaign_topology_axis(self):
+        args = build_parser().parse_args(
+            [
+                "campaign",
+                "--topology", "bus_only",
+                "--topology", "bus_bank_queues",
+            ]
+        )
+        assert args.topology == ["bus_only", "bus_bank_queues"]
+
+    def test_topology_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--topology", "mesh"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["derive-ubd", "--topology", "mesh"])
+
+    def test_derive_and_synchrony_accept_topology(self):
+        args = build_parser().parse_args(["derive-ubd", "--topology", "bus_bank_queues"])
+        assert args.topology == "bus_bank_queues"
+        args = build_parser().parse_args(["synchrony", "--topology", "bus_bank_queues"])
+        assert args.topology == "bus_bank_queues"
+
+    def test_list_subcommand_parses(self):
+        assert build_parser().parse_args(["list"]).command == "list"
+
 
 class TestCommands:
     def test_derive_ubd_on_small_preset(self, capsys):
@@ -95,6 +120,47 @@ class TestCommands:
         assert exit_code == 0
         assert "EEMBC-like" in output
         assert "contenders=" in output
+
+    def test_list_prints_registries(self, capsys):
+        exit_code = main(["list"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        # The listing is read from the registries themselves, so every
+        # registered name must show up.
+        from repro.config import ARBITRATION_POLICIES, ENGINES, PRESETS, TOPOLOGIES
+
+        for name in (
+            list(PRESETS) + list(ARBITRATION_POLICIES) + list(ENGINES) + list(TOPOLOGIES)
+        ):
+            assert name in output
+
+    def test_campaign_topology_sweep_on_small_preset(self, capsys):
+        exit_code = main(
+            [
+                "--preset", "small",
+                "campaign",
+                "--workloads", "1",
+                "--iterations", "4",
+                "--topology", "bus_only",
+                "--topology", "bus_bank_queues",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "bus_bank_queues" in output
+
+    def test_synchrony_with_topology_override(self, capsys):
+        exit_code = main(
+            [
+                "--preset", "small",
+                "synchrony",
+                "--iterations", "30",
+                "--topology", "bus_bank_queues",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "gamma=" in output
 
     def test_library_errors_become_clean_cli_errors(self, capsys):
         exit_code = main(

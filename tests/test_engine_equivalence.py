@@ -18,10 +18,12 @@ from hypothesis import given, settings, strategies as st
 from repro.analysis.contention import contention_histogram
 from repro.config import (
     ARBITRATION_POLICIES,
+    TOPOLOGIES,
     BusConfig,
     CacheConfig,
     L2Config,
     StoreBufferConfig,
+    TopologyConfig,
     small_config,
 )
 from repro.errors import AnalysisError
@@ -128,6 +130,72 @@ class TestAllArbitersEquivalent:
         )
 
 
+class TestChainedTopologyEquivalent:
+    """Stepped vs event on the multi-resource topology (bus -> bank queues).
+
+    Satellite of the composable-interconnect refactor: at least one
+    chained-resource run per arbiter, on both the bus axis (every bus
+    arbiter over FIFO bank queues) and the memory axis (round-robin bus
+    over every bank-queue arbiter).  No preloading, so every request walks
+    bus -> bank queue -> DRAM -> response, exercising both contention
+    points and the bank-grant horizon.
+    """
+
+    @staticmethod
+    def _run_chained(config, kind="load", iterations=45):
+        scua = build_rsk(config, 0, kind=kind, iterations=iterations)
+        contenders = build_contender_set(config, 0, kind=kind)
+        programs: List[Optional[Program]] = [None] * config.num_cores
+        programs[0] = scua
+        for core, program in contenders.items():
+            programs[core] = program
+        outcomes = _run_both(config, programs, observed=[0])
+        assert _observable_state(outcomes["stepped"]) == _observable_state(
+            outcomes["event"]
+        )
+        return outcomes
+
+    @pytest.mark.parametrize("arbiter", ARBITRATION_POLICIES)
+    @pytest.mark.parametrize("kind", ["load", "store"])
+    def test_every_bus_arbiter_over_fifo_bank_queues(self, arbiter, kind):
+        config = small_config(
+            bus=BusConfig(arbitration=arbiter, transfer_latency=1),
+            topology=TopologyConfig(name="bus_bank_queues"),
+        )
+        outcomes = self._run_chained(config, kind=kind)
+        if kind == "load":
+            histograms = {}
+            for engine, outcome in outcomes.items():
+                try:
+                    histograms[engine] = contention_histogram(outcome.trace, 0).counts
+                except AnalysisError:
+                    histograms[engine] = None
+            assert histograms["stepped"] == histograms["event"]
+
+    @pytest.mark.parametrize("mem_arbiter", ARBITRATION_POLICIES)
+    def test_every_bank_queue_arbiter_under_round_robin_bus(self, mem_arbiter):
+        config = small_config(
+            topology=TopologyConfig(
+                name="bus_bank_queues",
+                mem_arbitration=mem_arbiter,
+                mem_tdma_slot=40,
+            )
+        )
+        self._run_chained(config)
+
+    def test_chained_timeout_stops_on_the_same_cycle(self):
+        config = small_config(topology=TopologyConfig(name="bus_bank_queues"))
+        scua = build_rsk(config, 0, iterations=10_000)
+        programs: List[Optional[Program]] = [None] * config.num_cores
+        programs[0] = scua
+        outcomes = _run_both(config, programs, observed=[0], max_cycles=901)
+        for outcome in outcomes.values():
+            assert outcome.timed_out
+        assert _observable_state(outcomes["stepped"]) == _observable_state(
+            outcomes["event"]
+        )
+
+
 # --------------------------------------------------------------------------- #
 # Property-based equivalence over random configs, arbiters and kernels.
 # --------------------------------------------------------------------------- #
@@ -151,8 +219,10 @@ _programs = st.builds(
     iterations=st.integers(min_value=1, max_value=5),
 )
 
-_configs = st.builds(
-    lambda arbiter, transfer, slot, dl1_latency, entries, cores: small_config(
+def _build_config(
+    arbiter, transfer, slot, dl1_latency, entries, cores, topology, mem_arbiter
+):
+    return small_config(
         num_cores=cores,
         bus=BusConfig(arbitration=arbiter, transfer_latency=transfer, tdma_slot=slot),
         dl1=CacheConfig(size_bytes=1024, ways=2, hit_latency=dl1_latency),
@@ -160,13 +230,20 @@ _configs = st.builds(
             cache=CacheConfig(size_bytes=8 * 1024, ways=4, line_size=32, hit_latency=2)
         ),
         store_buffer=StoreBufferConfig(entries=entries),
-    ),
+        topology=TopologyConfig(name=topology, mem_arbitration=mem_arbiter),
+    )
+
+
+_configs = st.builds(
+    _build_config,
     arbiter=st.sampled_from(ARBITRATION_POLICIES),
     transfer=st.integers(min_value=1, max_value=3),
     slot=st.integers(min_value=3, max_value=9),
     dl1_latency=st.sampled_from([1, 4]),
     entries=st.integers(min_value=1, max_value=2),
     cores=st.integers(min_value=2, max_value=4),
+    topology=st.sampled_from(TOPOLOGIES),
+    mem_arbiter=st.sampled_from(ARBITRATION_POLICIES),
 )
 
 

@@ -7,6 +7,7 @@ import pytest
 from repro.config import DramConfig
 from repro.errors import SimulationError
 from repro.sim.memctrl import MemoryController, PendingRead
+from repro.sim.resource import NO_EVENT
 
 
 class TestReads:
@@ -70,7 +71,7 @@ class TestWrites:
 class TestBookkeeping:
     def test_next_activity_is_earliest_completion(self):
         controller = MemoryController(DramConfig(), read_callback=lambda p, c: None)
-        assert controller.next_activity(0) == float("inf")
+        assert controller.next_activity(0) == NO_EVENT
         pending = controller.enqueue_read(0, 0x100, cycle=0)
         assert controller.next_activity(0) == pending.complete_cycle
 
@@ -89,4 +90,4 @@ class TestBookkeeping:
         controller.enqueue_read(0, 0x100, cycle=0)
         controller.reset()
         assert controller.outstanding_reads == 0
-        assert controller.next_activity(0) == float("inf")
+        assert controller.next_activity(0) == NO_EVENT
