@@ -7,8 +7,9 @@
   a measured ``dbus(k)`` series (Equation 3 plus robust alternatives).
 * :mod:`repro.analysis.injection` — derivation of ``delta_nop`` from the
   nop-only kernel.
-* :mod:`repro.analysis.contention` — per-request contention delays and the
-  histograms of Figure 6.
+* :mod:`repro.analysis.contention` — per-request contention delays, the
+  histograms of Figure 6, and the per-resource latency decomposition of
+  multi-resource topologies.
 * :mod:`repro.analysis.confidence` — the methodology's confidence checks
   (bus utilisation, saturation, delta_nop validity).
 * :mod:`repro.analysis.statistics` — small statistics helpers shared by the
@@ -26,11 +27,14 @@ from .model import (
 from .sawtooth import PeriodEstimate, SawtoothAnalyzer
 from .injection import DeltaNopEstimate, derive_delta_nop
 from .contention import (
+    DECOMPOSITION_STAGES,
     ContenderHistogram,
     ContentionHistogram,
+    LatencyDecomposition,
     contender_histogram,
     contention_histogram,
     injection_time_histogram,
+    latency_decomposition,
 )
 from .confidence import ConfidenceReport, assess_confidence
 from .statistics import SeriesSummary, summarize
@@ -40,7 +44,9 @@ __all__ = [
     "ContenderHistogram",
     "ContentionHistogram",
     "ContentionModel",
+    "DECOMPOSITION_STAGES",
     "DeltaNopEstimate",
+    "LatencyDecomposition",
     "PeriodEstimate",
     "SawtoothAnalyzer",
     "SeriesSummary",
@@ -50,6 +56,7 @@ __all__ = [
     "derive_delta_nop",
     "gamma_of_delta",
     "injection_time_histogram",
+    "latency_decomposition",
     "predicted_slowdown_per_request",
     "sawtooth_curve",
     "summarize",

@@ -9,17 +9,27 @@ suffers — showing that under the synchrony effect nearly every request sees
 the same delay, and that this plateau (``ubdm`` = 26 on ``ref``, 23 on
 ``var``) underestimates the real ``ubd`` of 27.
 
-Both histograms are produced from the request trace collected by
+On multi-resource topologies a request's end-to-end latency is more than its
+bus-grant wait: an L2 miss also waits for its DRAM bank queue, is served by
+the DRAM, and waits again for the response transfer.
+:func:`latency_decomposition` attributes each request's latency to those
+stages — per-resource Figure 6(b)-style histograms plus totals that
+cross-check against the :class:`repro.sim.memctrl.MemCtrlStats` queue
+counters — using the stage timestamps the simulator stamps into each
+:class:`repro.sim.trace.RequestRecord`.
+
+All analyses are produced from the request trace collected by
 :class:`repro.sim.trace.TraceRecorder`.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import AnalysisError
+from ..sim.memctrl import MemCtrlStats
 from ..sim.trace import TraceRecorder
 
 
@@ -155,6 +165,128 @@ def contender_histogram(
         total_requests=len(selected),
         observed_core=observed_core,
         num_cores=num_cores,
+    )
+
+
+#: Decomposition stage -> the resource it measures, in end-to-end order.
+#: ``bus`` is the request-phase grant wait (the request channel on
+#: ``split_bus``), ``memory`` the bank-queue wait, ``dram`` the DRAM service,
+#: ``bus_response`` the response-phase grant wait.  The stage names align
+#: with the ``ArchConfig.ubd_terms`` keys so each per-request histogram can
+#: be checked directly against its analytical per-resource bound.
+DECOMPOSITION_STAGES = ("bus", "memory", "dram", "bus_response")
+
+
+@dataclass(frozen=True)
+class LatencyDecomposition:
+    """Per-resource attribution of the observed core's request latencies.
+
+    Attributes:
+        observed_core: the core whose requests were analysed.
+        total_requests: number of completed demand requests analysed.
+        memory_requests: the subset that missed the L2 and reached the
+            memory stage (only those contribute to the ``memory``, ``dram``
+            and ``bus_response`` histograms).
+        histograms: per-stage delay histograms
+            (``stage -> {delay_cycles: request_count}``), stages as in
+            :data:`DECOMPOSITION_STAGES`.
+        totals: per-stage summed cycles over all analysed requests.
+    """
+
+    observed_core: int
+    total_requests: int
+    memory_requests: int
+    histograms: Dict[str, Dict[int, int]] = field(default_factory=dict)
+    totals: Dict[str, int] = field(default_factory=dict)
+
+    def max_observed(self, stage: str) -> int:
+        """Largest delay observed at ``stage`` (0 when the stage was idle)."""
+        counts = self.histograms.get(stage)
+        if not counts:
+            return 0
+        return max(counts)
+
+    def mean_observed(self, stage: str) -> float:
+        """Mean delay at ``stage`` over the requests that visited it."""
+        counts = self.histograms.get(stage)
+        if not counts:
+            return 0.0
+        total = sum(delay * count for delay, count in counts.items())
+        visits = sum(counts.values())
+        return total / visits
+
+    def consistent_with(self, stats: MemCtrlStats) -> bool:
+        """Cross-check the ``memory`` stage against the controller's queue
+        counters.
+
+        The decomposition covers the observed core's demand reads, a subset
+        of the accesses a bank-queued controller arbitrates (writes and
+        other cores' traffic also accumulate into
+        ``MemCtrlStats.total_queue_wait``), so the per-request waits can
+        never exceed the aggregate; with the observed core's demand reads
+        as the *only* memory traffic the two are exactly equal.  The plain
+        arrival-scheduled controller records no queue grants at all — its
+        implicit FIFO wait appears only in the per-request stamps — so
+        there is no aggregate to check against and the method returns True
+        vacuously.
+        """
+        if stats.queue_grants == 0:
+            return True
+        return self.totals.get("memory", 0) <= stats.total_queue_wait
+
+
+def latency_decomposition(
+    trace: TraceRecorder,
+    observed_core: int,
+    kinds: Sequence[str] = ("load", "ifetch"),
+    skip_first: int = 0,
+) -> LatencyDecomposition:
+    """Attribute each request's end-to-end latency to the resource it waited at.
+
+    Every completed demand request of ``observed_core`` contributes its
+    request-phase grant wait to the ``bus`` histogram; the requests that
+    missed the L2 additionally contribute their bank-queue wait
+    (``memory``), their DRAM service time (``dram``) and their
+    response-phase grant wait (``bus_response``) — the Figure 6(b) analysis,
+    repeated per shared resource of the topology.
+
+    Args:
+        trace: the request trace of a contended run.
+        observed_core: core whose requests are analysed.
+        kinds: demand request kinds to include.
+        skip_first: leading requests to drop (see :func:`contention_histogram`).
+    """
+    records = [
+        r
+        for r in trace.for_port(observed_core, kinds)
+        if r.completed and r.origin_core in (observed_core, -1)
+    ]
+    if not records:
+        raise AnalysisError(
+            f"trace holds no completed {list(kinds)} requests for core {observed_core}"
+        )
+    selected = records[skip_first:] if skip_first < len(records) else records
+    histograms: Dict[str, Counter] = {stage: Counter() for stage in DECOMPOSITION_STAGES}
+    memory_requests = 0
+    for record in selected:
+        histograms["bus"][record.contention_delay] += 1
+        if not record.reached_memory:
+            continue
+        memory_requests += 1
+        histograms["memory"][record.memory_queue_wait] += 1
+        histograms["dram"][record.dram_service] += 1
+        if record.response_grant_cycle >= 0:
+            histograms["bus_response"][record.response_wait] += 1
+    totals = {
+        stage: sum(delay * count for delay, count in counts.items())
+        for stage, counts in histograms.items()
+    }
+    return LatencyDecomposition(
+        observed_core=observed_core,
+        total_requests=len(selected),
+        memory_requests=memory_requests,
+        histograms={stage: dict(counts) for stage, counts in histograms.items()},
+        totals=totals,
     )
 
 

@@ -99,6 +99,21 @@ def _grid() -> Tuple[BenchWorkload, ...]:
             quick_iterations=450,
         )
     )
+    workloads.append(
+        # Split-transaction bus: the three-resource chain (request channel,
+        # bank queues, response channel) — the generic event loop drives one
+        # more horizon than any other scenario, so this guards the perf of
+        # topologies the engine was never specialised for.
+        BenchWorkload(
+            name="ref/round_robin/load-split-bus",
+            preset="ref",
+            arbiter="round_robin",
+            topology="split_bus",
+            preload_l2=False,
+            iterations=1500,
+            quick_iterations=450,
+        )
+    )
     return tuple(workloads)
 
 

@@ -265,9 +265,17 @@ def summarize_records(records: Sequence[Dict[str, object]]) -> Dict[str, object]
         # different resource chains or bank policies never merge.
         key = f"{preset}/{arbiter}"
         mem_arbitration = None
+        response_arbitration = None
         if topology != "bus_only":
             mem_arbitration = record["config"]["topology"]["mem_arbitration"]
             key = f"{key}/{topology}/{mem_arbitration}"
+            if topology == "split_bus":
+                # The response channel is its own arbitrated stage; its
+                # policy separates buckets like the bank policy does.
+                response_arbitration = record["config"]["topology"].get(
+                    "response_arbitration", "fifo"
+                )
+                key = f"{key}/{response_arbitration}"
         bucket = per_platform.get(key)
         if bucket is None:
             config = config_from_dict(record["config"])
@@ -276,6 +284,7 @@ def summarize_records(records: Sequence[Dict[str, object]]) -> Dict[str, object]
                 "arbiter": arbiter,
                 "topology": topology,
                 "mem_arbitration": mem_arbitration,
+                "response_arbitration": response_arbitration,
                 "runs": 0,
                 "analytical_ubd": (
                     config.ubd

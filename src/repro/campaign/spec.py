@@ -32,8 +32,11 @@ from ..methodology.workloads import random_workloads
 #: a descriptor field or the result record layout changes, so stale cache
 #: entries and artifacts are never misread.  Version 2: configurations carry
 #: a ``topology`` section (shared-resource chaining) and records a
-#: ``topology`` field.
-SCHEMA_VERSION = 2
+#: ``topology`` field.  Version 3: the topology section grows the
+#: ``split_bus`` response-channel parameters (``response_arbitration``,
+#: ``response_tdma_slot``), which changes every embedded configuration
+#: dictionary and therefore every digest.
+SCHEMA_VERSION = 3
 
 #: Workload kinds a descriptor can request.
 KIND_SYNTHETIC = "synthetic"

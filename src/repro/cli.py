@@ -31,7 +31,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .analysis.contention import contention_histogram
+from .analysis.contention import contention_histogram, latency_decomposition
 from .campaign import (
     CampaignSpec,
     ParallelRunner,
@@ -106,6 +106,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=registered_topologies(),
         default=None,
         help="override the preset's shared-resource topology",
+    )
+    synchrony.add_argument(
+        "--decompose",
+        action="store_true",
+        help="additionally attribute each request's latency to bus wait, "
+        "bank-queue wait, DRAM service and response wait (per-resource "
+        "Figure 6(b)-style histograms; needs a run with memory traffic to "
+        "show more than the bus stage)",
     )
 
     campaign = subparsers.add_parser(
@@ -223,6 +231,27 @@ def _run_synchrony(args: argparse.Namespace) -> int:
     print()
     print(f"Observed plateau (naive ubdm): {histogram.mode} cycles "
           f"(det/nr = {naive.ubdm:.1f}); analytical ubd = {config.ubd} cycles")
+    if args.decompose:
+        decomposition = latency_decomposition(contended.trace, 0)
+        print()
+        print(
+            f"Per-resource latency decomposition "
+            f"({decomposition.total_requests} requests, "
+            f"{decomposition.memory_requests} reached the memory stage):"
+        )
+        for stage, counts in decomposition.histograms.items():
+            if not counts:
+                continue
+            print()
+            print(
+                render_histogram(
+                    counts,
+                    title=f"{stage}: wait/service cycles per request "
+                    f"(max {decomposition.max_observed(stage)}, "
+                    f"mean {decomposition.mean_observed(stage):.1f})",
+                    label="cycles",
+                )
+            )
     return 0
 
 

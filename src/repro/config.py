@@ -25,6 +25,7 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, Mapping, Tuple
 
 from .errors import ConfigurationError
+from .registry import registry_backed_names
 
 
 def _require(condition: bool, message: str) -> None:
@@ -51,20 +52,15 @@ FAIR_ARBITRATION_POLICIES = ("round_robin", "fifo")
 ARBITRATION_POLICIES = ("round_robin", "fifo", "fixed_priority", "tdma")
 
 
-def _known_arbitrations() -> Tuple[str, ...]:
-    """Names accepted by ``BusConfig.arbitration``/``TopologyConfig``.
-
-    Delegates to the arbiter registry (lazily, to keep ``repro.config`` the
-    bottom layer) so a policy registered at runtime is immediately
-    constructible through a configuration; falls back to the built-in tuple
-    while :mod:`repro.sim.arbiter` is still initialising.
-    """
-    try:
-        from .sim.arbiter import registered_arbiters
-
-        return registered_arbiters()
-    except ImportError:  # pragma: no cover - partial-initialisation fallback
-        return ARBITRATION_POLICIES
+#: Names accepted by ``BusConfig.arbitration``/``TopologyConfig``.  Delegates
+#: to the arbiter registry (lazily, through
+#: :func:`repro.registry.registry_backed_names`, to keep ``repro.config`` the
+#: bottom layer) so a policy registered at runtime is immediately
+#: constructible through a configuration; falls back to the built-in tuple
+#: while :mod:`repro.sim.arbiter` is still initialising.
+_known_arbitrations = registry_backed_names(
+    "repro.sim.arbiter", "registered_arbiters", ARBITRATION_POLICIES
+)
 
 
 #: Simulation engines shipped with the simulator.  The authoritative set is
@@ -79,14 +75,10 @@ def _known_arbitrations() -> Tuple[str, ...]:
 ENGINES = ("stepped", "event")
 
 
-def _known_engines() -> Tuple[str, ...]:
-    """Names accepted by ``ArchConfig.engine`` (see :func:`_known_arbitrations`)."""
-    try:
-        from .sim.scheduler import registered_engines
-
-        return registered_engines()
-    except ImportError:  # pragma: no cover - partial-initialisation fallback
-        return ENGINES
+#: Names accepted by ``ArchConfig.engine`` (see :data:`_known_arbitrations`).
+_known_engines = registry_backed_names(
+    "repro.sim.scheduler", "registered_engines", ENGINES
+)
 
 
 #: Shared-resource topologies shipped with the simulator.  Like
@@ -94,18 +86,16 @@ def _known_engines() -> Tuple[str, ...]:
 #: :mod:`repro.sim.topology`; this tuple lists the built-ins and a tier-1
 #: test pins the two in sync.  ``bus_only`` is the paper's platform — one
 #: arbitrated bus in front of a FIFO memory controller; ``bus_bank_queues``
-#: chains the bus into per-DRAM-bank arbitrated memory-controller queues.
-TOPOLOGIES = ("bus_only", "bus_bank_queues")
+#: chains the bus into per-DRAM-bank arbitrated memory-controller queues;
+#: ``split_bus`` splits the bus NGMP-style into an arbitrated request
+#: channel (feeding the bank queues) and a separate arbitrated response
+#: channel returning the data.
+TOPOLOGIES = ("bus_only", "bus_bank_queues", "split_bus")
 
-
-def _known_topologies() -> Tuple[str, ...]:
-    """Names accepted by ``TopologyConfig.name`` (see :func:`_known_arbitrations`)."""
-    try:
-        from .sim.topology import registered_topologies
-
-        return registered_topologies()
-    except ImportError:  # pragma: no cover - partial-initialisation fallback
-        return TOPOLOGIES
+#: Names accepted by ``TopologyConfig.name`` (see :data:`_known_arbitrations`).
+_known_topologies = registry_backed_names(
+    "repro.sim.topology", "registered_topologies", TOPOLOGIES
+)
 
 
 @dataclass(frozen=True)
@@ -203,22 +193,35 @@ class TopologyConfig:
     arbitrates once, for the bus (``bus_only``).  ``bus_bank_queues`` chains
     a second arbitrated stage behind it — per-DRAM-bank memory-controller
     queues, each with its *own* arbitration policy — so a request can
-    contend twice: once for the bus, once for its bank.  Topology builders
-    are registered in :mod:`repro.sim.topology`; this configuration only
-    names one and parameterises its memory-side arbitration.
+    contend twice: once for the bus, once for its bank.  ``split_bus``
+    additionally splits the bus into its two transaction phases, NGMP
+    split-transaction style: an arbitrated *request channel* in front of the
+    bank queues and a separate arbitrated *response channel* carrying the
+    data back, so an L2 miss can contend three times.  Topology builders are
+    registered in :mod:`repro.sim.topology`; this configuration only names
+    one and parameterises its memory-side and response-side arbitration.
 
     Attributes:
-        name: registered topology name (``bus_only`` or ``bus_bank_queues``).
+        name: registered topology name (``bus_only``, ``bus_bank_queues`` or
+            ``split_bus``).
         mem_arbitration: arbitration policy of each per-bank memory queue
             (any registered arbiter; the classic stack is a round-robin bus
             over FIFO bank queues).  Ignored by ``bus_only``.
         mem_tdma_slot: slot length in cycles when ``mem_arbitration`` is
             ``tdma`` (one slot per core, like the bus TDMA arbiter).
+        response_arbitration: arbitration policy of the response channel
+            (one port per core).  Only used by ``split_bus``; the default
+            FIFO serves responses in data-ready order, which is how a
+            single shared return path behaves.
+        response_tdma_slot: slot length in cycles when
+            ``response_arbitration`` is ``tdma``.
     """
 
     name: str = "bus_only"
     mem_arbitration: str = "fifo"
     mem_tdma_slot: int = 40
+    response_arbitration: str = "fifo"
+    response_tdma_slot: int = 9
 
     def __post_init__(self) -> None:
         _require(
@@ -230,11 +233,22 @@ class TopologyConfig:
             f"unsupported memory-queue arbitration policy: {self.mem_arbitration!r}",
         )
         _require(self.mem_tdma_slot >= 1, "memory TDMA slot must be >= 1 cycle")
+        _require(
+            self.response_arbitration in _known_arbitrations(),
+            f"unsupported response-channel arbitration policy: "
+            f"{self.response_arbitration!r}",
+        )
+        _require(self.response_tdma_slot >= 1, "response TDMA slot must be >= 1 cycle")
 
     @property
     def has_memory_queues(self) -> bool:
         """True when the memory controller is an arbitrated contention point."""
         return self.name != "bus_only"
+
+    @property
+    def has_response_channel(self) -> bool:
+        """True when responses return on their own arbitrated channel."""
+        return self.name == "split_bus"
 
 
 @dataclass(frozen=True)
@@ -395,16 +409,25 @@ class ArchConfig:
         served at most once before the victim — so *every* arbitrated stage
         of the topology must run a policy in
         :data:`FAIR_ARBITRATION_POLICIES`: the bus (exactly Equation 1's
-        applicability condition) and, on chained topologies, the bank
-        queues.  A fixed-priority stage can starve a port unboundedly and a
-        TDMA stage waits on its slot schedule, so for those the
-        decomposition is undefined and consumers must report "no bound"
-        instead (mirroring ``analytical_ubd: null`` in campaign summaries).
+        applicability condition), the bank queues on chained topologies, and
+        the response channel on ``split_bus``.  A fixed-priority stage can
+        starve a port unboundedly and a TDMA stage waits on its slot
+        schedule, so for those the decomposition is undefined and consumers
+        must report "no bound" instead (mirroring ``analytical_ubd: null``
+        in campaign summaries).
         """
         if self.bus.arbitration not in FAIR_ARBITRATION_POLICIES:
             return False
-        if self.topology.has_memory_queues:
-            return self.topology.mem_arbitration in FAIR_ARBITRATION_POLICIES
+        if (
+            self.topology.has_memory_queues
+            and self.topology.mem_arbitration not in FAIR_ARBITRATION_POLICIES
+        ):
+            return False
+        if (
+            self.topology.has_response_channel
+            and self.topology.response_arbitration not in FAIR_ARBITRATION_POLICIES
+        ):
+            return False
         return True
 
     @property
@@ -425,31 +448,43 @@ class ArchConfig:
 
         * ``bus`` — the request-phase bus wait: one transaction per other
           port per round-robin round, i.e. ``(Nc - 1) * lbus`` for the other
-          cores plus one response occupancy for the response port.
+          cores plus — on ``bus_bank_queues``, whose single bus also carries
+          the data returns — one response occupancy for the response port.
         * ``memory`` — the bank-queue wait: up to ``Nc - 1`` competing
           accesses each occupying the bank for at most a row-miss service,
           plus the victim's own row hit turning into a row conflict.
-        * ``bus_response`` — the response-phase bus wait: the response port
-          serialises responses, so a response can sit behind ``Nc - 1``
-          others, each paying its own occupancy plus a full round of
-          request-port grants.
+        * ``bus_response`` — the response-phase wait.  On ``bus_bank_queues``
+          the response shares the request bus, so the term is an *analytical
+          envelope*: behind ``Nc - 1`` other responses, each paying its own
+          occupancy plus a full round of request-port grants.  On
+          ``split_bus`` the response channel is its own arbitrated resource
+          with one port per core and at most one outstanding response per
+          port, so the same fair-round argument that gives Equation 1 yields
+          the per-resource quantity ``(Nc - 1) * bus_service_response`` —
+          much tighter, and directly measurable from the channel's own
+          grant-wait trace.
         """
         _require(
             self.has_composable_bounds,
             f"per-resource bounds are undefined for a {self.bus.arbitration!r} "
-            f"bus over {self.topology.mem_arbitration!r} bank queues (fair-round "
-            f"reasoning covers {list(FAIR_ARBITRATION_POLICIES)} on every stage)",
+            f"bus over {self.topology.mem_arbitration!r} bank queues "
+            f"(response channel {self.topology.response_arbitration!r}); "
+            f"fair-round reasoning covers {list(FAIR_ARBITRATION_POLICIES)} "
+            f"on every stage",
         )
         terms = {"bus": (self.num_cores - 1) * self.bus_service_l2_hit}
         if self.topology.has_memory_queues:
             others = self.num_cores - 1
             row_hit = self.dram.row_hit_latency
             row_miss = self.dram.row_miss_latency
-            terms["bus"] += self.bus_service_response
             terms["memory"] = others * row_miss + (row_miss - row_hit)
-            terms["bus_response"] = others * (
-                self.bus_service_response + others * self.bus_service_l2_hit
-            )
+            if self.topology.has_response_channel:
+                terms["bus_response"] = others * self.bus_service_response
+            else:
+                terms["bus"] += self.bus_service_response
+                terms["bus_response"] = others * (
+                    self.bus_service_response + others * self.bus_service_l2_hit
+                )
         return terms
 
     @property
@@ -521,6 +556,11 @@ class ArchConfig:
                 if self.topology.has_memory_queues
                 else None
             ),
+            "response_arbitration": (
+                self.topology.response_arbitration
+                if self.topology.has_response_channel
+                else None
+            ),
             "bus_arbitration": self.bus.arbitration,
             "bus_transfer": self.bus.transfer_latency,
             "lbus": self.bus_service_l2_hit,
@@ -589,11 +629,32 @@ def multi_resource_config(**overrides) -> ArchConfig:
     return cfg.with_overrides(**overrides) if overrides else cfg
 
 
+def split_bus_config(**overrides) -> ArchConfig:
+    """The ``ref`` platform with an NGMP-style split-transaction bus.
+
+    Identical timing parameters to :func:`reference_config`, but the bus is
+    modelled as its two transaction phases (topology ``split_bus``): a
+    round-robin *request channel* feeding per-DRAM-bank FIFO queues and a
+    FIFO *response channel* returning the data.  An L2 miss contends three
+    times — request channel, bank queue, response channel — and the
+    ``bus_response`` entry of :attr:`ArchConfig.ubd_terms` becomes a
+    measured per-resource quantity instead of the shared-bus envelope.
+    """
+    cfg = ArchConfig(
+        name="split_bus",
+        topology=TopologyConfig(
+            name="split_bus", mem_arbitration="fifo", response_arbitration="fifo"
+        ),
+    )
+    return cfg.with_overrides(**overrides) if overrides else cfg
+
+
 PRESETS = {
     "ref": reference_config,
     "var": variant_config,
     "small": small_config,
     "multi_resource": multi_resource_config,
+    "split_bus": split_bus_config,
 }
 
 

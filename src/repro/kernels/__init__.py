@@ -10,8 +10,9 @@
   access patterns.
 """
 
-from .layout import CoreAddressSpace, same_set_addresses
+from .layout import CoreAddressSpace, same_bank_same_set_addresses, same_set_addresses
 from .rsk import (
+    build_bank_conflict_rsk,
     build_nop_kernel,
     build_rsk,
     build_rsk_nop,
@@ -28,11 +29,13 @@ __all__ = [
     "CoreAddressSpace",
     "SYNTHETIC_KERNELS",
     "SyntheticKernelSpec",
+    "build_bank_conflict_rsk",
     "build_nop_kernel",
     "build_rsk",
     "build_rsk_nop",
     "build_synthetic_kernel",
     "rsk_request_count",
     "same_set_addresses",
+    "same_bank_same_set_addresses",
     "synthetic_kernel_names",
 ]

@@ -10,6 +10,7 @@ share cache lines (no coherence is modelled, see DESIGN.md).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List
 
@@ -81,6 +82,59 @@ def same_set_addresses(cache: CacheConfig, count: int, base: int = 0) -> List[in
     aligned = base - (base % cache.line_size)
     stride = cache.same_set_stride
     return [aligned + index * stride for index in range(count)]
+
+
+def same_bank_same_set_addresses(
+    config: ArchConfig, count: int, core_id: int = 0, target_bank: int = 0
+) -> List[int]:
+    """Return ``count`` line-aligned addresses in ``core_id``'s region that
+    collide everywhere at once: one DL1 set, one L2 set, one DRAM bank.
+
+    This is the bank-conflict layout: with ``count`` exceeding both the DL1
+    associativity and the core's L2 partition ways, every access misses both
+    cache levels, and because all lines live in a single DRAM bank the
+    resulting memory traffic serialises on that bank — the worst case the
+    ``bus_bank_queues`` and ``split_bus`` topologies bound with their
+    ``memory`` term.  The stride is the least common multiple of the two
+    same-set strides and the bank-interleaving span
+    (``row_size_bytes * num_banks``), and the base address is rotated within
+    its row group so *every* core's kernel lands on ``target_bank`` — all
+    contenders hammer the same bank, not merely one bank each.
+
+    Args:
+        config: target platform (cache geometries and DRAM mapping).
+        count: number of addresses; must exceed the DL1 ways and the core's
+            L2 partition ways for the guaranteed-miss property.
+        core_id: core whose private region hosts the addresses.
+        target_bank: DRAM bank all addresses map to.
+    """
+    if count < 1:
+        raise ProgramError(f"need at least one address, got {count}")
+    dram = config.dram
+    if not 0 <= target_bank < dram.num_banks:
+        raise ProgramError(
+            f"target bank {target_bank} out of range for {dram.num_banks} banks"
+        )
+    space = core_address_space(core_id)
+    stride = math.lcm(
+        config.dl1.same_set_stride,
+        config.l2.cache.same_set_stride,
+        dram.row_size_bytes * dram.num_banks,
+    )
+    base = space.data_base - (space.data_base % config.dl1.line_size)
+    # Rotate the base within its bank-interleaving span onto the target
+    # bank; the rotation is a whole number of rows, so line alignment and
+    # the same-set property of the strided addresses are preserved.
+    row_shift = dram.row_size_bytes.bit_length() - 1
+    base_bank = (base >> row_shift) % dram.num_banks
+    base += ((target_bank - base_bank) % dram.num_banks) * dram.row_size_bytes
+    addresses = [base + index * stride for index in range(count)]
+    if addresses[-1] + config.dl1.line_size > space.data_limit:
+        raise ProgramError(
+            f"bank-conflict footprint ({count} lines at stride {stride}) "
+            f"exceeds core {core_id}'s private region"
+        )
+    return addresses
 
 
 def footprint_fits_l2_partition(config: ArchConfig, addresses: List[int]) -> bool:

@@ -24,7 +24,12 @@ from typing import List, Optional
 from ..config import ArchConfig
 from ..errors import ProgramError
 from ..sim.isa import INSTRUCTION_BYTES, Alu, Instruction, Load, Nop, Program, Store
-from .layout import core_address_space, footprint_fits_l2_partition, same_set_addresses
+from .layout import (
+    core_address_space,
+    footprint_fits_l2_partition,
+    same_bank_same_set_addresses,
+    same_set_addresses,
+)
 
 #: Default number of loop iterations for a finite kernel used as the scua.
 DEFAULT_ITERATIONS = 200
@@ -131,6 +136,52 @@ def build_rsk_nop(
         body=tuple(body),
         iterations=iterations,
         base_pc=space.code_base,
+    )
+
+
+def build_bank_conflict_rsk(
+    config: ArchConfig,
+    core_id: int,
+    kind: str = "load",
+    iterations: Optional[int] = None,
+    target_bank: int = 0,
+    loop_control_overhead: int = 0,
+) -> Program:
+    """Build the bank-conflict rsk: every access misses DL1 *and* L2 and
+    lands on one DRAM bank.
+
+    Where the plain :func:`build_rsk` saturates the bus (its lines hit in
+    the L2), this variant drives sustained DRAM traffic: its lines collide
+    in a single DL1 set, a single L2 set beyond the core's partition ways,
+    and a single DRAM bank — and every core's kernel targets the *same*
+    bank (``target_bank``), so ``Nc`` contenders serialise on one bank
+    queue.  This turns the ``bus_bank_queues`` and ``split_bus`` topologies
+    into measurable worst cases: the observed bank-queue waits approach the
+    ``memory`` term of ``ArchConfig.ubd_terms`` instead of being incidental
+    side effects of an L2-missing workload.
+
+    Args:
+        config: target platform.
+        core_id: core the kernel will run on; selects its address region.
+        kind: ``"load"`` or ``"store"`` — the access type.
+        iterations: loop iterations; ``None`` builds an infinite contender.
+        target_bank: DRAM bank every access maps to.
+        loop_control_overhead: see :func:`build_rsk`.
+    """
+    # Exceed both the DL1 associativity and the core's L2 partition ways so
+    # LRU/FIFO replacement misses on every access at both levels.
+    count = max(config.dl1.ways, len(config.l2_ways_for_core(core_id))) + 1
+    addresses = same_bank_same_set_addresses(
+        config, count, core_id=core_id, target_bank=target_bank
+    )
+    body: List[Instruction] = [_memory_instruction(kind, addr) for addr in addresses]
+    if loop_control_overhead > 0:
+        body.append(Alu(latency=loop_control_overhead))
+    return Program(
+        name=f"rsk-bank-{kind}[core{core_id}]",
+        body=tuple(body),
+        iterations=iterations,
+        base_pc=core_address_space(core_id).code_base,
     )
 
 

@@ -7,11 +7,14 @@ arbitrated memory-controller queues) one request can contend at several
 resources, so the end-to-end bound decomposes into **per-resource worst-case
 delay terms that sum**:
 
-* ``bus`` — the request-phase bus wait (Equation 1 extended with the
-  response port);
+* ``bus`` — the request-phase bus wait (Equation 1; on ``bus_bank_queues``
+  extended with the shared response port);
 * ``memory`` — the bank-queue wait plus the row-state interference of the
   access itself;
-* ``bus_response`` — the response-phase bus wait of an L2 miss.
+* ``bus_response`` — the response-phase wait of an L2 miss: the shared-bus
+  analytical envelope on ``bus_bank_queues``, or — on ``split_bus``, whose
+  response channel is its own arbitrated resource — the measured
+  per-resource quantity ``(Nc - 1) * response occupancy``.
 
 The analytical terms live on the configuration
 (:attr:`repro.config.ArchConfig.ubd_terms`) because they are pure functions

@@ -4,9 +4,11 @@ This subpackage implements the platform the paper experiments on: in-order
 cores with private L1 caches, a shared arbitrated bus, a way-partitioned L2,
 a memory controller with a banked DRAM model, per-core store buffers,
 performance monitoring counters and a request-level trace.  Contention
-points implement the :class:`repro.sim.resource.SharedResource` protocol
-and compose into topologies (:mod:`repro.sim.topology`): the paper's single
-bus, or the bus chained into per-DRAM-bank arbitrated memory queues.
+points implement the :class:`repro.sim.resource.SharedResource` protocol —
+including its event-port surface (cached ``horizon``, ``invalidate_horizon``,
+``wake_targets``) — and compose into topologies (:mod:`repro.sim.topology`):
+the paper's single bus, the bus chained into per-DRAM-bank arbitrated memory
+queues, or the NGMP-style split request/response bus pair.
 
 Arbitration policies, simulation engines and topologies are all
 registry-backed (``register_arbiter`` / ``register_engine`` /
@@ -36,7 +38,7 @@ from .dram import Dram
 from .l2 import PartitionedL2
 from .memctrl import BankQueuedMemoryController, MemoryController
 from .pmc import PerformanceCounters
-from .resource import NO_EVENT, SharedResource, min_horizon
+from .resource import NO_EVENT, EventPort, SharedResource, min_horizon
 from .scheduler import (
     ENGINE_REGISTRY,
     EventScheduler,
@@ -49,7 +51,9 @@ from .store_buffer import StoreBuffer
 from .system import System, SystemResult
 from .topology import (
     TOPOLOGY_REGISTRY,
-    build_memory_subsystem,
+    ResourceChain,
+    TopologyHooks,
+    build_topology,
     register_topology,
     registered_topologies,
 )
@@ -66,6 +70,7 @@ __all__ = [
     "Core",
     "Dram",
     "ENGINE_REGISTRY",
+    "EventPort",
     "EventScheduler",
     "FifoArbiter",
     "FixedPriorityArbiter",
@@ -78,6 +83,7 @@ __all__ = [
     "PerformanceCounters",
     "Program",
     "RequestRecord",
+    "ResourceChain",
     "RoundRobinArbiter",
     "SetAssociativeCache",
     "SharedResource",
@@ -88,8 +94,9 @@ __all__ = [
     "SystemResult",
     "TOPOLOGY_REGISTRY",
     "TdmaArbiter",
+    "TopologyHooks",
     "TraceRecorder",
-    "build_memory_subsystem",
+    "build_topology",
     "create_arbiter",
     "make_arbiter",
     "make_engine",

@@ -26,10 +26,11 @@ new policy plugs in without touching the simulator core::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..config import BusConfig
 from ..errors import ConfigurationError, SimulationError
+from ..registry import Registry
 
 
 class Arbiter:
@@ -287,11 +288,13 @@ class ArbiterEntry:
     description: str = ""
 
 
-#: Policy name -> registered entry, in registration order.  The built-ins
-#: below register themselves at import time; ``repro.config`` validates
-#: configuration fields against these keys (lazily, so runtime registrations
-#: are honoured) and ``repro-bounds list`` prints them.
-ARBITER_REGISTRY: Dict[str, ArbiterEntry] = {}
+#: Policy name -> registered entry, in registration order, on the shared
+#: :class:`repro.registry.Registry` utility (duplicate rejection, listing
+#: and lookup errors in one place).  The built-ins below register themselves
+#: at import time; ``repro.config`` validates configuration fields against
+#: these keys (lazily, so runtime registrations are honoured) and
+#: ``repro-bounds list`` prints them.
+ARBITER_REGISTRY: Registry[ArbiterEntry] = Registry("arbitration policy")
 
 
 def register_arbiter(name: str, description: str = ""):
@@ -302,14 +305,10 @@ def register_arbiter(name: str, description: str = ""):
     configuration error — silently replacing a policy would let two runs
     with identical configurations simulate different platforms.
     """
-    if not name:
-        raise ConfigurationError("an arbiter needs a non-empty registry name")
 
     def decorator(factory: ArbiterFactory) -> ArbiterFactory:
-        if name in ARBITER_REGISTRY:
-            raise ConfigurationError(f"arbitration policy {name!r} already registered")
-        ARBITER_REGISTRY[name] = ArbiterEntry(
-            name=name, factory=factory, description=description
+        ARBITER_REGISTRY.register(
+            name, ArbiterEntry(name=name, factory=factory, description=description)
         )
         return factory
 
@@ -318,18 +317,12 @@ def register_arbiter(name: str, description: str = ""):
 
 def registered_arbiters() -> Tuple[str, ...]:
     """Names of every registered arbitration policy, in registration order."""
-    return tuple(ARBITER_REGISTRY)
+    return ARBITER_REGISTRY.names()
 
 
 def create_arbiter(policy: str, num_ports: int, *, tdma_slot: int = 9) -> Arbiter:
     """Instantiate the registered policy ``policy`` for ``num_ports`` ports."""
-    entry = ARBITER_REGISTRY.get(policy)
-    if entry is None:
-        raise ConfigurationError(
-            f"unknown arbitration policy {policy!r}; "
-            f"registered: {list(ARBITER_REGISTRY)}"
-        )
-    return entry.factory(num_ports, tdma_slot)
+    return ARBITER_REGISTRY.require(policy).factory(num_ports, tdma_slot)
 
 
 def make_arbiter(config: BusConfig, num_ports: int) -> Arbiter:

@@ -29,7 +29,7 @@ from typing import Callable, Deque, List, Optional
 from ..errors import SimulationError
 from .arbiter import Arbiter
 from .pmc import PerformanceCounters
-from .resource import NO_EVENT
+from .resource import NO_EVENT, EventPort
 from .trace import RequestRecord, TraceRecorder
 
 #: Signature of the grant-time callback: (request, cycle) -> bus occupancy.
@@ -107,16 +107,17 @@ class BusRequest:
         return self.grant_cycle >= 0
 
 
-class Bus:
-    """The shared bus: per-port queues, one transaction in flight at a time.
+class Bus(EventPort):
+    """A shared bus channel: per-port queues, one transaction in flight.
 
     The bus is the first :class:`repro.sim.resource.SharedResource` of every
-    topology: it implements the deliver/arbitrate lifecycle, the integer
-    event horizon, and the PMC surface (via the attached counter block).
+    topology: it implements the deliver/arbitrate lifecycle, the event-port
+    surface (cached horizon, invalidation, wake targets), and the PMC
+    surface (a per-channel section of the attached counter block).  A
+    topology may instantiate it more than once — the ``split_bus`` topology
+    composes a request channel and a response channel, distinguished by
+    ``resource_name``.
     """
-
-    #: SharedResource protocol surface (see :mod:`repro.sim.resource`).
-    resource_name = "bus"
 
     def __init__(
         self,
@@ -125,6 +126,7 @@ class Bus:
         service_callback: ServiceCallback,
         trace: Optional[TraceRecorder] = None,
         pmc: Optional[PerformanceCounters] = None,
+        resource_name: str = "bus",
     ) -> None:
         if num_ports < 1:
             raise SimulationError("bus needs at least one port")
@@ -133,6 +135,8 @@ class Bus:
                 f"arbiter built for {arbiter.num_ports} ports attached to a "
                 f"{num_ports}-port bus"
             )
+        #: SharedResource protocol surface (see :mod:`repro.sim.resource`).
+        self.resource_name = resource_name
         self.num_ports = num_ports
         self.arbiter = arbiter
         self.service_callback = service_callback
@@ -146,6 +150,7 @@ class Bus:
         #: scanning the queues when nothing is pending.
         self._queued_total = 0
         self.granted_count = 0
+        self._init_event_port()
 
     # ------------------------------------------------------------------ #
     # Posting requests.
@@ -173,6 +178,8 @@ class Bus:
                 ready_cycle=request.ready_cycle,
                 contenders_at_ready=contenders,
                 bus_busy_at_ready=self.is_busy_at(request.ready_cycle),
+                resource=self.resource_name,
+                origin_core=request.origin_core,
             )
             # Recorded at post time so requests still in flight when the run
             # terminates remain visible; completion fills in the remaining
@@ -180,6 +187,12 @@ class Bus:
             self.trace.record(request.record)
         self._queues[request.port].append(request)
         self._queued_total += 1
+        # A post can only create an earlier event on a *free* channel: while
+        # a transaction is in flight the horizon is its delivery at
+        # busy_until regardless of the queues, so the cache stays valid (the
+        # delivery itself re-invalidates, and the recompute sees the queue).
+        if self._current is None:
+            self._horizon_dirty = True
 
     def pending_count(self, port: int) -> int:
         """Number of queued (not yet granted) requests on ``port``."""
@@ -209,20 +222,32 @@ class Bus:
     def deliver(self, cycle: int) -> Optional[BusRequest]:
         """Phase 1: finish the in-flight transaction if its occupancy ends now.
 
-        Returns the completed request, or ``None`` when nothing completed —
-        the event engine uses this to decide whether any core may have been
-        woken this cycle.
+        Returns the completed request, or ``None`` when nothing completed.
+        The completed transaction's owning core is published through
+        ``wake_targets`` (reset on every call), which is how the event
+        engine learns which cores a delivery may have woken without
+        interpreting the request itself.
         """
+        wake = self.wake_targets
+        if wake:
+            wake.clear()
         if self._current is None or cycle < self._busy_until:
             return None
         request = self._current
         self._current = None
+        self._horizon_dirty = True
         request.complete_cycle = cycle
         if request.record is not None:
             request.record.complete_cycle = cycle
         if self.pmc is not None:
             wait = request.grant_cycle - request.ready_cycle
-            self.pmc.note_bus_service(request.origin_core, request.service_cycles, wait)
+            self.pmc.note_bus_service(
+                request.origin_core,
+                request.service_cycles,
+                wait,
+                resource=self.resource_name,
+            )
+        wake.append(request.origin_core)
         if request.on_complete is not None:
             request.on_complete(request, cycle)
         return request
@@ -250,6 +275,7 @@ class Bus:
             return None  # TDMA: no eligible slot owner this cycle
         request = self._queues[winner].popleft()
         self._queued_total -= 1
+        self._horizon_dirty = True
         request.grant_cycle = cycle
         request.service_cycles = self.service_callback(request, cycle)
         if request.service_cycles < 1:
@@ -309,3 +335,4 @@ class Bus:
         self._queued_total = 0
         self.granted_count = 0
         self.arbiter.reset()
+        self._init_event_port()

@@ -33,7 +33,8 @@ from ..config import DramConfig
 from ..errors import ConfigurationError, SimulationError
 from .arbiter import create_arbiter
 from .dram import Dram
-from .resource import NO_EVENT
+from .resource import NO_EVENT, EventPort
+from .trace import RequestRecord
 
 #: Completion callback signature: (pending_read, cycle) -> None.
 ReadCallback = Callable[["PendingRead", int], None]
@@ -41,13 +42,21 @@ ReadCallback = Callable[["PendingRead", int], None]
 
 @dataclass
 class PendingRead:
-    """A read request travelling through the memory controller."""
+    """A read request travelling through the memory controller.
+
+    ``record`` carries the originating bus transaction's trace record, if
+    tracing is on: the controller stamps its memory-stage timing
+    (enqueue/grant/DRAM completion) into it, and the system later adds the
+    response-channel timing, which is what the per-resource latency
+    decomposition of :mod:`repro.analysis.contention` reads.
+    """
 
     core_id: int
     addr: int
     enqueue_cycle: int
     complete_cycle: int = -1
     kind: str = "load"
+    record: Optional[RequestRecord] = None
 
 
 @dataclass
@@ -80,7 +89,7 @@ class MemCtrlStats:
         return self.total_queue_wait / self.queue_grants
 
 
-class MemoryController:
+class MemoryController(EventPort):
     """FIFO memory controller with bank-aware DRAM timing.
 
     Args:
@@ -92,10 +101,6 @@ class MemoryController:
     #: SharedResource protocol surface (see :mod:`repro.sim.resource`).
     resource_name = "memctrl"
 
-    #: True when accesses pass through arbitrated bank queues; the event
-    #: engine uses this to skip the queue phases on the paper's platform.
-    has_queue = False
-
     def __init__(
         self, dram_config: DramConfig, read_callback: Optional[ReadCallback] = None
     ) -> None:
@@ -105,12 +110,18 @@ class MemoryController:
         # Min-heap of (complete_cycle, sequence, PendingRead) awaiting delivery.
         self._in_flight: List[Tuple[int, int, PendingRead]] = []
         self._sequence = 0
+        self._init_event_port()
 
     # ------------------------------------------------------------------ #
     # Request entry points (called by the memory subsystem).
     # ------------------------------------------------------------------ #
     def enqueue_read(
-        self, core_id: int, addr: int, cycle: int, kind: str = "load"
+        self,
+        core_id: int,
+        addr: int,
+        cycle: int,
+        kind: str = "load",
+        record: Optional[RequestRecord] = None,
     ) -> PendingRead:
         """Schedule a read; its completion fires ``read_callback`` later."""
         access = self.dram.access(addr, cycle, is_write=False)
@@ -120,14 +131,28 @@ class MemoryController:
             enqueue_cycle=cycle,
             complete_cycle=access.complete_cycle,
             kind=kind,
+            record=record,
         )
+        if record is not None:
+            # Arrival scheduling: the "grant" is the DRAM issue (the bank's
+            # implicit FIFO may still delay it past the enqueue cycle).
+            record.mem_ready_cycle = cycle
+            record.mem_grant_cycle = access.issue_cycle
+            record.mem_complete_cycle = access.complete_cycle
         self.stats.reads += 1
         self.stats.total_read_latency += access.complete_cycle - cycle
         heapq.heappush(self._in_flight, (access.complete_cycle, self._sequence, pending))
         self._sequence += 1
+        self._horizon_dirty = True
         return pending
 
-    def enqueue_write(self, addr: int, cycle: int, core_id: int = 0) -> int:
+    def enqueue_write(
+        self,
+        addr: int,
+        cycle: int,
+        core_id: int = 0,
+        record: Optional[RequestRecord] = None,
+    ) -> int:
         """Schedule a write; returns its completion cycle (no callback fires).
 
         ``core_id`` identifies the originating core; the plain controller
@@ -135,6 +160,10 @@ class MemoryController:
         """
         del core_id
         access = self.dram.access(addr, cycle, is_write=True)
+        if record is not None:
+            record.mem_ready_cycle = cycle
+            record.mem_grant_cycle = access.issue_cycle
+            record.mem_complete_cycle = access.complete_cycle
         self.stats.writes += 1
         return access.complete_cycle
 
@@ -142,9 +171,15 @@ class MemoryController:
     # Per-cycle phases (SharedResource protocol).
     # ------------------------------------------------------------------ #
     def deliver(self, cycle: int) -> None:
-        """Deliver every read whose DRAM access has completed by ``cycle``."""
+        """Deliver every read whose DRAM access has completed by ``cycle``.
+
+        Deliveries hand the data to the system's read callback (which posts
+        the response transfer on a bus channel); no core is woken directly,
+        so ``wake_targets`` stays empty.
+        """
         while self._in_flight and self._in_flight[0][0] <= cycle:
             _, _, pending = heapq.heappop(self._in_flight)
+            self._horizon_dirty = True
             if self.read_callback is None:
                 raise SimulationError(
                     "memory controller completed a read but no callback is attached"
@@ -186,12 +221,13 @@ class MemoryController:
         """Drop in-flight requests and reset the DRAM row state."""
         self._in_flight.clear()
         self.dram.reset()
+        self._init_event_port()
 
 
 class _QueuedAccess:
     """One access waiting in a bank queue (``__slots__``: queues run hot)."""
 
-    __slots__ = ("core_id", "addr", "ready_cycle", "is_write", "kind", "pending")
+    __slots__ = ("core_id", "addr", "ready_cycle", "is_write", "kind", "pending", "record")
 
     def __init__(
         self,
@@ -201,6 +237,7 @@ class _QueuedAccess:
         is_write: bool,
         kind: str,
         pending: Optional[PendingRead] = None,
+        record: Optional[RequestRecord] = None,
     ) -> None:
         self.core_id = core_id
         self.addr = addr
@@ -208,6 +245,7 @@ class _QueuedAccess:
         self.is_write = is_write
         self.kind = kind
         self.pending = pending
+        self.record = record
 
 
 class BankQueuedMemoryController(MemoryController):
@@ -232,7 +270,6 @@ class BankQueuedMemoryController(MemoryController):
     """
 
     resource_name = "memqueue"
-    has_queue = True
 
     def __init__(
         self,
@@ -275,9 +312,17 @@ class BankQueuedMemoryController(MemoryController):
         bank = self.dram.bank_of(access.addr)
         self._bank_queues[bank][access.core_id].append(access)
         self._queued_total += 1
+        self._horizon_dirty = True
+        if access.record is not None:
+            access.record.mem_ready_cycle = access.ready_cycle
 
     def enqueue_read(
-        self, core_id: int, addr: int, cycle: int, kind: str = "load"
+        self,
+        core_id: int,
+        addr: int,
+        cycle: int,
+        kind: str = "load",
+        record: Optional[RequestRecord] = None,
     ) -> PendingRead:
         """Queue a read on its bank; the DRAM access starts at grant time.
 
@@ -287,18 +332,32 @@ class BankQueuedMemoryController(MemoryController):
         timing is known.
         """
         pending = PendingRead(
-            core_id=core_id, addr=addr, enqueue_cycle=cycle, kind=kind
+            core_id=core_id, addr=addr, enqueue_cycle=cycle, kind=kind, record=record
         )
         self._enqueue(
-            _QueuedAccess(core_id, addr, cycle, is_write=False, kind=kind, pending=pending)
+            _QueuedAccess(
+                core_id,
+                addr,
+                cycle,
+                is_write=False,
+                kind=kind,
+                pending=pending,
+                record=record,
+            )
         )
         self._queued_reads += 1
         return pending
 
-    def enqueue_write(self, addr: int, cycle: int, core_id: int = 0) -> int:
+    def enqueue_write(
+        self,
+        addr: int,
+        cycle: int,
+        core_id: int = 0,
+        record: Optional[RequestRecord] = None,
+    ) -> int:
         """Queue a write on its bank; returns ``-1`` (completion is at grant)."""
         self._enqueue(
-            _QueuedAccess(core_id, addr, cycle, is_write=True, kind="store")
+            _QueuedAccess(core_id, addr, cycle, is_write=True, kind="store", record=record)
         )
         return -1
 
@@ -328,6 +387,7 @@ class BankQueuedMemoryController(MemoryController):
                 continue  # TDMA: no eligible slot owner for this bank
             access = queues[winner].popleft()
             self._queued_total -= 1
+            self._horizon_dirty = True
             arbiter.notify_grant(cycle, winner)
             self._grant(access, cycle)
 
@@ -338,6 +398,9 @@ class BankQueuedMemoryController(MemoryController):
         if wait > self.stats.max_queue_wait:
             self.stats.max_queue_wait = wait
         result = self.dram.access(access.addr, cycle, is_write=access.is_write)
+        if access.record is not None:
+            access.record.mem_grant_cycle = cycle
+            access.record.mem_complete_cycle = result.complete_cycle
         if access.is_write:
             self.stats.writes += 1
             return
@@ -412,3 +475,4 @@ class BankQueuedMemoryController(MemoryController):
         self._queued_reads = 0
         for arbiter in self.bank_arbiters:
             arbiter.reset()
+        self._init_event_port()

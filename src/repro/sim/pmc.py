@@ -44,14 +44,42 @@ class CoreCounters:
 
 
 @dataclass
+class ResourceCounters:
+    """Counters kept for one shared-resource channel (``bus``,
+    ``bus_response``, ...): the per-channel PMC surface of split-transaction
+    topologies."""
+
+    requests: int = 0
+    busy_cycles: int = 0
+    wait_cycles: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flat dictionary view used by reports."""
+        return {
+            "requests": self.requests,
+            "busy_cycles": self.busy_cycles,
+            "wait_cycles": self.wait_cycles,
+        }
+
+
+@dataclass
 class PerformanceCounters:
     """Counter block for a whole platform.
 
     Attributes:
         num_cores: number of cores (and therefore per-core counter sets).
         cycles: total elapsed cycles of the simulation window.
-        bus_busy_cycles: cycles during which the bus was serving any request.
+        bus_busy_cycles: cycles during which the demand channel (resource
+            ``"bus"``) was serving a transaction — the bus-utilisation
+            numerator of the paper's saturation check.  On the single
+            shared bus this covers responses too (they occupy the same
+            channel); on ``split_bus`` the response channel is a *parallel*
+            resource whose busy cycles live only in its
+            :attr:`resources` section, because summing overlapping
+            channels would overstate utilisation.
         dram_accesses: number of requests that reached the DRAM.
+        resources: per-channel counters keyed by ``resource_name``, created
+            lazily on first service so idle channels leave no trace.
     """
 
     num_cores: int
@@ -59,6 +87,7 @@ class PerformanceCounters:
     bus_busy_cycles: int = 0
     dram_accesses: int = 0
     core: List[CoreCounters] = field(default_factory=list)
+    resources: Dict[str, ResourceCounters] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.core:
@@ -67,9 +96,20 @@ class PerformanceCounters:
     # ------------------------------------------------------------------ #
     # Update helpers called by the simulator.
     # ------------------------------------------------------------------ #
-    def note_bus_service(self, port: int, service_cycles: int, wait_cycles: int) -> None:
-        """Record one completed bus transaction issued by ``port``."""
-        self.bus_busy_cycles += service_cycles
+    def note_bus_service(
+        self, port: int, service_cycles: int, wait_cycles: int, resource: str = "bus"
+    ) -> None:
+        """Record one completed transaction issued by ``port`` on ``resource``."""
+        if resource == "bus":
+            # Only the demand channel feeds the headline utilisation; other
+            # channels run in parallel with it (see the class docstring).
+            self.bus_busy_cycles += service_cycles
+        channel = self.resources.get(resource)
+        if channel is None:
+            channel = self.resources[resource] = ResourceCounters()
+        channel.requests += 1
+        channel.busy_cycles += service_cycles
+        channel.wait_cycles += wait_cycles
         if 0 <= port < self.num_cores:
             counters = self.core[port]
             counters.bus_requests += 1
@@ -113,6 +153,13 @@ class PerformanceCounters:
         """Total number of bus transactions across all cores."""
         return sum(c.bus_requests for c in self.core)
 
+    def resource_utilisation(self, resource: str) -> float:
+        """Fraction of cycles channel ``resource`` spent serving requests."""
+        channel = self.resources.get(resource)
+        if channel is None or self.cycles == 0:
+            return 0.0
+        return min(1.0, channel.busy_cycles / self.cycles)
+
     def as_dict(self) -> Dict[str, object]:
         """Nested dictionary view used by reports and tests."""
         return {
@@ -121,4 +168,8 @@ class PerformanceCounters:
             "bus_utilisation": self.bus_utilisation(),
             "dram_accesses": self.dram_accesses,
             "cores": [c.as_dict() for c in self.core],
+            "resources": {
+                name: channel.as_dict()
+                for name, channel in sorted(self.resources.items())
+            },
         }

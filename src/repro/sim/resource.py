@@ -2,39 +2,67 @@
 
 The paper models a single arbitrated resource — the processor-to-L2 bus.
 Real platforms stack several: the bus feeds a memory controller whose
-per-bank queues are themselves arbitrated, and the DRAM banks serialise
-accesses independently.  This module declares the protocol that lets such
+per-bank queues are themselves arbitrated, the DRAM banks serialise
+accesses independently, and a split-transaction bus returns data on its own
+response channel.  This module declares the protocol that lets such
 contention points *compose* into a topology (see :mod:`repro.sim.topology`)
-instead of being hardwired into :class:`repro.sim.system.System`.
+instead of being hardwired into :class:`repro.sim.system.System` — and,
+crucially, into the *simulation engines*: both engines drive
+``System.resources`` purely through this surface, so a new topology is a
+registry addition, never an engine edit.
 
-A shared resource owns a request/grant lifecycle and exposes four surfaces:
+A shared resource owns a request/grant lifecycle and exposes two groups of
+surfaces.
 
-* ``deliver(cycle)`` — phase 1 of the cycle structure: finish any work whose
-  occupancy ends at ``cycle`` and hand the result downstream (wake a core,
-  enqueue into the next resource, post a response).
+Phase surface (the Section 5 cycle structure):
+
+* ``deliver(cycle)`` — phase 1: finish any work whose occupancy ends at
+  ``cycle`` and hand the result downstream (wake a core, enqueue into the
+  next resource, post a response).
 * ``arbitrate(cycle)`` — the closing phase: if the resource is free, pick
   one pending request per internal channel (bus, DRAM bank, ...) through an
   :class:`repro.sim.arbiter.Arbiter` and start its occupancy.
-* ``next_event_cycle(cycle)`` — the event horizon: the earliest future cycle
-  at which this resource can change state on its own.  The event engine
-  jumps the clock to the minimum over all resources (plus the cores), so
-  the contract is *conservative*: reporting too early only costs speed,
+* a PMC surface — counters describing the traffic the resource served
+  (per-resource sections of :class:`repro.sim.pmc.PerformanceCounters` for
+  the bus channels, :class:`repro.sim.memctrl.MemCtrlStats` for the memory
+  queues).
+
+Event-port surface (what the event-driven engine needs):
+
+* ``horizon(cycle)`` — the *cached* event horizon: the earliest future cycle
+  at which this resource can change state on its own.  The cache is
+  recomputed from :meth:`~SharedResource.next_event_cycle` only when the
+  resource was mutated since the last read (``invalidate_horizon``), so the
+  engine's per-cycle horizon scan costs one attribute check per quiescent
+  resource instead of a queue walk.
+* ``invalidate_horizon()`` — mark the cached horizon stale.  Every mutation
+  of resource state (posting work, a delivery, a grant, a reset) must call
+  it; the invalidation rules are spelled out in DESIGN.md Section 5.
+* ``wake_targets`` — core ids that the most recent ``deliver`` call may have
+  woken (data returned, store drained).  The engine ticks exactly these
+  cores plus the self-driven ones, instead of interpreting resource-specific
+  delivery payloads.
+* ``next_event_cycle(cycle)`` — the uncached horizon computation.  The
+  contract is *conservative*: reporting too early only costs speed,
   reporting too late changes timing.  ``NO_EVENT`` means "inert until
   someone posts new work".
-* a PMC surface — counters describing the traffic the resource served
-  (:class:`repro.sim.pmc.PerformanceCounters` for the bus,
-  :class:`repro.sim.memctrl.MemCtrlStats` for the memory queues).
 
-Horizon type contract (DESIGN.md Section 5.1): every ``next_event_cycle``
-implementation — components *and* arbiters — returns an ``int``.  Cycles are
-integers throughout the simulator; the former mixture of ``int`` and
-``float('inf')`` returns is replaced by the :data:`NO_EVENT` sentinel, which
-compares greater than any reachable cycle.
+Horizon type contract (DESIGN.md Section 5.1): every horizon — components
+*and* arbiters — is an ``int``.  Cycles are integers throughout the
+simulator; the former mixture of ``int`` and ``float('inf')`` returns is
+replaced by the :data:`NO_EVENT` sentinel, which compares greater than any
+reachable cycle.
+
+Cache validity argument: between events every resource's state is a pure
+function of the clock (engine invariant 1), so a horizon computed at cycle
+``c0`` from unmutated state is still the true horizon at any later cycle —
+a valid cache can never under- *or* over-shoot.  Only a mutation can create
+an earlier event, and every mutation invalidates.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Protocol, runtime_checkable
+from typing import Iterable, List, Optional, Protocol, runtime_checkable
 
 #: Horizon sentinel: "this resource has no self-driven future event".
 #: An ``int`` (not ``float('inf')``) so the horizon arithmetic of
@@ -55,8 +83,12 @@ class SharedResource(Protocol):
     resources, with the event horizon taken as the minimum over the chain.
     """
 
-    #: Short name used in reports and per-resource bound decompositions.
+    #: Short name used in reports, traces and per-resource decompositions.
     resource_name: str
+
+    #: Core ids the most recent ``deliver`` call may have woken; reset at
+    #: the start of every ``deliver``.
+    wake_targets: List[int]
 
     def deliver(self, cycle: int) -> Optional[object]:
         """Finish work whose occupancy ends at ``cycle``; return it, if any."""
@@ -64,6 +96,14 @@ class SharedResource(Protocol):
 
     def arbitrate(self, cycle: int) -> Optional[object]:
         """Grant pending work if the resource is free; return the grant."""
+        ...
+
+    def horizon(self, cycle: int) -> int:
+        """Cached earliest future cycle this resource acts on its own."""
+        ...
+
+    def invalidate_horizon(self) -> None:
+        """Mark the cached horizon stale after an external state mutation."""
         ...
 
     def next_event_cycle(self, cycle: int) -> int:
@@ -75,11 +115,48 @@ class SharedResource(Protocol):
         ...
 
 
+class EventPort:
+    """Mixin implementing the cached-horizon event-port surface.
+
+    Concrete resources inherit this next to their own base class, call
+    :meth:`_init_event_port` during construction, and mark every state
+    mutation with ``self._horizon_dirty = True`` (the in-place spelling of
+    :meth:`invalidate_horizon`, used on hot paths).  ``horizon`` then
+    recomputes through the resource's ``next_event_cycle`` only when needed.
+    """
+
+    #: Set by :meth:`_init_event_port`; annotated here so the attribute is
+    #: part of the mixin's public surface.
+    wake_targets: List[int]
+    _horizon_cache: int
+    _horizon_dirty: bool
+
+    def _init_event_port(self) -> None:
+        self.wake_targets = []
+        self._horizon_cache = 0
+        self._horizon_dirty = True
+
+    def horizon(self, cycle: int) -> int:
+        """Cached event horizon (see :class:`SharedResource`)."""
+        if self._horizon_dirty:
+            self._horizon_cache = self.next_event_cycle(cycle)
+            self._horizon_dirty = False
+        return self._horizon_cache
+
+    def invalidate_horizon(self) -> None:
+        """Mark the cached horizon stale; the next read recomputes it."""
+        self._horizon_dirty = True
+
+    def next_event_cycle(self, cycle: int) -> int:
+        """Uncached horizon; concrete resources must implement it."""
+        raise NotImplementedError
+
+
 def min_horizon(resources: Iterable[SharedResource], cycle: int) -> int:
     """Minimum event horizon over ``resources`` (``NO_EVENT`` if all inert)."""
     horizon = NO_EVENT
     for resource in resources:
-        candidate = resource.next_event_cycle(cycle)
+        candidate = resource.horizon(cycle)
         if candidate < horizon:
             horizon = candidate
     return horizon

@@ -7,67 +7,75 @@ The simulator supports two interchangeable engines, selected through
   cycle at a time and runs the full Section 5 cycle structure (deliver all
   resources, tick the cores, arbitrate all resources) on every cycle.  It is
   deliberately unoptimised: it is the oracle the fast path is validated
-  against, and it drives ``System.resources`` generically, so any topology
-  of :class:`repro.sim.resource.SharedResource` chains works unchanged.
+  against.
 * :class:`EventScheduler` — the fast path.  After processing a cycle it
   takes the *event horizon* — the minimum over every resource's and core's
-  ``next_event_cycle`` (the earliest future cycle at which that component
-  can change state on its own) — and jumps the clock directly to it.
+  next self-driven event — and jumps the clock directly to it.
   Saturated-bus experiments (the paper's hot path) spend most of their
   cycles with every core stalled on a 9-cycle bus occupancy, so the fast
   path visits a small fraction of the cycles while producing bit-identical
   results.
 
+Both engines drive ``System.resources`` **generically** through the
+event-port surface of :class:`repro.sim.resource.SharedResource` —
+``deliver`` / ``arbitrate`` / ``horizon`` / ``wake_targets``.  Neither
+engine names a concrete resource type, so a topology registered via
+:func:`repro.sim.topology.register_topology` (one bus, a bank-queued
+memory stage, a split request/response bus pair, ...) runs on both engines
+without engine edits.
+
 Engines are registered, not hardwired: the :func:`register_engine` decorator
-adds a class to :data:`ENGINE_REGISTRY`, and :func:`make_engine`, the CLI's
+adds a class to :data:`ENGINE_REGISTRY` (a
+:class:`repro.registry.Registry`), and :func:`make_engine`, the CLI's
 ``list`` subcommand and ``ArchConfig`` validation all read the registry.
 
 Horizon contract
 ----------------
 
-Each component exposes ``next_event_cycle(cycle) -> int``, called *after*
-the cycle's phases have run (the integer-only contract is documented in
-:mod:`repro.sim.resource`; "no self-driven event" is the
-:data:`~repro.sim.resource.NO_EVENT` sentinel, never ``float('inf')``):
-
-* ``Bus.next_event_cycle`` — delivery of the in-flight transaction
-  (``busy_until``), or the earliest ready/grantable queued request on a free
-  bus (the arbiter contributes slot constraints for TDMA through
-  ``Arbiter.next_event_cycle``);
-* ``MemoryController.next_event_cycle`` — the earliest in-flight DRAM read
-  completion; the bank-queued controller of multi-resource topologies adds
-  the earliest bank-grant opportunity (free bank with a ready queued
-  access, modulo its arbiter's schedule);
-* ``Core.next_event_cycle`` — the end of the execute-stage occupancy;
-  waiting/stalled/done cores report ``NO_EVENT`` because only a bus or
-  memory event (already in the horizon) can wake them.
+Each resource exposes ``horizon(cycle) -> int``, the *cached* event horizon
+(the integer-only contract is documented in :mod:`repro.sim.resource`; "no
+self-driven event" is the :data:`~repro.sim.resource.NO_EVENT` sentinel,
+never ``float('inf')``).  The cache is recomputed from the resource's
+``next_event_cycle`` only after a mutation (posting work, a delivery, a
+grant, a reset) marked it stale — dirty-flag recomputation instead of a
+per-cycle queue rescan, which is what keeps the generic loop as fast as the
+former hand-inlined one.  Cores are not shared resources; the engine folds
+their horizons directly from their execution state (an executing core wakes
+at the end of its occupancy, a ready core on the next cycle, everyone else
+on a delivery already present in some resource's horizon).
 
 Invariants that make the jump cycle-exact:
 
 1. *No spontaneous state changes*: between events, every component's state
    is a pure function of the clock, so skipping unvisited cycles cannot
-   lose information.
+   lose information.  (This is also what makes the horizon *cache* sound: a
+   horizon computed from unmutated state stays the true horizon until a
+   mutation invalidates it.)
 2. *Conservative horizons*: a component may report an earlier cycle than
    its true next event (costing speed, not correctness) but never a later
    one.
 3. *Wake-ups are events*: any cycle at which one component can change
-   another's state (bus delivery, DRAM completion, bank grant) appears in
-   the horizon of the component that drives it.
+   another's state (a delivery, a DRAM completion, a bank grant) appears in
+   the horizon of the component that drives it, and deliveries publish the
+   possibly-woken cores through ``wake_targets``.
 4. *Phase order is preserved*: every visited cycle runs the exact Section 5
-   phase sequence, so intra-cycle orderings (deliver before tick before
-   arbitrate) — which produce the paper's synchrony effect — are untouched.
+   phase sequence (deliver the resources front to back, tick the cores,
+   arbitrate front to back), so intra-cycle orderings — which produce the
+   paper's synchrony effect — are untouched.
 
 Within a visited cycle the event engine additionally skips the tick of
-cores that provably cannot act (``Core.needs_tick``), which is what makes
-the visited cycles themselves cheaper than the oracle's.
+cores that provably cannot act (``Core.needs_tick``) and the deliver /
+arbitrate phases of resources whose horizon lies in the future, which is
+what makes the visited cycles themselves cheaper than the oracle's.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple, Type
+from typing import List, Tuple, Type
 
-from ..errors import ConfigurationError
+from ..registry import Registry
+from .resource import NO_EVENT
 
 
 class SteppedEngine:
@@ -132,35 +140,22 @@ class EventScheduler:
 
         Cycle-exactness relies on the horizon contract in the module
         docstring: the next visited cycle is the minimum of every
-        component's ``next_event_cycle``, clamped to ``max_cycles`` so a
-        timed-out run stops on exactly the same cycle as the oracle.
+        component's horizon, clamped to ``max_cycles`` so a timed-out run
+        stops on exactly the same cycle as the oracle.  The loop drives
+        ``system.resources`` purely through the event-port surface — it
+        holds no knowledge of which resources the topology built.
         """
         from .core import CoreState
 
         system = self.system
-        bus = system.bus
-        memctrl = system.memctrl
+        resources = system.resources
         cores = system.cores
         pmc = system.pmc
         observed_cores = [cores[core_id] for core_id in observed]
         # Dedicated fast path for the overwhelmingly common single-observed-
         # core case (every methodology and campaign run).
         only_observed = observed_cores[0] if len(observed_cores) == 1 else None
-        # Multi-resource topologies add an arbitrated bank-queue stage to the
-        # memory controller; ``None`` on the paper's bus_only platform keeps
-        # the hot loop free of the extra phase and horizon scan.
-        queued_mem = memctrl if memctrl.has_queue else None
 
-        # Bind hot names to locals and read sibling internals directly: the
-        # loop below runs once per *event* cycle but still dominates the
-        # simulator's wall-clock, so the usual accessor indirections are
-        # deliberately bypassed here (scheduler, bus, core and memctrl are
-        # one cohesive package; the accessors remain the public API).
-        bus_deliver = bus.deliver
-        bus_arbitrate = bus.arbitrate
-        bus_horizon = bus.next_event_cycle
-        memctrl_deliver = memctrl.deliver
-        in_flight = memctrl._in_flight
         executing = CoreState.EXECUTING
         ready = CoreState.READY
         stalled = CoreState.STALL_STORE_BUFFER
@@ -169,34 +164,68 @@ class EventScheduler:
         cycle = system.current_cycle
         timed_out = False
         while True:
-            completed = None
-            if bus._current is not None and cycle >= bus._busy_until:
-                completed = bus_deliver(cycle)
-            if in_flight and in_flight[0][0] <= cycle:
-                memctrl_deliver(cycle)
-            # Only self-driven cores can act on their own: one finishing its
-            # execute-stage occupancy, one ready to start an instruction, or
+            # Phase 1 — deliveries.  Only resources whose horizon is due can
+            # have work finishing now (a cached horizon in the future proves
+            # the deliver would be a no-op); each delivering resource
+            # publishes the cores it may have woken through wake_targets.
+            # The cache is read through its dirty flag rather than the
+            # horizon() accessor: this is the engine's innermost loop, and
+            # the flag read costs an attribute access where the call costs a
+            # frame (the accessor remains the public API).
+            woken = None
+            for resource in resources:
+                if resource._horizon_dirty:
+                    horizon = resource._horizon_cache = resource.next_event_cycle(cycle)
+                    resource._horizon_dirty = False
+                else:
+                    horizon = resource._horizon_cache
+                if horizon <= cycle:
+                    resource.deliver(cycle)
+                    for core_id in resource.wake_targets:
+                        if woken is None:
+                            woken = [cores[core_id]]
+                        else:
+                            woken.append(cores[core_id])
+            # Phase 2 — tick the cores that can act: one finishing its
+            # execute-stage occupancy, one ready to start an instruction,
             # one retrying a full store buffer (the retry is a no-op until a
             # delivery frees a slot, but the oracle performs it, so the
-            # no-op cost is all we skip).  A bus delivery can additionally
-            # wake exactly its origin core (load/ifetch data, store-buffer
-            # head completion), which therefore gets the full activity check.
-            woken = cores[completed.origin_core] if completed is not None else None
+            # no-op cost is all we skip), or one a delivery may have woken
+            # (which therefore gets the full activity check).
             for core in cores:
                 state = core.state
                 if state is executing:
                     if cycle >= core._busy_until or (
-                        core is woken and core.needs_tick(cycle)
+                        woken is not None
+                        and core in woken
+                        and core.needs_tick(cycle)
                     ):
                         core.tick(cycle)
                 elif state is ready or state is stalled:
                     core.tick(cycle)
-                elif core is woken and core.needs_tick(cycle):
+                elif woken is not None and core in woken and core.needs_tick(cycle):
                     core.tick(cycle)
-            if bus._current is None and bus._queued_total:
-                bus_arbitrate(cycle)
-            if queued_mem is not None and queued_mem._queued_total:
-                queued_mem.arbitrate(cycle)
+            # Phase 3 — arbitration, fused with the horizon fold.  A clean
+            # cache with a future horizon proves no grant is possible now
+            # (the horizon covers grant opportunities), so only mutated
+            # resources — the ticks may just have posted requests — and
+            # resources with a due horizon are asked; their own arbitrate()
+            # early-outs handle the rest.  Grants mutate only the granting
+            # resource (deliveries, which ran in phase 1, are what posts
+            # work downstream), so each resource's horizon can be refreshed
+            # immediately after its own arbitration.
+            horizon = NO_EVENT
+            for resource in resources:
+                if resource._horizon_dirty or resource._horizon_cache <= cycle:
+                    resource.arbitrate(cycle)
+                    candidate = resource._horizon_cache = resource.next_event_cycle(
+                        cycle
+                    )
+                    resource._horizon_dirty = False
+                else:
+                    candidate = resource._horizon_cache
+                if candidate < horizon:
+                    horizon = candidate
 
             if only_observed is not None:
                 if only_observed.state is done:
@@ -207,26 +236,11 @@ class EventScheduler:
                 timed_out = True
                 break
 
-            # Inline horizon minimisation: conceptually
-            # ``min(r.next_event_cycle(cycle) for r in system.resources)``
-            # folded with the core horizons.  Core states are read directly
-            # (rather than via Core.next_event_cycle) to spare four method
-            # calls per visited cycle; the semantics are identical:
-            # executing cores wake at the end of their occupancy, ready
-            # cores on the next cycle, everyone else on a bus or memory
-            # event already in the bus/memctrl horizons.
-            if bus._current is not None:
-                horizon = bus._busy_until
-            else:
-                horizon = bus_horizon(cycle)
-            if in_flight:
-                mem_horizon = in_flight[0][0]
-                if mem_horizon < horizon:
-                    horizon = mem_horizon
-            if queued_mem is not None and queued_mem._queued_total:
-                grant_horizon = queued_mem.grant_horizon(cycle)
-                if grant_horizon < horizon:
-                    horizon = grant_horizon
+            # Core horizons, folded directly from the execution state to
+            # spare a method call per core per visited cycle; the semantics
+            # are those of Core.next_event_cycle: executing cores wake at
+            # the end of their occupancy, ready cores on the next cycle,
+            # everyone else on a delivery already in a resource horizon.
             for core in cores:
                 state = core.state
                 if state is executing:
@@ -262,10 +276,11 @@ class EngineEntry:
     description: str = ""
 
 
-#: Engine name -> registered entry, in registration order.  ``repro.config``
-#: keeps the built-in tuple :data:`repro.config.ENGINES` for documentation
-#: and CLI choices; a tier-1 test pins the two in sync.
-ENGINE_REGISTRY: Dict[str, EngineEntry] = {}
+#: Engine name -> registered entry, in registration order, on the shared
+#: :class:`repro.registry.Registry` utility.  ``repro.config`` keeps the
+#: built-in tuple :data:`repro.config.ENGINES` for documentation and CLI
+#: choices; a tier-1 test pins the two in sync.
+ENGINE_REGISTRY: Registry[EngineEntry] = Registry("simulation engine")
 
 
 def register_engine(name: str, description: str = ""):
@@ -274,13 +289,11 @@ def register_engine(name: str, description: str = ""):
     The class must accept a :class:`repro.sim.system.System` and expose
     ``run(observed, max_cycles) -> (cycle, timed_out)``.
     """
-    if not name:
-        raise ConfigurationError("an engine needs a non-empty registry name")
 
     def decorator(cls: Type) -> Type:
-        if name in ENGINE_REGISTRY:
-            raise ConfigurationError(f"simulation engine {name!r} already registered")
-        ENGINE_REGISTRY[name] = EngineEntry(name=name, cls=cls, description=description)
+        ENGINE_REGISTRY.register(
+            name, EngineEntry(name=name, cls=cls, description=description)
+        )
         return cls
 
     return decorator
@@ -288,7 +301,7 @@ def register_engine(name: str, description: str = ""):
 
 def registered_engines() -> Tuple[str, ...]:
     """Names of every registered engine, in registration order."""
-    return tuple(ENGINE_REGISTRY)
+    return ENGINE_REGISTRY.names()
 
 
 def make_engine(name: str, system):
@@ -298,13 +311,7 @@ def make_engine(name: str, system):
     :data:`repro.config.ENGINES`); anything else raises
     :class:`~repro.errors.ConfigurationError`.
     """
-    entry = ENGINE_REGISTRY.get(name)
-    if entry is None:
-        raise ConfigurationError(
-            f"unknown simulation engine {name!r}; "
-            f"registered: {list(ENGINE_REGISTRY)}"
-        )
-    return entry.cls(system)
+    return ENGINE_REGISTRY.require(name).cls(system)
 
 
 register_engine("stepped", "cycle-by-cycle oracle loop (reference semantics)")(

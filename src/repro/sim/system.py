@@ -30,20 +30,20 @@ engines instruction for instruction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import ArchConfig
 from ..errors import ConfigurationError, SimulationError
-from .arbiter import Arbiter, make_arbiter
-from .bus import Bus, BusRequest
+from .arbiter import Arbiter
+from .bus import BusRequest
 from .core import Core, CoreState
 from .isa import Program
 from .l2 import PartitionedL2
 from .memctrl import PendingRead
 from .pmc import PerformanceCounters
 from .scheduler import make_engine
-from .topology import build_memory_subsystem
-from .trace import TraceRecorder
+from .topology import TopologyHooks, build_topology
+from .trace import RequestRecord, TraceRecorder
 
 #: Default safety bound on simulated cycles; long experiments may raise it.
 DEFAULT_MAX_CYCLES = 200_000_000
@@ -97,9 +97,11 @@ class System:
         preload_dl1: install data lines also in the DL1 (rarely wanted — the
             rsk kernels rely on DL1 misses — but useful for cache-resident
             synthetic workloads and tests).
-        arbiter: optional externally constructed arbiter (overrides the
-            policy named in ``config.bus``); must expect
-            ``num_cores + 1`` ports (the extra one is the response port).
+        arbiter: optional externally constructed arbiter for the request
+            channel (overrides the policy named in ``config.bus``); must
+            match that channel's port count — ``num_cores + 1`` on
+            shared-bus topologies (the extra port carries responses),
+            ``num_cores`` on ``split_bus``.
     """
 
     def __init__(
@@ -124,30 +126,39 @@ class System:
 
         self.pmc = PerformanceCounters(num_cores=config.num_cores)
         self.trace = TraceRecorder(enabled=trace)
-        #: Maps a response request (by identity) to the demand kind it resolves.
-        self._response_kinds: Dict[int, str] = {}
+        #: Maps a response request (by identity) to the demand kind it
+        #: resolves and the original request's trace record, if any.
+        self._response_meta: Dict[int, Tuple[str, Optional[RequestRecord]]] = {}
         self.l2 = PartitionedL2(config)
-        self.memctrl = build_memory_subsystem(
-            config, read_callback=self._on_dram_read_done
-        )
 
-        num_ports = config.num_cores + 1  # one demand port per core + response port
-        self.response_port = config.num_cores
-        if arbiter is None:
-            arbiter = make_arbiter(config.bus, num_ports)
-        self.bus = Bus(
-            num_ports=num_ports,
-            arbiter=arbiter,
-            service_callback=self._service_request,
-            trace=self.trace,
-            pmc=self.pmc,
+        chain = build_topology(
+            config,
+            TopologyHooks(
+                service_callback=self._service_request,
+                read_callback=self._on_dram_read_done,
+                trace=self.trace,
+                pmc=self.pmc,
+                arbiter=arbiter,
+            ),
         )
+        #: The channel cores post demand requests on (the single shared bus
+        #: on the paper's platform, the request channel on ``split_bus``).
+        self.bus = chain.request_bus
+        #: The channel memory responses return on (``bus`` itself unless the
+        #: topology splits the transaction phases).
+        self.response_bus = chain.response_bus
+        self.memctrl = chain.memctrl
+        self._response_port_of = chain.response_port_of
+        #: Port index carrying responses on shared-bus topologies (kept for
+        #: introspection; ``split_bus`` returns data on the core's own
+        #: response-channel port instead).
+        self.response_port = config.num_cores
         #: The platform's shared-resource chain, in phase order (see
         #: :mod:`repro.sim.resource`): both engines deliver these front to
         #: back, tick the cores, then arbitrate front to back, and the event
         #: horizon is the minimum over the chain.  Which resources exist is
         #: decided by ``config.topology`` (:mod:`repro.sim.topology`).
-        self.resources = (self.bus, self.memctrl)
+        self.resources = chain.resources
 
         self.cores: List[Core] = [
             Core(
@@ -216,7 +227,10 @@ class System:
             if not self.l2.contains(request.addr):
                 # Write-through, no-allocate: the write continues to memory.
                 self.memctrl.enqueue_write(
-                    request.addr, cycle, core_id=request.origin_core
+                    request.addr,
+                    cycle,
+                    core_id=request.origin_core,
+                    record=request.record,
                 )
             return
         if request.kind in ("load", "ifetch"):
@@ -225,7 +239,11 @@ class System:
             else:
                 self.pmc.dram_accesses += 1
                 self.memctrl.enqueue_read(
-                    request.origin_core, request.addr, cycle, kind=request.kind
+                    request.origin_core,
+                    request.addr,
+                    cycle,
+                    kind=request.kind,
+                    record=request.record,
                 )
             return
         raise SimulationError(f"unexpected completion for kind {request.kind!r}")
@@ -234,20 +252,27 @@ class System:
         """A DRAM read finished: fill the L2 and post the response transfer."""
         self.l2.fill(pending.core_id, pending.addr)
         response = BusRequest(
-            port=self.response_port,
+            port=self._response_port_of(pending.core_id),
             kind="response",
             addr=pending.addr,
             ready_cycle=cycle,
             origin_core=pending.core_id,
             on_complete=self._complete_response,
         )
-        # Remember what the response resolves so completion can route it.
-        self._response_kinds[id(response)] = pending.kind
-        self.bus.post(response)
+        # Remember what the response resolves (and the original request's
+        # trace record) so completion can route it and stamp the
+        # response-phase timing into the end-to-end record.
+        self._response_meta[id(response)] = (pending.kind, pending.record)
+        if pending.record is not None:
+            pending.record.response_ready_cycle = cycle
+        self.response_bus.post(response)
 
     def _complete_response(self, request: BusRequest, cycle: int) -> None:
         """The response transfer of an L2 miss reached the requesting core."""
-        kind = self._response_kinds.pop(id(request), "load")
+        kind, origin_record = self._response_meta.pop(id(request), ("load", None))
+        if origin_record is not None:
+            origin_record.response_grant_cycle = request.grant_cycle
+            origin_record.response_complete_cycle = cycle
         core = self.cores[request.origin_core]
         self._deliver_line(core, kind, request.addr, cycle)
 

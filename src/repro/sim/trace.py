@@ -15,21 +15,40 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 @dataclass
 class RequestRecord:
-    """Timing of one bus transaction.
+    """Timing of one bus transaction, across every resource it visits.
+
+    The record is created when the request is posted on a bus channel and
+    filled in place as the transaction progresses: the channel stamps its
+    grant and completion, the memory controller stamps the memory-stage
+    timing of an L2 miss (``mem_*``), and the system stamps the response
+    transfer (``response_*``).  The per-resource latency decomposition of
+    :mod:`repro.analysis.contention` is computed entirely from these fields.
 
     Attributes:
-        port: bus port that issued the request (core id, or the response
-            port index for split-transaction responses).
+        port: channel port that issued the request (core id, or the shared
+            response port index for single-bus split transactions).
         kind: ``"load"``, ``"store"``, ``"ifetch"`` or ``"response"``.
         addr: target byte address.
         ready_cycle: cycle at which the request became visible to the arbiter.
-        grant_cycle: cycle at which the bus was granted.
-        complete_cycle: first cycle after the bus occupancy ends (data usable).
-        service_cycles: bus occupancy in cycles.
+        grant_cycle: cycle at which the channel was granted.
+        complete_cycle: first cycle after the occupancy ends (data usable).
+        service_cycles: channel occupancy in cycles.
         contenders_at_ready: number of other ports with a pending request at
             ``ready_cycle`` (the quantity histogrammed in Figure 6(a)).
-        bus_busy_at_ready: True if the bus was serving another transaction
-            when this request became ready.
+        bus_busy_at_ready: True if the channel was serving another
+            transaction when this request became ready.
+        resource: ``resource_name`` of the channel the request was posted on
+            (``"bus"`` for the request channel, ``"bus_response"`` for the
+            split-bus response channel).
+        origin_core: core the transaction ultimately belongs to (equals
+            ``port`` except for shared-port responses).
+        mem_ready_cycle: cycle an L2 miss entered the memory controller.
+        mem_grant_cycle: cycle its DRAM access was issued (bank-queue grant,
+            or arrival-scheduled issue on the plain controller).
+        mem_complete_cycle: cycle the DRAM access completed.
+        response_ready_cycle: cycle the response transfer became ready.
+        response_grant_cycle: cycle the response channel was granted.
+        response_complete_cycle: cycle the response reached the core.
     """
 
     port: int
@@ -41,6 +60,14 @@ class RequestRecord:
     service_cycles: int = 0
     contenders_at_ready: int = 0
     bus_busy_at_ready: bool = False
+    resource: str = "bus"
+    origin_core: int = -1
+    mem_ready_cycle: int = -1
+    mem_grant_cycle: int = -1
+    mem_complete_cycle: int = -1
+    response_ready_cycle: int = -1
+    response_grant_cycle: int = -1
+    response_complete_cycle: int = -1
 
     @property
     def contention_delay(self) -> int:
@@ -60,6 +87,43 @@ class RequestRecord:
     def completed(self) -> bool:
         """True once the transaction has finished on the bus."""
         return self.complete_cycle >= 0
+
+    @property
+    def reached_memory(self) -> bool:
+        """True when the request missed the L2 and entered the controller."""
+        return self.mem_ready_cycle >= 0
+
+    @property
+    def memory_queue_wait(self) -> int:
+        """Cycles the L2 miss waited for its DRAM bank (0 if it never missed)."""
+        if self.mem_grant_cycle < 0:
+            return 0
+        return self.mem_grant_cycle - self.mem_ready_cycle
+
+    @property
+    def dram_service(self) -> int:
+        """Cycles of DRAM service of the L2 miss (0 if it never missed)."""
+        if self.mem_complete_cycle < 0:
+            return 0
+        return self.mem_complete_cycle - self.mem_grant_cycle
+
+    @property
+    def response_wait(self) -> int:
+        """Cycles the data return waited for its channel grant."""
+        if self.response_grant_cycle < 0:
+            return 0
+        return self.response_grant_cycle - self.response_ready_cycle
+
+    @property
+    def end_to_end_latency(self) -> int:
+        """Cycles from request readiness to the final data delivery.
+
+        Falls back to :attr:`total_latency` for requests that never left the
+        L2 (no response transfer).
+        """
+        if self.response_complete_cycle >= 0:
+            return self.response_complete_cycle - self.ready_cycle
+        return self.total_latency
 
 
 class TraceRecorder:

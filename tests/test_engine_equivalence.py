@@ -196,6 +196,68 @@ class TestChainedTopologyEquivalent:
         )
 
 
+class TestSplitBusEquivalent:
+    """Stepped vs event on the split-transaction topology (request channel
+    -> bank queues -> response channel): three composed resources, so the
+    engines must agree while juggling three independent horizon caches and
+    deliveries that post work into a *later* resource of the same cycle's
+    chain.  No preloading, so every request walks all three stages."""
+
+    @staticmethod
+    def _run_split(config, kind="load", iterations=45):
+        scua = build_rsk(config, 0, kind=kind, iterations=iterations)
+        contenders = build_contender_set(config, 0, kind=kind)
+        programs: List[Optional[Program]] = [None] * config.num_cores
+        programs[0] = scua
+        for core, program in contenders.items():
+            programs[core] = program
+        outcomes = _run_both(config, programs, observed=[0])
+        assert _observable_state(outcomes["stepped"]) == _observable_state(
+            outcomes["event"]
+        )
+        return outcomes
+
+    @pytest.mark.parametrize("arbiter", ARBITRATION_POLICIES)
+    @pytest.mark.parametrize("kind", ["load", "store"])
+    def test_every_request_arbiter_on_the_split_bus(self, arbiter, kind):
+        config = small_config(
+            bus=BusConfig(arbitration=arbiter, transfer_latency=1),
+            topology=TopologyConfig(name="split_bus"),
+        )
+        outcomes = self._run_split(config, kind=kind)
+        if kind == "load":
+            histograms = {}
+            for engine, outcome in outcomes.items():
+                try:
+                    histograms[engine] = contention_histogram(outcome.trace, 0).counts
+                except AnalysisError:
+                    histograms[engine] = None
+            assert histograms["stepped"] == histograms["event"]
+
+    @pytest.mark.parametrize("response_arbiter", ARBITRATION_POLICIES)
+    def test_every_response_arbiter_under_round_robin_requests(self, response_arbiter):
+        config = small_config(
+            topology=TopologyConfig(
+                name="split_bus",
+                response_arbitration=response_arbiter,
+                response_tdma_slot=5,
+            )
+        )
+        self._run_split(config)
+
+    def test_split_timeout_stops_on_the_same_cycle(self):
+        config = small_config(topology=TopologyConfig(name="split_bus"))
+        scua = build_rsk(config, 0, iterations=10_000)
+        programs: List[Optional[Program]] = [None] * config.num_cores
+        programs[0] = scua
+        outcomes = _run_both(config, programs, observed=[0], max_cycles=903)
+        for outcome in outcomes.values():
+            assert outcome.timed_out
+        assert _observable_state(outcomes["stepped"]) == _observable_state(
+            outcomes["event"]
+        )
+
+
 # --------------------------------------------------------------------------- #
 # Property-based equivalence over random configs, arbiters and kernels.
 # --------------------------------------------------------------------------- #
@@ -230,7 +292,14 @@ def _build_config(
             cache=CacheConfig(size_bytes=8 * 1024, ways=4, line_size=32, hit_latency=2)
         ),
         store_buffer=StoreBufferConfig(entries=entries),
-        topology=TopologyConfig(name=topology, mem_arbitration=mem_arbiter),
+        # The drawn arbiter doubles as the response-channel policy so the
+        # split_bus strategy also sweeps response arbitration.
+        topology=TopologyConfig(
+            name=topology,
+            mem_arbitration=mem_arbiter,
+            response_arbitration=mem_arbiter,
+            response_tdma_slot=slot,
+        ),
     )
 
 

@@ -7,6 +7,7 @@ import pytest
 from repro.config import reference_config, small_config
 from repro.errors import ProgramError
 from repro.kernels.rsk import (
+    build_bank_conflict_rsk,
     build_nop_kernel,
     build_rsk,
     build_rsk_nop,
@@ -140,3 +141,79 @@ class TestRequestCount:
         config = small_config()
         program = build_rsk(config, 0, iterations=4)
         assert rsk_request_count(program) == 4 * (config.dl1.ways + 1)
+
+
+class TestBuildBankConflictRsk:
+    def test_addresses_collide_in_dl1_l2_and_one_bank(self, ref):
+        from repro.sim.dram import Dram
+
+        program = build_bank_conflict_rsk(ref, 0, iterations=5)
+        addresses = [instr.addr for instr in program.body]
+        # More lines than DL1 ways and than the core's L2 partition ways.
+        assert len(addresses) == max(ref.dl1.ways, len(ref.l2_ways_for_core(0))) + 1
+        dl1_sets = {(addr // ref.dl1.line_size) % ref.dl1.num_sets for addr in addresses}
+        assert len(dl1_sets) == 1
+        l2 = ref.l2.cache
+        l2_sets = {(addr // l2.line_size) % l2.num_sets for addr in addresses}
+        assert len(l2_sets) == 1
+        dram = Dram(ref.dram)
+        assert {dram.bank_of(addr) for addr in addresses} == {0}
+
+    def test_every_core_targets_the_same_bank(self, ref):
+        from repro.sim.dram import Dram
+
+        dram = Dram(ref.dram)
+        banks = set()
+        for core in range(ref.num_cores):
+            program = build_bank_conflict_rsk(ref, core, iterations=None)
+            banks |= {dram.bank_of(instr.addr) for instr in program.body}
+        assert banks == {0}
+
+    def test_target_bank_is_respected(self, ref):
+        from repro.sim.dram import Dram
+
+        dram = Dram(ref.dram)
+        program = build_bank_conflict_rsk(ref, 0, iterations=2, target_bank=2)
+        assert {dram.bank_of(instr.addr) for instr in program.body} == {2}
+
+    def test_footprint_must_miss_the_l2(self, ref):
+        from repro.kernels.layout import footprint_fits_l2_partition
+
+        program = build_bank_conflict_rsk(ref, 0, iterations=2)
+        addresses = [instr.addr for instr in program.body]
+        # The whole point: unlike the plain rsk, the footprint does NOT fit
+        # the core's partition, so every access reaches the memory stage.
+        assert not footprint_fits_l2_partition(ref, addresses)
+
+    def test_invalid_bank_rejected(self, ref):
+        with pytest.raises(ProgramError):
+            build_bank_conflict_rsk(ref, 0, target_bank=ref.dram.num_banks)
+
+    def test_store_variant_builds(self, ref):
+        program = build_bank_conflict_rsk(ref, 1, kind="store", iterations=3)
+        assert all(isinstance(instr, Store) for instr in program.body)
+
+    def test_sustained_dram_traffic_and_queue_contention(self):
+        """Simulation-level acceptance: on bus_bank_queues the kernel keeps
+        missing both cache levels every iteration (sustained DRAM traffic,
+        unlike the plain rsk whose lines settle into the L2) and Nc bank
+        kernels produce genuine bank-queue waits bounded by the memory
+        term."""
+        from repro.config import TopologyConfig
+
+        config = small_config(topology=TopologyConfig(name="bus_bank_queues"))
+        iterations = 20
+        programs = [
+            build_bank_conflict_rsk(config, core, iterations=None)
+            for core in range(config.num_cores)
+        ]
+        programs[0] = build_bank_conflict_rsk(config, 0, iterations=iterations)
+        system = System(config, programs, preload_il1=True)
+        result = system.run(observed_cores=[0])
+        lines_per_iteration = len(programs[0].body)
+        # Every load of every iteration reached the DRAM.
+        assert result.pmc.core[0].loads == iterations * lines_per_iteration
+        assert result.pmc.dram_accesses >= iterations * lines_per_iteration
+        stats = system.memctrl.stats
+        assert stats.queue_grants > 0
+        assert 0 < stats.max_queue_wait <= config.ubd_terms["memory"]

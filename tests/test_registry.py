@@ -1,0 +1,116 @@
+"""The generic ``Registry[T]`` utility and its three instantiations.
+
+The arbiter/engine/topology registries (and the lazy ``_known_*``
+configuration fallbacks) all rebase on :class:`repro.registry.Registry`;
+these tests pin the shared behaviour — duplicate rejection, ordered listing,
+rich lookup errors — exactly once, plus the wiring that keeps the three
+instantiations and the declared tuples in ``repro.config`` in sync.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    ARBITRATION_POLICIES,
+    ENGINES,
+    TOPOLOGIES,
+    _known_arbitrations,
+    _known_engines,
+    _known_topologies,
+)
+from repro.errors import ConfigurationError
+from repro.registry import Registry, registry_backed_names
+from repro.sim.arbiter import ARBITER_REGISTRY
+from repro.sim.scheduler import ENGINE_REGISTRY
+from repro.sim.topology import TOPOLOGY_REGISTRY
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        registry: Registry[int] = Registry("widget")
+        registry.register("a", 1)
+        registry.register("b", 2)
+        assert registry.get("a") == 1
+        assert registry.require("b") == 2
+        assert registry.get("missing") is None
+        assert registry.get("missing", 99) == 99
+
+    def test_duplicate_rejected(self):
+        registry: Registry[int] = Registry("widget")
+        registry.register("a", 1)
+        with pytest.raises(ConfigurationError):
+            registry.register("a", 2)
+        # The original entry survives the failed re-registration.
+        assert registry.require("a") == 1
+
+    def test_empty_name_rejected(self):
+        registry: Registry[int] = Registry("widget")
+        with pytest.raises(ConfigurationError):
+            registry.register("", 1)
+
+    def test_require_names_kind_and_alternatives(self):
+        registry: Registry[int] = Registry("widget")
+        registry.register("a", 1)
+        with pytest.raises(ConfigurationError) as excinfo:
+            registry.require("lottery")
+        message = str(excinfo.value)
+        assert "widget" in message
+        assert "lottery" in message
+        assert "a" in message
+
+    def test_listing_preserves_registration_order(self):
+        registry: Registry[int] = Registry("widget")
+        for index, name in enumerate(("z", "a", "m")):
+            registry.register(name, index)
+        assert registry.names() == ("z", "a", "m")
+        assert registry.values() == (0, 1, 2)
+        assert registry.items() == (("z", 0), ("a", 1), ("m", 2))
+        assert list(registry) == ["z", "a", "m"]
+        assert len(registry) == 3
+        assert "a" in registry and "lottery" not in registry
+
+    def test_pop_supports_test_deregistration(self):
+        registry: Registry[int] = Registry("widget")
+        registry.register("a", 1)
+        assert registry.pop("a") == 1
+        assert "a" not in registry
+        registry.register("a", 2)  # the name is reusable afterwards
+        assert registry.require("a") == 2
+
+
+class TestRegistryBackedNames:
+    def test_reads_through_to_the_registry(self):
+        names = registry_backed_names(
+            "repro.sim.arbiter", "registered_arbiters", ("stale",)
+        )
+        assert names() == ARBITER_REGISTRY.names()
+
+    def test_unimportable_module_falls_back(self):
+        names = registry_backed_names(
+            "repro.no_such_module", "accessor", ("fallback",)
+        )
+        assert names() == ("fallback",)
+
+
+class TestInstantiations:
+    """The three concrete registries sit on the shared utility and agree
+    with the built-in tuples declared in ``repro.config``."""
+
+    @pytest.mark.parametrize(
+        "registry,declared",
+        [
+            (ARBITER_REGISTRY, ARBITRATION_POLICIES),
+            (ENGINE_REGISTRY, ENGINES),
+            (TOPOLOGY_REGISTRY, TOPOLOGIES),
+        ],
+        ids=["arbiters", "engines", "topologies"],
+    )
+    def test_built_ins_match_declared_tuples(self, registry, declared):
+        assert isinstance(registry, Registry)
+        assert registry.names() == declared
+
+    def test_known_name_fallbacks_read_the_registries(self):
+        assert _known_arbitrations() == ARBITER_REGISTRY.names()
+        assert _known_engines() == ENGINE_REGISTRY.names()
+        assert _known_topologies() == TOPOLOGY_REGISTRY.names()

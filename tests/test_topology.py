@@ -49,13 +49,15 @@ from repro.sim.arbiter import (
     register_arbiter,
     registered_arbiters,
 )
+from repro.sim.bus import Bus
 from repro.sim.dram import Dram
 from repro.sim.memctrl import BankQueuedMemoryController, MemoryController
-from repro.sim.resource import NO_EVENT, SharedResource, min_horizon
+from repro.sim.resource import NO_EVENT, EventPort, SharedResource, min_horizon
 from repro.sim.scheduler import registered_engines
 from repro.sim.system import System
 from repro.sim.topology import (
-    build_memory_subsystem,
+    TopologyHooks,
+    build_topology,
     register_topology,
     registered_topologies,
 )
@@ -148,13 +150,38 @@ class TestRegistries:
         finally:
             ARBITER_REGISTRY.pop(name)
 
-    def test_build_memory_subsystem_follows_topology(self):
-        plain = build_memory_subsystem(small_config())
-        queued = build_memory_subsystem(_queued_config())
-        assert type(plain) is MemoryController
-        assert isinstance(queued, BankQueuedMemoryController)
-        assert queued.num_ports == 3
-        assert all(a.policy_name == "fifo" for a in queued.bank_arbiters)
+    def test_build_topology_follows_configuration(self):
+        hooks = TopologyHooks(service_callback=lambda request, cycle: 1)
+        plain = build_topology(small_config(), hooks)
+        queued = build_topology(_queued_config(), hooks)
+        assert type(plain.memctrl) is MemoryController
+        assert isinstance(queued.memctrl, BankQueuedMemoryController)
+        assert queued.memctrl.num_ports == 3
+        assert all(a.policy_name == "fifo" for a in queued.memctrl.bank_arbiters)
+        # Shared-bus topologies return data on the bus itself, on the extra
+        # port behind the demand ports.
+        assert plain.response_bus is plain.request_bus
+        assert plain.request_bus.num_ports == 4
+        assert plain.response_port_of(0) == 3
+
+    def test_build_split_bus_chains_three_resources(self):
+        config = small_config(topology=TopologyConfig(name="split_bus"))
+        chain = build_topology(
+            config, TopologyHooks(service_callback=lambda request, cycle: 1)
+        )
+        assert [r.resource_name for r in chain.resources] == [
+            "bus",
+            "memqueue",
+            "bus_response",
+        ]
+        assert chain.response_bus is not chain.request_bus
+        assert isinstance(chain.response_bus, Bus)
+        # No shared response port: each core's data returns on its own
+        # response-channel port.
+        assert chain.request_bus.num_ports == config.num_cores
+        assert chain.response_bus.num_ports == config.num_cores
+        assert [chain.response_port_of(core) for core in range(3)] == [0, 1, 2]
+        assert chain.response_bus.arbiter.policy_name == "fifo"
 
     def test_resources_satisfy_shared_resource_protocol(self):
         system = System(_queued_config(), _rsk_programs(_queued_config(), 2))
@@ -162,13 +189,24 @@ class TestRegistries:
         for resource in system.resources:
             assert isinstance(resource, SharedResource)
         assert [r.resource_name for r in system.resources] == ["bus", "memqueue"]
+        split = System(
+            small_config(topology=TopologyConfig(name="split_bus")), [None] * 3
+        )
+        assert [r.resource_name for r in split.resources] == [
+            "bus",
+            "memqueue",
+            "bus_response",
+        ]
+        for resource in split.resources:
+            assert isinstance(resource, SharedResource)
 
     def test_min_horizon_returns_earliest_resource_event(self):
-        class _Stub:
+        class _Stub(EventPort):
             resource_name = "stub"
 
             def __init__(self, horizon):
                 self._horizon = horizon
+                self._init_event_port()
 
             def deliver(self, cycle):
                 return None
