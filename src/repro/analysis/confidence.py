@@ -18,10 +18,14 @@ report the methodology attaches to every estimate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from .injection import DeltaNopEstimate
 from .sawtooth import PeriodEstimate
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (config is layer 0)
+    from ..config import ArchConfig
+    from ..sim.pmc import PerformanceCounters
 
 #: Bus utilisation below this threshold means the contenders did not saturate
 #: the bus and the synchrony effect cannot be relied upon.
@@ -136,3 +140,67 @@ def assess_confidence(
             )
 
     return ConfidenceReport(checks=checks)
+
+
+def assess_write_burst(
+    config: "ArchConfig", pmc: "PerformanceCounters"
+) -> ConfidenceCheck:
+    """Flag configurations where store-buffer write bursts can break the
+    ``memory`` term's queueing assumption.
+
+    The analytical ``memory`` term of :attr:`repro.config.ArchConfig.ubd_terms`
+    assumes **at most one outstanding demand request per core**, which caps a
+    bank queue at ``Nc - 1`` competing accesses.  Demand loads and ifetches
+    satisfy this by construction (an in-order core blocks on them), but
+    write-through stores drain *asynchronously* from the store buffer: a core
+    with a deep buffer can have several writes in flight, and if they land on
+    one DRAM bank faster than the bank drains, more than ``Nc - 1`` accesses
+    queue up and the term silently under-bounds.
+
+    The check is a conservative PMC gate, not a bound.  With arbitrated
+    memory queues and a store buffer deeper than one entry, it flags the run
+    when either counter witnesses a pileup:
+
+    * ``store_buffer_full_stalls > 0`` — a core filled its buffer, so at
+      least ``entries`` writes were outstanding at once (the direct
+      witness; a bank-saturated store run always trips it even though its
+      *throughput* collapses);
+    * ``rate * row_miss_latency > 1`` — the observed per-core store rate
+      refills a bank faster than a worst-case (row-miss) service drains it,
+      so writes accumulate even before the buffer fills.
+
+    Flagged configurations should bound the pileup explicitly (store-buffer
+    depth x cores) instead of trusting the composed terms.
+    """
+    cycles = pmc.cycles
+    store_rate = 0.0
+    if cycles > 0:
+        store_rate = max((core.stores / cycles for core in pmc.core), default=0.0)
+    full_stalls = max((core.store_buffer_full_stalls for core in pmc.core), default=0)
+    depth = config.store_buffer.entries
+    service = config.dram.row_miss_latency
+    if not config.topology.has_memory_queues:
+        return ConfidenceCheck(
+            name="write_burst",
+            passed=True,
+            detail=(
+                "no arbitrated memory stage on topology "
+                f"{config.topology.name!r}; the memory term does not apply"
+            ),
+        )
+    burst_possible = depth > 1 and (
+        full_stalls > 0 or store_rate * service > 1.0
+    )
+    detail = (
+        f"worst per-core store rate {store_rate:.3f}/cycle x row-miss service "
+        f"{service} cycles = {store_rate * service:.2f} writes per bank service, "
+        f"{full_stalls} buffer-full stall(s) (store buffer holds {depth})"
+    )
+    if burst_possible:
+        detail += (
+            "; write bursts can queue more than Nc - 1 accesses on one bank — "
+            "the analytical memory term under-bounds this traffic"
+        )
+    else:
+        detail += "; at most one outstanding write per core per bank service"
+    return ConfidenceCheck(name="write_burst", passed=not burst_possible, detail=detail)

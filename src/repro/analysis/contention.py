@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import AnalysisError
 from ..sim.memctrl import MemCtrlStats
@@ -288,6 +288,155 @@ def latency_decomposition(
         histograms={stage: dict(counts) for stage, counts in histograms.items()},
         totals=totals,
     )
+
+
+@dataclass(frozen=True)
+class MemoryTermSplit:
+    """Queue-wait vs DRAM-service split of the measured ``memory`` stage.
+
+    The analytical ``memory`` term bundles two physically distinct effects —
+    the wait in the arbitrated bank queue and the (row-state dependent) DRAM
+    service of the access itself.  Splitting the measured decomposition the
+    same way makes an analytical-vs-measured gap *attributable*: a queue-wait
+    shortfall points at the ``Nc - 1`` competitor assumption, a service gap
+    at the row-miss envelope.  Derived from the ``memory`` (queue wait) and
+    ``dram`` (service) histograms of :class:`LatencyDecomposition`.
+    """
+
+    memory_requests: int
+    queue_wait_max: int
+    queue_wait_mean: float
+    queue_wait_total: int
+    service_max: int
+    service_mean: float
+    service_total: int
+
+    def summary(self) -> str:
+        """One-line human readable report."""
+        return (
+            f"memory stage split over {self.memory_requests} request(s): "
+            f"queue wait max {self.queue_wait_max} (mean {self.queue_wait_mean:.1f}) "
+            f"+ DRAM service max {self.service_max} (mean {self.service_mean:.1f})"
+        )
+
+
+def memory_term_split(decomposition: LatencyDecomposition) -> MemoryTermSplit:
+    """Split the decomposition's memory-stage cycles into queue wait and service."""
+    return MemoryTermSplit(
+        memory_requests=decomposition.memory_requests,
+        queue_wait_max=decomposition.max_observed("memory"),
+        queue_wait_mean=decomposition.mean_observed("memory"),
+        queue_wait_total=decomposition.totals.get("memory", 0),
+        service_max=decomposition.max_observed("dram"),
+        service_mean=decomposition.mean_observed("dram"),
+        service_total=decomposition.totals.get("dram", 0),
+    )
+
+
+@dataclass(frozen=True)
+class StageBoundCheck:
+    """Cross-check of one resource's measured bound against its neighbours.
+
+    A measured per-resource bound is trustworthy only when it is sandwiched:
+    it must *cover* the worst contention actually observed at the resource
+    (``observed_worst_case <= ubdm``, the paper's trustworthiness argument)
+    and stay *within* the analytical envelope (``ubdm <= analytical``, the
+    sanity direction — a measurement exceeding the analytical worst case
+    means either the model or the measurement is wrong).
+    """
+
+    resource: str
+    observed_worst_case: int
+    ubdm: int
+    analytical: int
+
+    @property
+    def covers_observation(self) -> bool:
+        """True when the measured bound covers the observed worst case."""
+        return self.ubdm >= self.observed_worst_case
+
+    @property
+    def within_envelope(self) -> bool:
+        """True when the measured bound stays below the analytical term."""
+        return self.ubdm <= self.analytical
+
+    @property
+    def passed(self) -> bool:
+        """Both directions of the sandwich hold."""
+        return self.covers_observation and self.within_envelope
+
+    @property
+    def status(self) -> str:
+        """Short verdict label (``OK`` / ``NOT COVERING`` / ``EXCEEDS
+        ENVELOPE``) shared by reports and the CLI table."""
+        if not self.covers_observation:
+            return "NOT COVERING"
+        if not self.within_envelope:
+            return "EXCEEDS ENVELOPE"
+        return "OK"
+
+    def summary(self) -> str:
+        """One-line human readable report."""
+        return (
+            f"{self.resource}: observed {self.observed_worst_case} <= "
+            f"ubdm {self.ubdm} <= analytical {self.analytical} [{self.status}]"
+        )
+
+
+@dataclass(frozen=True)
+class BoundCrossCheck:
+    """Per-stage sandwich checks for a whole measured-bound report."""
+
+    checks: List[StageBoundCheck]
+
+    @property
+    def passed(self) -> bool:
+        """True only if every stage's sandwich holds."""
+        return all(check.passed for check in self.checks)
+
+    def failed_checks(self) -> List[StageBoundCheck]:
+        """The stages whose sandwich does not hold."""
+        return [check for check in self.checks if not check.passed]
+
+    def summary(self) -> str:
+        """Multi-line human readable report."""
+        return "\n".join(check.summary() for check in self.checks)
+
+
+def cross_check_stage_bounds(
+    observed: Mapping[str, int],
+    measured: Mapping[str, int],
+    analytical: Mapping[str, int],
+) -> BoundCrossCheck:
+    """Sandwich-check every measured per-resource bound.
+
+    Args:
+        observed: worst per-request delay observed at each resource (from
+            :func:`latency_decomposition` of the stressing runs).
+        measured: the measured ``ubdm`` terms, keyed like
+            :attr:`repro.config.ArchConfig.ubd_terms`.
+        analytical: the analytical per-resource terms.
+
+    Raises:
+        AnalysisError: when a measured term has no analytical counterpart —
+            a sandwich with a missing side checks nothing.
+    """
+    checks: List[StageBoundCheck] = []
+    for resource, ubdm in measured.items():
+        if resource not in analytical:
+            raise AnalysisError(
+                f"measured term {resource!r} has no analytical counterpart; "
+                f"analytical terms cover {sorted(analytical)}"
+            )
+        checks.append(
+            StageBoundCheck(
+                resource=resource,
+                observed_worst_case=observed.get(resource, 0),
+                ubdm=ubdm,
+                analytical=analytical[resource],
+            )
+        )
+    return BoundCrossCheck(checks=checks)
 
 
 def injection_time_histogram(

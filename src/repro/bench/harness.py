@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import ENGINES, get_preset
 from ..errors import SimulationError
-from ..kernels.rsk import build_rsk
+from ..kernels.rsk import build_rsk, build_stress_contender_set, rsk_for_resource
 from ..methodology.experiment import build_contender_set
 from ..sim.system import System
 
@@ -41,6 +41,10 @@ class BenchWorkload:
             preset's topology untouched, including its memory-side
             arbitration parameters.
         kind: rsk flavour (``"load"`` or ``"store"``).
+        stress: when set, build the kernels from the rsk registry entry for
+            this resource (``"bus"``, ``"memory"``, ``"bus_response"``)
+            instead of the plain rsk — the hot path of ``derive-ubd
+            --per-resource``, whose stress runs drive exactly these kernels.
         preload_l2: warm the L2 first (True gives the paper's L2-hit hot
             path; False sends every miss to the DRAM model).
         iterations: observed-rsk loop iterations in full mode.
@@ -52,6 +56,7 @@ class BenchWorkload:
     arbiter: str
     topology: Optional[str] = None
     kind: str = "load"
+    stress: Optional[str] = None
     preload_l2: bool = True
     iterations: int = 2500
     quick_iterations: int = 700
@@ -114,6 +119,21 @@ def _grid() -> Tuple[BenchWorkload, ...]:
             quick_iterations=450,
         )
     )
+    workloads.append(
+        # The derive-ubd --per-resource hot path: the response-channel
+        # stressor from the rsk registry (row-hit jitter, per-core period
+        # skew) on the full split_bus preset — the workload each measured
+        # bus_response term is derived from.
+        BenchWorkload(
+            name="split_bus/round_robin/derive-ubd-stress",
+            preset="split_bus",
+            arbiter="round_robin",
+            stress="bus_response",
+            preload_l2=False,
+            iterations=1500,
+            quick_iterations=450,
+        )
+    )
     return tuple(workloads)
 
 
@@ -139,8 +159,15 @@ def _build_system(workload: BenchWorkload, quick: bool) -> Tuple[System, int]:
     if workload.topology is not None:
         config = config.with_topology_name(workload.topology)
     iterations = workload.quick_iterations if quick else workload.iterations
-    scua = build_rsk(config, 0, kind=workload.kind, iterations=iterations)
-    contenders = build_contender_set(config, 0, kind=workload.kind)
+    if workload.stress is not None:
+        entry = rsk_for_resource(workload.stress)
+        scua = entry.build(config, 0, kind=workload.kind, iterations=iterations)
+        contenders = build_stress_contender_set(
+            config, workload.stress, 0, kind=workload.kind
+        )
+    else:
+        scua = build_rsk(config, 0, kind=workload.kind, iterations=iterations)
+        contenders = build_contender_set(config, 0, kind=workload.kind)
     programs: List[Optional[object]] = [None] * config.num_cores
     programs[0] = scua
     for core, program in contenders.items():
@@ -218,6 +245,7 @@ def run_benchmarks(
                 "arbiter": workload.arbiter,
                 "topology": _effective_topology(workload),
                 "kind": workload.kind,
+                "stress": workload.stress,
                 "preload_l2": workload.preload_l2,
                 "iterations": workload.quick_iterations if quick else workload.iterations,
                 "cycles": engines["event"]["cycles"],

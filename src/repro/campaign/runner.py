@@ -21,9 +21,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.contention import (
+    DECOMPOSITION_STAGES,
     ContenderHistogram,
     contender_histogram,
     contention_histogram,
+    latency_decomposition,
 )
 from ..config import FAIR_ARBITRATION_POLICIES, config_from_dict
 from ..errors import AnalysisError, MethodologyError
@@ -107,6 +109,21 @@ def _rsk_metrics(descriptor: RunDescriptor) -> Dict[str, object]:
     ready = contender_histogram(contended.trace, observed, config.num_cores)
     metrics["contender_histogram"] = _json_histogram(ready.counts)
     metrics["contender_total_requests"] = ready.total_requests
+    try:
+        decomposition = latency_decomposition(contended.trace, observed, skip_first=1)
+    except AnalysisError:
+        # No completed demand request of the observed core (e.g. a pure
+        # store run): there is no per-resource decomposition to record.
+        pass
+    else:
+        # Per-resource observed worst cases: the measured-bound fields the
+        # summary aggregates against the analytical ``ubd_terms``.
+        metrics["memory_requests"] = decomposition.memory_requests
+        metrics["stage_worst_case"] = {
+            stage: decomposition.max_observed(stage)
+            for stage in DECOMPOSITION_STAGES
+            if decomposition.histograms.get(stage)
+        }
     try:
         delays = contention_histogram(
             contended.trace, observed, kinds=(descriptor.rsk_kind,)
@@ -300,6 +317,11 @@ def summarize_records(records: Sequence[Dict[str, object]]) -> Dict[str, object]
                     and config.has_composable_bounds
                     else None
                 ),
+                # The per-resource decomposition of end_to_end_ubd: what the
+                # aggregated stage_worst_case fields are checked against.
+                "analytical_terms": (
+                    dict(config.ubd_terms) if config.has_composable_bounds else None
+                ),
                 "_utilisations": [],
             }
         bucket["runs"] += 1
@@ -323,6 +345,13 @@ def summarize_records(records: Sequence[Dict[str, object]]) -> Dict[str, object]
                 kind_bucket["max_slowdown"] = max(
                     kind_bucket.get("max_slowdown", 0), slowdown
                 )
+            stage_worst = record["metrics"].get("stage_worst_case")
+            if stage_worst:
+                aggregated_stages = kind_bucket.setdefault("stage_worst_case", {})
+                for stage, worst in stage_worst.items():
+                    aggregated_stages[stage] = max(
+                        aggregated_stages.get(stage, 0), worst
+                    )
 
     for bucket in per_platform.values():
         utilisations = bucket.pop("_utilisations")

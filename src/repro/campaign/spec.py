@@ -35,8 +35,12 @@ from ..methodology.workloads import random_workloads
 #: ``topology`` field.  Version 3: the topology section grows the
 #: ``split_bus`` response-channel parameters (``response_arbitration``,
 #: ``response_tdma_slot``), which changes every embedded configuration
-#: dictionary and therefore every digest.
-SCHEMA_VERSION = 3
+#: dictionary and therefore every digest.  Version 4: rsk records carry the
+#: per-resource measured-bound fields (``stage_worst_case`` per-resource
+#: observed worst cases, ``memory_requests``, isolation ``memory_requests``)
+#: and summary buckets carry ``analytical_terms`` plus the per-stage
+#: aggregated ``stage_worst_case`` next to ``end_to_end_ubd``.
+SCHEMA_VERSION = 4
 
 #: Workload kinds a descriptor can request.
 KIND_SYNTHETIC = "synthetic"

@@ -31,6 +31,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .analysis.confidence import assess_write_burst
 from .analysis.contention import contention_histogram, latency_decomposition
 from .campaign import (
     CampaignSpec,
@@ -46,7 +47,7 @@ from .sim.topology import registered_topologies
 from .kernels.rsk import build_rsk
 from .methodology.experiment import ExperimentRunner
 from .methodology.naive import NaiveUbdEstimator
-from .methodology.ubd import UbdEstimator
+from .methodology.ubd import MeasuredBoundPipeline, UbdEstimator
 from .report.campaign import render_campaign_summary
 from .report.histogram import render_histogram
 from .report.tables import render_series, render_table
@@ -95,6 +96,21 @@ def build_parser() -> argparse.ArgumentParser:
         choices=registered_topologies(),
         default=None,
         help="override the preset's shared-resource topology",
+    )
+    derive.add_argument(
+        "--per-resource",
+        action="store_true",
+        help="run the resource-generic measured-bound pipeline: one measured "
+        "ubdm term per shared resource of the topology (selected from the "
+        "rsk registry), sandwich-checked against the analytical terms and "
+        "composed into an end-to-end measured bound",
+    )
+    derive.add_argument(
+        "--stress-iterations",
+        type=int,
+        default=40,
+        help="loop iterations of each per-resource stressing kernel "
+        "(--per-resource only)",
     )
 
     synchrony = subparsers.add_parser(
@@ -177,8 +193,69 @@ def _preset_config(args: argparse.Namespace):
     return config
 
 
+def _run_per_resource_derive(args: argparse.Namespace, config) -> int:
+    """The ``derive-ubd --per-resource`` path: the measured-bound pipeline."""
+    pipeline = MeasuredBoundPipeline(
+        config,
+        instruction_type=args.instruction_type,
+        k_max=args.k_max,
+        iterations=args.iterations,
+        stress_iterations=args.stress_iterations,
+    )
+    report = pipeline.run()
+    print(
+        f"Platform: {args.preset} (topology {report.topology}; analytical "
+        f"end-to-end bound {report.end_to_end_analytical} cycles)"
+    )
+    print()
+    print("Measured per-resource bounds (observed <= ubdm <= analytical):")
+    rows = []
+    for term in report.terms.values():
+        rows.append(
+            [
+                term.resource,
+                term.observed_worst_case,
+                term.ubdm,
+                term.analytical,
+                term.method,
+                term.sandwich.status,
+            ]
+        )
+    print(
+        render_table(
+            ["resource", "observed", "ubdm", "analytical", "method", "check"], rows
+        )
+    )
+    print()
+    print(
+        f"End-to-end measured bound: {report.end_to_end_ubdm} cycles "
+        f"(analytical envelope {report.end_to_end_analytical}; the bus "
+        f"saw-tooth alone gives {report.bus_methodology.ubdm})"
+    )
+    if report.memory_split is not None:
+        print(f"Memory term split: {report.memory_split.summary()}")
+    print()
+    if report.write_burst is not None:
+        status = "PASS" if report.write_burst.passed else "FAIL"
+        print(f"[{status}] {report.write_burst.name}: {report.write_burst.detail}")
+    print(report.bus_methodology.confidence.summary())
+    if args.show_sweep:
+        print()
+        print(
+            render_series(
+                report.bus_methodology.ks,
+                report.bus_methodology.dbus_values,
+                "k",
+                "dbus",
+            )
+        )
+    return 0 if report.passed else 1
+
+
 def _run_derive_ubd(args: argparse.Namespace) -> int:
     config = _preset_config(args)
+    if args.per_resource:
+        return _run_per_resource_derive(args, config)
     estimator = UbdEstimator(
         config,
         instruction_type=args.instruction_type,
@@ -231,6 +308,8 @@ def _run_synchrony(args: argparse.Namespace) -> int:
     print()
     print(f"Observed plateau (naive ubdm): {histogram.mode} cycles "
           f"(det/nr = {naive.ubdm:.1f}); analytical ubd = {config.ubd} cycles")
+    burst = assess_write_burst(config, contended.result.pmc)
+    print(f"[{'PASS' if burst.passed else 'FAIL'}] {burst.name}: {burst.detail}")
     if args.decompose:
         decomposition = latency_decomposition(contended.trace, 0)
         print()

@@ -565,6 +565,13 @@ class ArchConfig:
             "bus_transfer": self.bus.transfer_latency,
             "lbus": self.bus_service_l2_hit,
             "ubd": self.ubd,
+            # Per-resource analytical decomposition, None where the
+            # fair-round reasoning does not apply (mirrors the campaign
+            # summaries' analytical_ubd: null convention).
+            "ubd_terms": dict(self.ubd_terms) if self.has_composable_bounds else None,
+            "end_to_end_ubd": (
+                self.end_to_end_ubd if self.has_composable_bounds else None
+            ),
             "store_buffer_entries": self.store_buffer.entries,
         }
 

@@ -4,7 +4,9 @@
   per-core address regions) used to construct kernels that systematically
   miss in the DL1 and hit in the L2, as Section 2 of the paper prescribes.
 * :mod:`repro.kernels.rsk` — the resource-stressing kernels: ``rsk(t)``,
-  ``rsk-nop(t, k)`` and the nop-only kernel used to derive ``delta_nop``.
+  ``rsk-nop(t, k)``, the nop-only kernel used to derive ``delta_nop``, the
+  bank-conflict and response-channel stressors, and the rsk registry mapping
+  every ``ubd_terms`` resource to its worst-case generator.
 * :mod:`repro.kernels.synthetic` — the EEMBC-Autobench substitute: a suite of
   automotive-flavoured synthetic programs with realistic, irregular bus
   access patterns.
@@ -12,10 +14,17 @@
 
 from .layout import CoreAddressSpace, same_bank_same_set_addresses, same_set_addresses
 from .rsk import (
+    RSK_REGISTRY,
+    RskEntry,
     build_bank_conflict_rsk,
     build_nop_kernel,
+    build_response_conflict_rsk,
     build_rsk,
     build_rsk_nop,
+    build_stress_contender_set,
+    register_rsk,
+    registered_rsks,
+    rsk_for_resource,
     rsk_request_count,
 )
 from .synthetic import (
@@ -27,13 +36,20 @@ from .synthetic import (
 
 __all__ = [
     "CoreAddressSpace",
+    "RSK_REGISTRY",
+    "RskEntry",
     "SYNTHETIC_KERNELS",
     "SyntheticKernelSpec",
     "build_bank_conflict_rsk",
     "build_nop_kernel",
+    "build_response_conflict_rsk",
     "build_rsk",
     "build_rsk_nop",
+    "build_stress_contender_set",
     "build_synthetic_kernel",
+    "register_rsk",
+    "registered_rsks",
+    "rsk_for_resource",
     "rsk_request_count",
     "same_set_addresses",
     "same_bank_same_set_addresses",

@@ -13,16 +13,39 @@ Three generators are provided, mirroring Figure 1 and Section 4 of the paper:
 * :func:`build_nop_kernel` — a loop containing only nop instructions, used to
   measure ``delta_nop`` (execution time divided by the number of nops).
 
+On multi-resource topologies every shared resource needs its *own*
+worst-case generator — the whole premise of the measured-bound methodology
+is that the stressing kernel saturates the resource being bounded.  The
+**rsk registry** (:data:`RSK_REGISTRY`, one more instance of the shared
+:class:`repro.registry.Registry`) maps each ``ArchConfig.ubd_terms``
+resource name to the kernel that drives that resource to its worst case:
+
+* ``bus`` — :func:`build_rsk` (every access hits the L2, saturating the
+  arbitrated demand channel);
+* ``memory`` — :func:`build_bank_conflict_rsk` (every access misses both
+  cache levels and all cores collide on one DRAM bank queue);
+* ``bus_response`` — :func:`build_response_conflict_rsk` (every access
+  misses both cache levels but each core hammers its *own* bank, so DRAM
+  services overlap and the returning data piles up on the response
+  channel).
+
+The measured-bound pipeline (:mod:`repro.methodology.ubd`) selects kernels
+purely through this registry, so a new topology whose ``ubd_terms`` entry
+names a registered resource gets a measured bound without touching the
+methodology layer.
+
 All generators return :class:`repro.sim.isa.Program` objects placed in the
 private address region of the target core.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import ArchConfig
-from ..errors import ProgramError
+from ..errors import MethodologyError, ProgramError
+from ..registry import Registry
 from ..sim.isa import INSTRUCTION_BYTES, Alu, Instruction, Load, Nop, Program, Store
 from .layout import (
     core_address_space,
@@ -183,6 +206,189 @@ def build_bank_conflict_rsk(
         iterations=iterations,
         base_pc=core_address_space(core_id).code_base,
     )
+
+
+def build_response_conflict_rsk(
+    config: ArchConfig,
+    core_id: int,
+    kind: str = "load",
+    iterations: Optional[int] = None,
+    loop_control_overhead: int = 0,
+) -> Program:
+    """Build the response-channel stressor: every access misses DL1 *and* L2,
+    each core targets its **own** DRAM bank, and the access pattern mixes
+    row hits into the row misses so the data returns *cluster*.
+
+    Stressing the response channel is harder than stressing a bank queue:
+    an in-order core blocks on its demand miss, so the whole platform runs
+    closed-loop — requests are serialised by the request channel, every
+    access takes the same (row-miss) DRAM service, and the responses come
+    back locked to the same phase offsets, never contending.  Two
+    ingredients break the lock:
+
+    * **row-hit jitter** — every bank-conflict address is paired with a
+      second conflict group one cache line over: the partner lands in the
+      *same DRAM row* (an immediate row hit) but its own DL1/L2 sets (so it
+      still misses both caches).  Alternating row-miss and row-hit services
+      makes each core's response timing jitter by the hit/miss latency
+      difference.
+    * **per-core period skew** — core ``c`` replays its first ``c``
+      row-miss addresses at the end of the loop, so no two cores share a
+      loop period and their response phases drift through every offset,
+      including the collisions where returns from different banks are ready
+      in the same cycle.
+
+    On ``split_bus`` this is the registered worst-case generator for the
+    ``bus_response`` term: with at most one pending response per port, a
+    fair round of ``Nc - 1`` response occupancies is exactly what the
+    analytical term bounds, and the drifting phases drive the channel's
+    observed grant waits toward it.
+
+    Args:
+        config: target platform.
+        core_id: core the kernel will run on; also selects its DRAM bank
+            (``core_id % num_banks``) and its period skew.
+        kind: ``"load"`` or ``"store"`` — the access type.
+        iterations: loop iterations; ``None`` builds an infinite contender.
+        loop_control_overhead: see :func:`build_rsk`.
+    """
+    count = max(config.dl1.ways, len(config.l2_ways_for_core(core_id))) + 1
+    addresses = same_bank_same_set_addresses(
+        config, count, core_id=core_id, target_bank=core_id % config.dram.num_banks
+    )
+    line = config.dl1.line_size
+    body: List[Instruction] = []
+    for addr in addresses:
+        body.append(_memory_instruction(kind, addr))
+        # Same row (one line over), own DL1/L2 conflict group: a guaranteed
+        # cache miss that the open row serves fast — the jitter source.
+        body.append(_memory_instruction(kind, addr + line))
+    for index in range(core_id):
+        body.append(_memory_instruction(kind, addresses[index % count]))
+    if loop_control_overhead > 0:
+        body.append(Alu(latency=loop_control_overhead))
+    return Program(
+        name=f"rsk-response-{kind}[core{core_id}]",
+        body=tuple(body),
+        iterations=iterations,
+        base_pc=core_address_space(core_id).code_base,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The rsk registry: resource name -> worst-case stressing kernel.
+# --------------------------------------------------------------------------- #
+
+#: Builder signature shared by every registered stressing kernel:
+#: ``(config, core_id, kind, iterations) -> Program`` with ``iterations=None``
+#: building an infinite contender.
+RskBuilder = Callable[[ArchConfig, int, str, Optional[int]], Program]
+
+
+@dataclass(frozen=True)
+class RskEntry:
+    """One registered resource-stressing kernel."""
+
+    resource: str
+    builder: RskBuilder
+    description: str = ""
+
+    def build(
+        self,
+        config: ArchConfig,
+        core_id: int,
+        kind: str = "load",
+        iterations: Optional[int] = None,
+    ) -> Program:
+        """Build the kernel for ``core_id`` (``iterations=None`` = infinite)."""
+        return self.builder(config, core_id, kind, iterations)
+
+
+#: Resource name (an ``ArchConfig.ubd_terms`` key) -> registered stressor.
+RSK_REGISTRY: Registry[RskEntry] = Registry("resource-stressing kernel")
+
+
+def register_rsk(
+    resource: str, description: str = ""
+) -> Callable[[RskBuilder], RskBuilder]:
+    """Decorator registering a stressing-kernel builder for ``resource``.
+
+    Re-registering a resource is a configuration error: two runs of the
+    measured-bound pipeline on identical configurations must never stress a
+    resource with different kernels.
+    """
+
+    def decorator(builder: RskBuilder) -> RskBuilder:
+        RSK_REGISTRY.register(
+            resource,
+            RskEntry(resource=resource, builder=builder, description=description),
+        )
+        return builder
+
+    return decorator
+
+
+def registered_rsks() -> Tuple[str, ...]:
+    """Resources with a registered stressing kernel, in registration order."""
+    return RSK_REGISTRY.names()
+
+
+def rsk_for_resource(resource: str) -> RskEntry:
+    """The stressing kernel registered for ``resource``.
+
+    Raises :class:`~repro.errors.ConfigurationError` (naming the registered
+    alternatives) for resources without a worst-case generator — a topology
+    whose ``ubd_terms`` introduce a new resource must register one before the
+    pipeline can measure it.
+    """
+    return RSK_REGISTRY.require(resource)
+
+
+def build_stress_contender_set(
+    config: ArchConfig,
+    resource: str,
+    scua_core: int,
+    kind: str = "load",
+) -> Dict[int, Program]:
+    """One infinite stressing kernel per core other than ``scua_core``.
+
+    The per-resource analogue of
+    :func:`repro.methodology.experiment.build_contender_set`: the contenders
+    are drawn from the rsk registry, so they drive ``resource`` — not just
+    the bus — to its worst case.
+    """
+    if not 0 <= scua_core < config.num_cores:
+        raise MethodologyError(f"scua core {scua_core} does not exist")
+    entry = rsk_for_resource(resource)
+    return {
+        core: entry.build(config, core, kind=kind, iterations=None)
+        for core in range(config.num_cores)
+        if core != scua_core
+    }
+
+
+@register_rsk("bus", "L2-hitting rsk saturating the arbitrated demand channel")
+def _bus_rsk(
+    config: ArchConfig, core_id: int, kind: str, iterations: Optional[int]
+) -> Program:
+    return build_rsk(config, core_id, kind=kind, iterations=iterations)
+
+
+@register_rsk("memory", "bank-conflict rsk serialising every core on one DRAM bank queue")
+def _memory_rsk(
+    config: ArchConfig, core_id: int, kind: str, iterations: Optional[int]
+) -> Program:
+    return build_bank_conflict_rsk(config, core_id, kind=kind, iterations=iterations)
+
+
+@register_rsk(
+    "bus_response",
+    "per-core-bank rsk overlapping DRAM services to pile returns on the response channel",
+)
+def _response_rsk(
+    config: ArchConfig, core_id: int, kind: str, iterations: Optional[int]
+) -> Program:
+    return build_response_conflict_rsk(config, core_id, kind=kind, iterations=iterations)
 
 
 def build_nop_kernel(

@@ -3,9 +3,12 @@
 * :mod:`repro.methodology.experiment` — running a software component under
   analysis (scua) in isolation and against contender kernels, and measuring
   execution-time differences.
-* :mod:`repro.methodology.ubd` — the rsk-nop methodology of Section 4: sweep
+* :mod:`repro.methodology.ubd` — the rsk-nop methodology of Section 4 (sweep
   the nop count, measure ``dbus(t, k)``, detect the saw-tooth period and
-  report ``ubdm`` together with its confidence checks.
+  report ``ubdm`` together with its confidence checks) plus the
+  resource-generic measured-bound pipeline that derives one measured
+  ``ubdm`` term per shared resource of the configured topology and
+  cross-checks each against its analytical envelope.
 * :mod:`repro.methodology.naive` — the prior-art estimator (execution-time
   increase divided by the number of requests) that the paper shows to
   underestimate ``ubd``.
@@ -24,7 +27,13 @@ from .experiment import (
     IsolationMeasurement,
     build_contender_set,
 )
-from .ubd import UbdEstimator, UbdMethodologyResult
+from .ubd import (
+    MeasuredBoundPipeline,
+    MeasuredBoundReport,
+    ResourceUbdm,
+    UbdEstimator,
+    UbdMethodologyResult,
+)
 from .naive import NaiveEstimate, NaiveUbdEstimator
 from .etb import EtbReport, compute_etb, mbta_padding
 from .composition import (
@@ -49,8 +58,11 @@ __all__ = [
     "EtbReport",
     "ExperimentRunner",
     "IsolationMeasurement",
+    "MeasuredBoundPipeline",
+    "MeasuredBoundReport",
     "NaiveEstimate",
     "NaiveUbdEstimator",
+    "ResourceUbdm",
     "TaskAnalysis",
     "TaskSetAnalysis",
     "TaskSetResult",

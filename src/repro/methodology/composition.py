@@ -18,9 +18,13 @@ delay terms that sum**:
 
 The analytical terms live on the configuration
 (:attr:`repro.config.ArchConfig.ubd_terms`) because they are pure functions
-of the platform parameters; this module turns them into execution-time
-bounds the MBTA way (Section 4.3 of the paper): each term pads every request
-that *visits* the resource, so
+of the platform parameters; the *measured* terms come from the
+resource-generic pipeline
+(:class:`repro.methodology.ubd.MeasuredBoundPipeline`), whose
+:meth:`~repro.methodology.ubd.MeasuredBoundReport.compose` feeds them
+through the same :func:`compose_etb` below — the composition rules are
+term-source agnostic.  Either way each term pads every request that
+*visits* the resource, the MBTA way (Section 4.3 of the paper):
 
 ``etb = isolation + nr_bus * bound(bus) + nr_mem * (bound(memory) + bound(bus_response))``
 

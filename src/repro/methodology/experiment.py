@@ -40,11 +40,19 @@ class IsolationMeasurement:
         """Bus requests issued by the scua (``nr`` in the paper)."""
         return self.bus_requests
 
+    @property
+    def memory_requests(self) -> int:
+        """Requests that missed the L2 and reached the memory stage
+        (``nr_mem``: the subset paying the memory-stage terms when a
+        per-resource bound is composed)."""
+        return self.result.pmc.dram_accesses
+
     def as_record(self) -> Dict[str, int]:
         """JSON-serialisable summary (the shape campaign artifacts embed)."""
         return {
             "execution_time": self.execution_time,
             "bus_requests": self.bus_requests,
+            "memory_requests": self.memory_requests,
             "instructions": self.instructions,
         }
 

@@ -88,6 +88,18 @@ class MemCtrlStats:
             return 0.0
         return self.total_queue_wait / self.queue_grants
 
+    def as_dict(self) -> dict:
+        """Flat dictionary view (the memory stage's PMC section, as read by
+        the measured-bound pipeline and embedded in reports)."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "total_read_latency": self.total_read_latency,
+            "queue_grants": self.queue_grants,
+            "total_queue_wait": self.total_queue_wait,
+            "max_queue_wait": self.max_queue_wait,
+        }
+
 
 class MemoryController(EventPort):
     """FIFO memory controller with bank-aware DRAM timing.

@@ -47,11 +47,19 @@ class CoreCounters:
 class ResourceCounters:
     """Counters kept for one shared-resource channel (``bus``,
     ``bus_response``, ...): the per-channel PMC surface of split-transaction
-    topologies."""
+    topologies.
+
+    ``max_wait`` is the worst grant wait any single transaction suffered on
+    the channel — the per-resource worst case the measured-bound pipeline
+    (:mod:`repro.methodology.ubd`) reads as that resource's ``ubdm``
+    candidate.  Unlike the per-request trace it covers *every* port, so it
+    upper-bounds the observed core's own worst wait.
+    """
 
     requests: int = 0
     busy_cycles: int = 0
     wait_cycles: int = 0
+    max_wait: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Flat dictionary view used by reports."""
@@ -59,6 +67,7 @@ class ResourceCounters:
             "requests": self.requests,
             "busy_cycles": self.busy_cycles,
             "wait_cycles": self.wait_cycles,
+            "max_wait": self.max_wait,
         }
 
 
@@ -110,6 +119,8 @@ class PerformanceCounters:
         channel.requests += 1
         channel.busy_cycles += service_cycles
         channel.wait_cycles += wait_cycles
+        if wait_cycles > channel.max_wait:
+            channel.max_wait = wait_cycles
         if 0 <= port < self.num_cores:
             counters = self.core[port]
             counters.bus_requests += 1

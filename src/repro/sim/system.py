@@ -39,7 +39,7 @@ from .bus import BusRequest
 from .core import Core, CoreState
 from .isa import Program
 from .l2 import PartitionedL2
-from .memctrl import PendingRead
+from .memctrl import MemCtrlStats, PendingRead
 from .pmc import PerformanceCounters
 from .scheduler import make_engine
 from .topology import TopologyHooks, build_topology
@@ -59,6 +59,9 @@ class SystemResult:
             the cores that finished (``None`` for infinite/ idle cores).
         instructions: per-core retired instruction counts.
         pmc: the performance counter block (bus utilisation, request counts).
+        memctrl_stats: the memory controller's counter surface (queue waits,
+            read latencies) — the per-resource PMC section the measured-bound
+            pipeline reads the ``memory`` stage's worst case from.
         trace: the request trace, if recording was enabled.
         timed_out: True when the run stopped at ``max_cycles`` instead of at
             program completion.
@@ -68,6 +71,7 @@ class SystemResult:
     done_cycles: List[Optional[int]]
     instructions: List[int]
     pmc: PerformanceCounters
+    memctrl_stats: Optional[MemCtrlStats] = None
     trace: Optional[TraceRecorder] = None
     timed_out: bool = False
 
@@ -341,6 +345,7 @@ class System:
             done_cycles=[core.done_cycle for core in self.cores],
             instructions=[core.instructions_retired for core in self.cores],
             pmc=self.pmc,
+            memctrl_stats=self.memctrl.stats,
             trace=self.trace if self.trace.enabled else None,
             timed_out=timed_out,
         )

@@ -102,3 +102,80 @@ class TestReportRendering:
         assert "[PASS] a" in summary
         assert "[FAIL] b" in summary
         assert not report.passed
+
+
+class TestWriteBurstGate:
+    """The PMC gate on the memory term's <=1-outstanding-write assumption."""
+
+    @staticmethod
+    def _pmc(num_cores, cycles, stores_per_core):
+        from repro.sim.pmc import PerformanceCounters
+
+        pmc = PerformanceCounters(num_cores=num_cores)
+        pmc.cycles = cycles
+        for core, stores in enumerate(stores_per_core):
+            pmc.core[core].stores = stores
+        return pmc
+
+    def test_passes_without_memory_queues(self):
+        from repro.analysis.confidence import assess_write_burst
+        from repro.config import small_config
+
+        config = small_config()
+        pmc = self._pmc(3, 100, [90, 0, 0])
+        check = assess_write_burst(config, pmc)
+        assert check.passed
+        assert "no arbitrated memory stage" in check.detail
+
+    def test_flags_bursty_writes_on_chained_topology(self):
+        from repro.analysis.confidence import assess_write_burst
+        from repro.config import TopologyConfig, small_config
+
+        config = small_config(topology=TopologyConfig(name="bus_bank_queues"))
+        # One store every other cycle refills a bank (row-miss service 33)
+        # far faster than it drains, and the 8-entry buffer can hold the burst.
+        pmc = self._pmc(3, 100, [50, 0, 0])
+        check = assess_write_burst(config, pmc)
+        assert not check.passed
+        assert "under-bounds" in check.detail
+        assert check.name == "write_burst"
+
+    def test_passes_with_single_entry_store_buffer(self):
+        from repro.analysis.confidence import assess_write_burst
+        from repro.config import StoreBufferConfig, TopologyConfig, small_config
+
+        config = small_config(
+            topology=TopologyConfig(name="bus_bank_queues"),
+            store_buffer=StoreBufferConfig(entries=1),
+        )
+        pmc = self._pmc(3, 100, [50, 0, 0])
+        assert assess_write_burst(config, pmc).passed
+
+    def test_passes_for_low_write_rates(self):
+        from repro.analysis.confidence import assess_write_burst
+        from repro.config import TopologyConfig, small_config
+
+        config = small_config(topology=TopologyConfig(name="bus_bank_queues"))
+        # One store per 100 cycles: a bank drains long before the next write.
+        pmc = self._pmc(3, 1000, [10, 0, 0])
+        assert assess_write_burst(config, pmc).passed
+
+    def test_real_store_stress_run_is_flagged(self):
+        """A store rsk hammering one bank through the chained topology is the
+        configuration the gate exists for: write bursts pile more than
+        Nc - 1 accesses onto the bank queue."""
+        from repro.analysis.confidence import assess_write_burst
+        from repro.config import TopologyConfig, small_config
+        from repro.kernels.rsk import build_bank_conflict_rsk
+        from repro.methodology.experiment import ExperimentRunner
+
+        config = small_config(topology=TopologyConfig(name="bus_bank_queues"))
+        runner = ExperimentRunner(config, preload_l2=False, preload_il1=True)
+        scua = build_bank_conflict_rsk(config, 0, kind="store", iterations=40)
+        contenders = {
+            core: build_bank_conflict_rsk(config, core, kind="store", iterations=None)
+            for core in range(1, config.num_cores)
+        }
+        contended = runner.run_contended(scua, contenders)
+        check = assess_write_burst(config, contended.result.pmc)
+        assert not check.passed, check.detail

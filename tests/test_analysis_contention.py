@@ -8,6 +8,7 @@ from repro.analysis.contention import (
     DECOMPOSITION_STAGES,
     ContenderHistogram,
     ContentionHistogram,
+    LatencyDecomposition,
     contender_histogram,
     contention_histogram,
     injection_time_histogram,
@@ -266,3 +267,100 @@ class TestLatencyDecomposition:
         assert decomposition.totals["memory"] == system.memctrl.stats.total_queue_wait
         # DRAM service is bounded by the row-miss latency per access.
         assert decomposition.max_observed("dram") <= config.dram.row_miss_latency
+
+
+class TestMemoryTermSplit:
+    def test_split_reads_queue_and_service_histograms(self):
+        from repro.analysis.contention import memory_term_split
+
+        decomposition = LatencyDecomposition(
+            observed_core=0,
+            total_requests=4,
+            memory_requests=3,
+            histograms={
+                "bus": {2: 4},
+                "memory": {10: 2, 30: 1},
+                "dram": {15: 1, 33: 2},
+                "bus_response": {0: 3},
+            },
+            totals={"bus": 8, "memory": 50, "dram": 81, "bus_response": 0},
+        )
+        split = memory_term_split(decomposition)
+        assert split.memory_requests == 3
+        assert split.queue_wait_max == 30
+        assert split.queue_wait_total == 50
+        assert split.service_max == 33
+        assert split.service_total == 81
+        assert split.queue_wait_mean == pytest.approx(50 / 3)
+        assert split.service_mean == pytest.approx(81 / 3)
+        assert "queue wait max 30" in split.summary()
+
+    def test_empty_stages_split_to_zero(self):
+        from repro.analysis.contention import memory_term_split
+
+        decomposition = LatencyDecomposition(
+            observed_core=0,
+            total_requests=2,
+            memory_requests=0,
+            histograms={"bus": {1: 2}},
+            totals={"bus": 2},
+        )
+        split = memory_term_split(decomposition)
+        assert split.queue_wait_max == 0
+        assert split.service_max == 0
+        assert split.queue_wait_total == 0
+
+
+class TestCrossCheckStageBounds:
+    def test_sandwich_passes_when_measured_between(self):
+        from repro.analysis.contention import cross_check_stage_bounds
+
+        result = cross_check_stage_bounds(
+            observed={"bus": 5, "memory": 60},
+            measured={"bus": 6, "memory": 61},
+            analytical={"bus": 6, "memory": 84},
+        )
+        assert result.passed
+        assert [c.resource for c in result.checks] == ["bus", "memory"]
+        assert "OK" in result.summary()
+
+    def test_not_covering_fails(self):
+        from repro.analysis.contention import cross_check_stage_bounds
+
+        result = cross_check_stage_bounds(
+            observed={"bus": 9}, measured={"bus": 6}, analytical={"bus": 10}
+        )
+        assert not result.passed
+        (check,) = result.failed_checks()
+        assert not check.covers_observation
+        assert check.within_envelope
+        assert "NOT COVERING" in check.summary()
+
+    def test_exceeding_envelope_fails(self):
+        from repro.analysis.contention import cross_check_stage_bounds
+
+        result = cross_check_stage_bounds(
+            observed={"bus": 5}, measured={"bus": 12}, analytical={"bus": 10}
+        )
+        assert not result.passed
+        (check,) = result.failed_checks()
+        assert check.covers_observation
+        assert not check.within_envelope
+        assert "EXCEEDS ENVELOPE" in check.summary()
+
+    def test_unobserved_stage_defaults_to_zero(self):
+        from repro.analysis.contention import cross_check_stage_bounds
+
+        result = cross_check_stage_bounds(
+            observed={}, measured={"bus_response": 1}, analytical={"bus_response": 2}
+        )
+        assert result.passed
+        assert result.checks[0].observed_worst_case == 0
+
+    def test_measured_term_without_analytical_counterpart_rejected(self):
+        from repro.analysis.contention import cross_check_stage_bounds
+
+        with pytest.raises(AnalysisError):
+            cross_check_stage_bounds(
+                observed={}, measured={"crossbar": 3}, analytical={"bus": 6}
+            )

@@ -427,3 +427,77 @@ class TestArtifacts:
         assert "rsk reference workloads" in text
         assert "contenders=" in text
         assert "simulated" in text
+
+
+# --------------------------------------------------------------------------- #
+# Schema 4: per-resource measured-bound fields.
+# --------------------------------------------------------------------------- #
+
+
+class TestPerResourceArtifacts:
+    """SCHEMA_VERSION 4: rsk records and summaries carry the per-resource
+    observed worst cases next to the analytical terms, and the fields
+    round-trip through the JSON artifacts."""
+
+    @pytest.fixture(scope="class")
+    def split_bus_outcome(self):
+        spec = CampaignSpec(
+            presets=("small",),
+            topologies=("split_bus",),
+            num_workloads=1,
+            iterations=4,
+            rsk_iterations=20,
+        )
+        return ParallelRunner(jobs=1).run(spec.expand())
+
+    def test_schema_version_is_4(self, split_bus_outcome):
+        from repro.campaign.spec import SCHEMA_VERSION
+
+        assert SCHEMA_VERSION == 4
+        assert all(r["schema"] == 4 for r in split_bus_outcome.records)
+
+    def test_rsk_records_carry_stage_worst_cases(self, split_bus_outcome):
+        record = next(r for r in split_bus_outcome.records if r["kind"] == "rsk")
+        metrics = record["metrics"]
+        config = config_from_dict(record["config"])
+        assert "stage_worst_case" in metrics
+        # The campaign's rsk reference runs are L2-preloaded, so only the
+        # bus stage sees traffic — and its worst case obeys the bus term.
+        assert metrics["stage_worst_case"]["bus"] <= config.ubd_terms["bus"]
+        assert metrics["memory_requests"] == 0
+        assert metrics["isolation"]["memory_requests"] == 0
+
+    def test_summary_buckets_carry_analytical_terms(self, split_bus_outcome):
+        summary = split_bus_outcome.summary()
+        (bucket,) = summary["per_platform"].values()
+        assert bucket["analytical_terms"] == {
+            "bus": 6,
+            "memory": 84,
+            "bus_response": 2,
+        }
+        assert bucket["end_to_end_ubd"] == 92
+        assert bucket["rsk"]["stage_worst_case"]["bus"] <= 6
+
+    def test_per_resource_fields_round_trip(self, split_bus_outcome, tmp_path):
+        artifacts = write_campaign_artifacts(split_bus_outcome, tmp_path / "c")
+        records, summary = load_campaign(artifacts.directory)
+        assert records == list(split_bus_outcome.records)
+        record = next(r for r in records if r["kind"] == "rsk")
+        assert record["metrics"]["stage_worst_case"] == {
+            "bus": record["metrics"]["stage_worst_case"]["bus"]
+        }
+        (bucket,) = summary["per_platform"].values()
+        assert bucket["analytical_terms"]["bus_response"] == 2
+
+    def test_unfair_arbiter_buckets_report_no_terms(self):
+        spec = CampaignSpec(
+            presets=("small",),
+            arbiters=("fixed_priority",),
+            num_workloads=1,
+            iterations=4,
+            rsk_iterations=20,
+        )
+        outcome = ParallelRunner(jobs=1).run(spec.expand())
+        (bucket,) = outcome.summary()["per_platform"].values()
+        assert bucket["analytical_terms"] is None
+        assert bucket["analytical_ubd"] is None

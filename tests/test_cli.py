@@ -194,3 +194,72 @@ class TestCommands:
         _, warm_summary = load_campaign(tmp_path / "campaign")
         assert warm_summary["timing"]["simulated"] == 0
         assert warm_summary["timing"]["cached"] == 3
+
+
+class TestPerResourceCli:
+    def test_derive_ubd_per_resource_on_split_bus(self, capsys):
+        exit_code = main(
+            [
+                "--preset",
+                "small",
+                "derive-ubd",
+                "--topology",
+                "split_bus",
+                "--per-resource",
+                "--k-max",
+                "14",
+                "--iterations",
+                "15",
+                "--stress-iterations",
+                "30",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        # One measured term per resource of the three-stage chain.
+        for resource in ("bus", "memory", "bus_response"):
+            assert resource in output
+        assert "End-to-end measured bound" in output
+        assert "Memory term split" in output
+        assert "write_burst" in output
+        assert "[PASS] bus_saturation" in output
+
+    def test_per_resource_on_bus_only_degenerates_to_bus_term(self, capsys):
+        exit_code = main(
+            [
+                "--preset",
+                "small",
+                "derive-ubd",
+                "--per-resource",
+                "--k-max",
+                "14",
+                "--iterations",
+                "15",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "rsk-nop saw-tooth" in output
+        assert "memory" not in output.split("End-to-end")[0]
+
+    def test_per_resource_refuses_store_traffic(self, capsys):
+        exit_code = main(
+            [
+                "--preset",
+                "small",
+                "derive-ubd",
+                "--topology",
+                "bus_bank_queues",
+                "--per-resource",
+                "--instruction-type",
+                "store",
+            ]
+        )
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_synchrony_reports_write_burst_gate(self, capsys):
+        exit_code = main(["--preset", "small", "synchrony", "--iterations", "40"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "write_burst" in output

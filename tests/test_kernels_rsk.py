@@ -217,3 +217,103 @@ class TestBuildBankConflictRsk:
         stats = system.memctrl.stats
         assert stats.queue_grants > 0
         assert 0 < stats.max_queue_wait <= config.ubd_terms["memory"]
+
+
+class TestRskRegistry:
+    """The resource -> worst-case-stressor registry the measured-bound
+    pipeline selects kernels from."""
+
+    def test_built_in_resources_registered(self):
+        from repro.kernels.rsk import registered_rsks
+
+        assert registered_rsks() == ("bus", "memory", "bus_response")
+
+    def test_entries_build_the_expected_kernels(self):
+        from repro.kernels.rsk import rsk_for_resource
+
+        config = small_config()
+        assert rsk_for_resource("bus").build(config, 0, iterations=5).name.startswith(
+            "rsk-load"
+        )
+        assert rsk_for_resource("memory").build(config, 1).name.startswith("rsk-bank")
+        assert rsk_for_resource("bus_response").build(config, 2).name.startswith(
+            "rsk-response"
+        )
+
+    def test_unknown_resource_names_alternatives(self):
+        from repro.errors import ConfigurationError
+        from repro.kernels.rsk import rsk_for_resource
+
+        with pytest.raises(ConfigurationError, match="bus_response"):
+            rsk_for_resource("crossbar")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.kernels.rsk import register_rsk
+
+        with pytest.raises(ConfigurationError):
+            register_rsk("bus")(lambda config, core, kind, iterations: None)
+
+    def test_stress_contender_set_covers_other_cores(self):
+        from repro.kernels.rsk import build_stress_contender_set
+
+        config = small_config()
+        contenders = build_stress_contender_set(config, "memory", scua_core=1)
+        assert set(contenders) == {0, 2}
+        assert all(program.is_infinite for program in contenders.values())
+
+    def test_stress_contender_set_validates_core(self):
+        from repro.errors import MethodologyError
+        from repro.kernels.rsk import build_stress_contender_set
+
+        with pytest.raises(MethodologyError):
+            build_stress_contender_set(small_config(), "bus", scua_core=7)
+
+
+class TestBuildResponseConflictRsk:
+    def test_every_access_misses_both_cache_levels(self):
+        """Both conflict groups exceed the DL1 ways and the core's L2
+        partition, so the kernel sustains DRAM traffic like the bank rsk."""
+        from repro.kernels.rsk import build_response_conflict_rsk
+
+        config = small_config()
+        program = build_response_conflict_rsk(config, 0, iterations=1)
+        addresses = [i.addr for i in program.body if isinstance(i, Load)]
+        dl1 = config.dl1
+        sets = {(addr // dl1.line_size) % dl1.num_sets for addr in addresses}
+        # Two conflict groups: the bank-conflict set and its one-line-over
+        # partner set.
+        assert len(sets) == 2
+
+    def test_per_core_banks_and_period_skew(self):
+        from repro.kernels.rsk import build_response_conflict_rsk
+
+        config = small_config()
+        lengths = []
+        for core in range(config.num_cores):
+            program = build_response_conflict_rsk(config, core, iterations=1)
+            addresses = [i.addr for i in program.body if isinstance(i, Load)]
+            row = config.dram.row_size_bytes
+            banks = {(addr // row) % config.dram.num_banks for addr in addresses}
+            assert banks == {core % config.dram.num_banks}
+            lengths.append(len(program.body))
+        # Core c replays c extra addresses: no two cores share a loop period.
+        assert lengths == sorted(set(lengths))
+
+    def test_same_row_partner_is_one_line_over(self):
+        from repro.kernels.rsk import build_response_conflict_rsk
+
+        config = small_config()
+        program = build_response_conflict_rsk(config, 0, iterations=1)
+        addresses = [i.addr for i in program.body if isinstance(i, Load)]
+        row = config.dram.row_size_bytes
+        # The paired accesses land in the same DRAM row.
+        assert addresses[1] == addresses[0] + config.line_size
+        assert addresses[0] // row == addresses[1] // row
+
+    def test_store_variant_supported(self):
+        from repro.kernels.rsk import build_response_conflict_rsk
+
+        program = build_response_conflict_rsk(small_config(), 0, kind="store")
+        assert program.is_infinite
+        assert all(isinstance(i, Store) for i in program.body)

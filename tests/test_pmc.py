@@ -89,3 +89,21 @@ class TestPerformanceCounters:
         assert data["cycles"] == 10
         assert len(data["cores"]) == 2
         assert "bus_utilisation" in data
+
+
+class TestResourceMaxWait:
+    def test_max_wait_tracks_worst_transaction(self):
+        pmc = PerformanceCounters(num_cores=2)
+        pmc.note_bus_service(port=0, service_cycles=9, wait_cycles=4)
+        pmc.note_bus_service(port=1, service_cycles=9, wait_cycles=11)
+        pmc.note_bus_service(port=0, service_cycles=9, wait_cycles=2)
+        channel = pmc.resources["bus"]
+        assert channel.max_wait == 11
+        assert channel.as_dict()["max_wait"] == 11
+
+    def test_max_wait_is_per_channel(self):
+        pmc = PerformanceCounters(num_cores=2)
+        pmc.note_bus_service(port=0, service_cycles=3, wait_cycles=7)
+        pmc.note_bus_service(port=0, service_cycles=3, wait_cycles=2, resource="bus_response")
+        assert pmc.resources["bus"].max_wait == 7
+        assert pmc.resources["bus_response"].max_wait == 2
