@@ -47,8 +47,12 @@ class TestHarness:
         assert entry["name"] == TINY.name
         assert entry["cycles"] > 0
         assert entry["engines"]["stepped"]["cycles"] == entry["engines"]["event"]["cycles"]
+        assert entry["engines"]["stepped"]["cycles"] == entry["engines"]["codegen"]["cycles"]
         assert entry["speedup"] > 0
+        assert entry["speedups"]["event"] == entry["speedup"]
+        assert entry["speedups"]["codegen"] > 0
         assert payload["summary"]["min_speedup"] == entry["speedup"]
+        assert set(payload["summary"]["engines"]) == {"event", "codegen"}
 
     def test_payload_is_json_serialisable(self, payload):
         rebuilt = json.loads(json.dumps(payload))
@@ -113,6 +117,15 @@ class TestCompareGate:
         slightly = copy.deepcopy(payload)
         slightly["workloads"][0]["speedup"] *= 0.9
         assert compare_payloads(payload, slightly, max_regression=0.15).ok
+
+    def test_codegen_speedup_metric_gates_the_generated_loop(self, payload):
+        """The codegen leg of the perf job gates entry["speedups"]["codegen"]
+        — a regression of the generated loop must fail even when the event
+        engine's legacy speedup scalar is untouched."""
+        slower = copy.deepcopy(payload)
+        slower["workloads"][0]["speedups"]["codegen"] *= 0.5
+        assert compare_payloads(payload, slower, metric="codegen_speedup").ok is False
+        assert compare_payloads(payload, slower, metric="speedup").ok
 
     def test_missing_workload_fails(self, payload):
         empty = copy.deepcopy(payload)

@@ -18,8 +18,11 @@ from typing import Dict, List, Sequence
 
 from .harness import BENCH_SCHEMA_VERSION
 
-#: Metrics the gate can check.
-METRICS = ("speedup", "cycles_per_sec")
+#: Metrics the gate can check.  ``speedup`` is the event engine vs the
+#: stepped oracle; ``codegen_speedup`` gates the generated-loop engine the
+#: same host-independent way; ``cycles_per_sec`` (event engine) is only
+#: meaningful when both payloads come from the same machine.
+METRICS = ("speedup", "codegen_speedup", "cycles_per_sec")
 
 
 @dataclass
@@ -55,6 +58,8 @@ def load_payload(path) -> Dict[str, object]:
 def _metric_of(entry: Dict[str, object], metric: str) -> float:
     if metric == "speedup":
         return float(entry["speedup"])
+    if metric == "codegen_speedup":
+        return float(entry["speedups"]["codegen"])
     if metric == "cycles_per_sec":
         return float(entry["engines"]["event"]["cycles_per_sec"])
     raise ValueError(f"unknown metric {metric!r}; available: {list(METRICS)}")

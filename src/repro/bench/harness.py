@@ -3,10 +3,11 @@
 A :class:`BenchWorkload` describes one contended rsk run — the hot path
 every campaign, methodology sweep and figure regeneration spends its time
 in — on one platform preset and arbiter.  :func:`run_benchmarks` executes
-each workload once per engine, checks that both engines simulated the exact
-same number of cycles (a cheap standing equivalence guard on top of the
-property tests) and reports wall-clock, cycles/sec and the event engine's
-speedup over the stepped oracle.
+each workload once per registered engine (``stepped``, ``event`` and
+``codegen``), checks that every engine simulated the exact same number of
+cycles as the stepped oracle (a cheap standing equivalence guard on top of
+the property tests) and reports wall-clock, cycles/sec and each fast
+engine's speedup over the oracle.
 """
 
 from __future__ import annotations
@@ -24,8 +25,9 @@ from ..sim.system import System
 
 #: Version stamp embedded in BENCH_*.json; bump when the payload layout or
 #: the meaning of a metric changes, so the compare gate never misreads a
-#: stale baseline.
-BENCH_SCHEMA_VERSION = 1
+#: stale baseline.  v2: entries gain a per-engine ``speedups`` mapping and
+#: the summary a per-engine ``engines`` section (the codegen engine).
+BENCH_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -213,31 +215,38 @@ def run_benchmarks(
     repeats: int = 2,
     rev: str = "local",
 ) -> Dict[str, object]:
-    """Time ``workloads`` on both engines and return the BENCH payload.
+    """Time ``workloads`` on every registered engine and return the payload.
 
     Each engine is run ``repeats`` times per workload and the best wall
     time is kept (first-run noise on shared CI machines would otherwise
-    dominate).  Both engines must simulate the same cycle count for every
-    workload — a mismatch means the event engine broke cycle-exactness and
-    is reported as an error rather than a slow result.
+    dominate).  Every engine must simulate the same cycle count as the
+    stepped oracle for every workload — a mismatch means a fast engine
+    broke cycle-exactness and is reported as an error rather than a slow
+    result.
     """
     entries: List[Dict[str, object]] = []
     for workload in workloads:
         engines: Dict[str, Dict[str, float]] = {}
         for engine in ENGINES:
             engines[engine] = _time_engine(workload, engine, quick, repeats)
-        if engines["stepped"]["cycles"] != engines["event"]["cycles"]:
-            raise SimulationError(
-                f"{workload.name}: engines disagree on the cycle count "
-                f"(stepped {engines['stepped']['cycles']}, "
-                f"event {engines['event']['cycles']}); the event engine is "
-                "no longer cycle-exact"
+        oracle = engines["stepped"]
+        for engine, timing in engines.items():
+            if timing["cycles"] != oracle["cycles"]:
+                raise SimulationError(
+                    f"{workload.name}: engines disagree on the cycle count "
+                    f"(stepped {oracle['cycles']}, {engine} "
+                    f"{timing['cycles']}); the {engine} engine is no longer "
+                    "cycle-exact"
+                )
+        speedups = {
+            engine: (
+                timing["cycles_per_sec"] / oracle["cycles_per_sec"]
+                if oracle["cycles_per_sec"]
+                else 0.0
             )
-        speedup = (
-            engines["event"]["cycles_per_sec"] / engines["stepped"]["cycles_per_sec"]
-            if engines["stepped"]["cycles_per_sec"]
-            else 0.0
-        )
+            for engine, timing in engines.items()
+            if engine != "stepped"
+        }
         entries.append(
             {
                 "name": workload.name,
@@ -250,7 +259,10 @@ def run_benchmarks(
                 "iterations": workload.quick_iterations if quick else workload.iterations,
                 "cycles": engines["event"]["cycles"],
                 "engines": engines,
-                "speedup": speedup,
+                # Legacy scalar kept for continuity of the default gate
+                # (event vs stepped); per-engine ratios live in "speedups".
+                "speedup": speedups["event"],
+                "speedups": speedups,
             }
         )
     return {
@@ -264,23 +276,43 @@ def run_benchmarks(
     }
 
 
+def _geomean(values: Sequence[float]) -> float:
+    if not values:
+        return 1.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
 def _summarize(entries: Sequence[Dict[str, object]]) -> Dict[str, object]:
-    speedups = [entry["speedup"] for entry in entries if entry["speedup"] > 0]
-    geomean = 1.0
-    if speedups:
-        product = 1.0
-        for value in speedups:
-            product *= value
-        geomean = product ** (1.0 / len(speedups))
     default = next(
         (entry for entry in entries if entry["name"] == DEFAULT_WORKLOAD), None
     )
+    per_engine: Dict[str, Dict[str, object]] = {}
+    engine_names = entries[0]["speedups"].keys() if entries else ()
+    for engine in engine_names:
+        values = [
+            entry["speedups"][engine]
+            for entry in entries
+            if entry["speedups"][engine] > 0
+        ]
+        per_engine[engine] = {
+            "geomean_speedup": _geomean(values),
+            "min_speedup": min(values) if values else 0.0,
+            "max_speedup": max(values) if values else 0.0,
+            "default_speedup": default["speedups"][engine] if default else None,
+        }
+    event = per_engine.get("event", {})
     return {
-        "geomean_speedup": geomean,
-        "min_speedup": min(speedups) if speedups else 0.0,
-        "max_speedup": max(speedups) if speedups else 0.0,
+        # Legacy top-level keys mirror the event engine (the original
+        # schema-v1 meaning); per-engine numbers live under "engines".
+        "geomean_speedup": event.get("geomean_speedup", 1.0),
+        "min_speedup": event.get("min_speedup", 0.0),
+        "max_speedup": event.get("max_speedup", 0.0),
         "default_workload": DEFAULT_WORKLOAD,
-        "default_speedup": default["speedup"] if default else None,
+        "default_speedup": event.get("default_speedup"),
+        "engines": per_engine,
     }
 
 
@@ -290,24 +322,27 @@ def render_report(payload: Dict[str, object]) -> str:
         f"rev {payload['rev']}  (quick={payload['quick']}, repeats={payload['repeats']}, "
         f"python {payload['python']})",
         f"{'workload':28s} {'cycles':>10s} {'stepped kc/s':>13s} "
-        f"{'event kc/s':>11s} {'speedup':>8s}",
+        f"{'event kc/s':>11s} {'codegen kc/s':>13s} {'event x':>8s} {'codegen x':>10s}",
     ]
     for entry in payload["workloads"]:
         stepped = entry["engines"]["stepped"]["cycles_per_sec"] / 1e3
         event = entry["engines"]["event"]["cycles_per_sec"] / 1e3
+        codegen = entry["engines"]["codegen"]["cycles_per_sec"] / 1e3
         lines.append(
             f"{entry['name']:28s} {entry['cycles']:>10d} {stepped:>13.0f} "
-            f"{event:>11.0f} {entry['speedup']:>7.2f}x"
+            f"{event:>11.0f} {codegen:>13.0f} {entry['speedups']['event']:>7.2f}x "
+            f"{entry['speedups']['codegen']:>9.2f}x"
         )
     summary = payload["summary"]
-    line = (
-        f"geomean {summary['geomean_speedup']:.2f}x, "
-        f"min {summary['min_speedup']:.2f}x, max {summary['max_speedup']:.2f}x"
-    )
-    if summary["default_speedup"] is not None:
-        line += (
-            f"; default ({summary['default_workload']}) "
-            f"{summary['default_speedup']:.2f}x"
+    for engine, stats in summary["engines"].items():
+        line = (
+            f"{engine} speedup: geomean {stats['geomean_speedup']:.2f}x, "
+            f"min {stats['min_speedup']:.2f}x, max {stats['max_speedup']:.2f}x"
         )
-    lines.append(line)
+        if stats["default_speedup"] is not None:
+            line += (
+                f"; default ({summary['default_workload']}) "
+                f"{stats['default_speedup']:.2f}x"
+            )
+        lines.append(line)
     return "\n".join(lines)

@@ -70,8 +70,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine",
         choices=registered_engines(),
         default="event",
-        help="simulation engine: the event-driven fast path or the stepped "
-        "cycle-by-cycle oracle; both are cycle-exact (default: event)",
+        help="simulation engine: the event-driven fast path, the codegen "
+        "engine (a loop generated for the configured topology chain and "
+        "arbiter set, falling back to the event engine on unknown registry "
+        "entries) or the stepped cycle-by-cycle oracle; all are cycle-exact "
+        "(default: event)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 

@@ -71,8 +71,11 @@ _known_arbitrations = registry_backed_names(
 #: path that skips the clock to the next component horizon.  Both are
 #: cycle-exact: they produce identical traces, PMC counts and delay
 #: histograms, so the engine choice is a pure speed knob and never
-#: participates in result digests.
-ENGINES = ("stepped", "event")
+#: participates in result digests.  ``"codegen"`` compiles a loop
+#: specialised to the configured topology chain and arbiter set
+#: (:mod:`repro.sim.codegen`) and falls back to ``"event"`` for registered
+#: entries the generator does not know.
+ENGINES = ("stepped", "event", "codegen")
 
 
 #: Names accepted by ``ArchConfig.engine`` (see :data:`_known_arbitrations`).

@@ -13,7 +13,11 @@ queues, or the NGMP-style split request/response bus pair.
 Arbitration policies, simulation engines and topologies are all
 registry-backed (``register_arbiter`` / ``register_engine`` /
 ``register_topology``), so new ones plug in without editing the simulator
-core.
+core.  Three engines ship built in: the stepped cycle-by-cycle oracle, the
+generic event-driven fast path (:mod:`repro.sim.scheduler`) and the
+``codegen`` engine (:mod:`repro.sim.codegen`), which compiles a run loop
+specialised to the configured topology chain and arbiter set and falls
+back to the event engine for anything it cannot specialise.
 
 The top-level entry point is :class:`repro.sim.system.System`.
 """
@@ -33,6 +37,16 @@ from .arbiter import (
 )
 from .bus import Bus, BusRequest
 from .cache import CacheStats, SetAssociativeCache
+from .codegen import (
+    CodegenEngine,
+    CodegenMismatch,
+    CompiledLoop,
+    UnspecialisableError,
+    compile_loop,
+    generate_loop_source,
+    loop_cache_key,
+    specialisation_mismatch,
+)
 from .core import Core
 from .dram import Dram
 from .l2 import PartitionedL2
@@ -67,6 +81,9 @@ __all__ = [
     "Bus",
     "BusRequest",
     "CacheStats",
+    "CodegenEngine",
+    "CodegenMismatch",
+    "CompiledLoop",
     "Core",
     "Dram",
     "ENGINE_REGISTRY",
@@ -96,8 +113,12 @@ __all__ = [
     "TdmaArbiter",
     "TopologyHooks",
     "TraceRecorder",
+    "UnspecialisableError",
     "build_topology",
+    "compile_loop",
     "create_arbiter",
+    "generate_loop_source",
+    "loop_cache_key",
     "make_arbiter",
     "make_engine",
     "min_horizon",
@@ -105,6 +126,7 @@ __all__ = [
     "register_engine",
     "register_topology",
     "registered_arbiters",
+    "specialisation_mismatch",
     "registered_engines",
     "registered_topologies",
 ]

@@ -273,7 +273,19 @@ class Bus(EventPort):
         winner = self.arbiter.choose(cycle, pending_ports, ready_cycles)
         if winner < 0:
             return None  # TDMA: no eligible slot owner this cycle
-        request = self._queues[winner].popleft()
+        return self._grant_port(winner, cycle)
+
+    def _grant_port(self, port: int, cycle: int) -> BusRequest:
+        """Grant the head request of ``port`` and start its occupancy.
+
+        The winner-independent half of :meth:`arbitrate`: queue bookkeeping,
+        occupancy timing, trace/PMC stamps and the arbiter grant notification.
+        Shared with the generated loops of :mod:`repro.sim.codegen`, whose
+        specialised selection logic picks ``port`` and then delegates here so
+        the grant side effects cannot drift between engines.  ``port`` must
+        hold a ready request on a free channel.
+        """
+        request = self._queues[port].popleft()
         self._queued_total -= 1
         self._horizon_dirty = True
         request.grant_cycle = cycle
@@ -288,7 +300,7 @@ class Bus(EventPort):
         if request.record is not None:
             request.record.grant_cycle = cycle
             request.record.service_cycles = request.service_cycles
-        self.arbiter.notify_grant(cycle, winner)
+        self.arbiter.notify_grant(cycle, port)
         return request
 
     # ------------------------------------------------------------------ #

@@ -320,3 +320,8 @@ register_engine("stepped", "cycle-by-cycle oracle loop (reference semantics)")(
 register_engine(
     "event", "event-driven fast path: jump the clock to the min component horizon"
 )(EventScheduler)
+
+# The codegen engine registers itself on import; importing it here keeps the
+# built-in registration order (stepped, event, codegen) deterministic for
+# every consumer of the registry, mirroring repro.config.ENGINES.
+from . import codegen as _codegen  # noqa: E402,F401  (registration side effect)

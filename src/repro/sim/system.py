@@ -307,9 +307,10 @@ class System:
             skip_ahead: legacy engine switch kept for backwards
                 compatibility — ``True`` selects the event engine, ``False``
                 the stepped oracle.  Prefer ``engine``.
-            engine: ``"stepped"`` or ``"event"``; ``None`` uses
-                ``config.engine``.  Both engines are cycle-exact (see
-                :mod:`repro.sim.scheduler`), so this only changes speed.
+            engine: ``"stepped"``, ``"event"`` or ``"codegen"``; ``None``
+                uses ``config.engine``.  Every engine is cycle-exact (see
+                :mod:`repro.sim.scheduler` and :mod:`repro.sim.codegen`),
+                so this only changes speed.
         """
         if observed_cores is None:
             observed_cores = [

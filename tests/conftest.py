@@ -19,6 +19,22 @@ from repro.sim.isa import Program
 from repro.sim.system import System, SystemResult
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regen",
+        action="store_true",
+        default=False,
+        help="rewrite golden snapshot files (e.g. the generated-loop sources "
+        "under tests/goldens/) instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def regen(request: pytest.FixtureRequest) -> bool:
+    """True when the run should refresh golden snapshots (``--regen``)."""
+    return bool(request.config.getoption("--regen"))
+
+
 @pytest.fixture
 def ref_config() -> ArchConfig:
     """The paper's reference 4-core NGMP-like platform."""

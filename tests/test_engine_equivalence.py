@@ -1,11 +1,20 @@
-"""Stepped vs event engine equivalence (the scheduler's oracle contract).
+"""Three-way engine equivalence (the scheduler's oracle contract).
 
-The event engine's whole value proposition is that it is *cycle-exact*: it
-must produce the same execution times, PMC counts, request traces and delay
-histograms as the stepped oracle, only faster.  These tests check that
-contract deterministically for all four arbiters and both rsk flavours, and
-property-test it (hypothesis) across random platform geometries, programs
-and preload combinations.
+The fast engines' whole value proposition is that they are *cycle-exact*:
+the event engine and the per-chain generated loops of the ``codegen``
+engine must produce the same execution times, PMC counts (including the
+per-resource sections), request traces (every stamp, including the
+memory-stage and response-channel timings) and delay histograms as the
+stepped oracle, only faster.  These tests check that contract
+deterministically for all four arbiters on all three topologies and both
+rsk flavours, and property-test it (hypothesis) across random platform
+geometries, programs and preload combinations.
+
+The codegen engine gets the generate→test→regenerate treatment: on a
+mismatch the harness recompiles the loop from scratch, re-runs it with the
+self-checking diagnostics variant (which cross-checks every inlined
+decision against the generic resource methods), and fails with the
+offending generated source attached — see :func:`_check_codegen`.
 """
 
 from __future__ import annotations
@@ -29,8 +38,13 @@ from repro.config import (
 from repro.errors import AnalysisError
 from repro.kernels.rsk import build_rsk
 from repro.methodology.experiment import build_contender_set
+from repro.sim import codegen as codegen_mod
+from repro.sim.codegen import CodegenMismatch
 from repro.sim.isa import Alu, Load, Nop, Program, Store
 from repro.sim.system import System
+
+#: Every engine under the oracle contract, oracle first.
+ENGINES_UNDER_TEST = ("stepped", "event", "codegen")
 
 
 def _trace_tuples(result):
@@ -41,12 +55,20 @@ def _trace_tuples(result):
             record.port,
             record.kind,
             record.addr,
+            record.resource,
+            record.origin_core,
             record.ready_cycle,
             record.grant_cycle,
             record.complete_cycle,
             record.service_cycles,
             record.contenders_at_ready,
             record.bus_busy_at_ready,
+            record.mem_ready_cycle,
+            record.mem_grant_cycle,
+            record.mem_complete_cycle,
+            record.response_ready_cycle,
+            record.response_grant_cycle,
+            record.response_complete_cycle,
         )
         for record in result.trace.records
     ]
@@ -63,13 +85,56 @@ def _observable_state(result) -> Dict[str, object]:
     }
 
 
+def _check_codegen(config, build_system, observed, max_cycles, oracle_state):
+    """The regenerate-with-diagnostics pass of the codegen harness.
+
+    Called when the generated loop's observable state diverged from the
+    oracle's.  Recompiles the loop from scratch (so a stale compile-cache
+    entry cannot mask — or cause — the divergence), re-runs the fresh loop,
+    then runs the self-checking diagnostics variant, and fails with the
+    generated source attached either way.
+    """
+    codegen_mod.regenerate(config)
+    retry = build_system().run(
+        observed_cores=observed, max_cycles=max_cycles, engine="codegen"
+    )
+    retry_matches = _observable_state(retry) == oracle_state
+    diag_loop = codegen_mod.regenerate(config, diagnostics=True)
+    diag_note = "diagnostics re-run found no divergent inline decision"
+    try:
+        diag_loop.run(build_system(), list(observed), max_cycles)
+    except CodegenMismatch as exc:
+        diag_note = f"diagnostics: {exc}"
+    pytest.fail(
+        "codegen engine diverged from the stepped oracle"
+        + (
+            " (a freshly regenerated loop agrees — stale compile cache?)"
+            if retry_matches
+            else " (regenerating did not help)"
+        )
+        + f"\n{diag_note}\n--- generated source ---\n{diag_loop.source}"
+    )
+
+
 def _run_both(config, programs, observed, trace=True, max_cycles=2_000_000, **kwargs):
+    """Run every engine and assert three-way observable equivalence.
+
+    Keeps its historical name from the two-engine days; it now drives the
+    full :data:`ENGINES_UNDER_TEST` differential and returns all outcomes.
+    """
+
+    def build_system():
+        return System(config, list(programs), trace=trace, **kwargs)
+
     outcomes = {}
-    for engine in ("stepped", "event"):
-        system = System(config, list(programs), trace=trace, **kwargs)
-        outcomes[engine] = system.run(
+    for engine in ENGINES_UNDER_TEST:
+        outcomes[engine] = build_system().run(
             observed_cores=observed, max_cycles=max_cycles, engine=engine
         )
+    oracle_state = _observable_state(outcomes["stepped"])
+    assert _observable_state(outcomes["event"]) == oracle_state
+    if _observable_state(outcomes["codegen"]) != oracle_state:
+        _check_codegen(config, build_system, observed, max_cycles, oracle_state)
     return outcomes
 
 
@@ -99,7 +164,8 @@ class TestAllArbitersEquivalent:
                     histograms[engine] = contention_histogram(outcome.trace, 0).counts
                 except AnalysisError:
                     histograms[engine] = None
-            assert histograms["stepped"] == histograms["event"]
+            assert histograms["event"] == histograms["stepped"]
+            assert histograms["codegen"] == histograms["stepped"]
 
     def test_dram_path_is_identical(self):
         # No preloading: every miss walks the full controller + DRAM path.
@@ -170,7 +236,8 @@ class TestChainedTopologyEquivalent:
                     histograms[engine] = contention_histogram(outcome.trace, 0).counts
                 except AnalysisError:
                     histograms[engine] = None
-            assert histograms["stepped"] == histograms["event"]
+            assert histograms["event"] == histograms["stepped"]
+            assert histograms["codegen"] == histograms["stepped"]
 
     @pytest.mark.parametrize("mem_arbiter", ARBITRATION_POLICIES)
     def test_every_bank_queue_arbiter_under_round_robin_bus(self, mem_arbiter):
@@ -232,7 +299,8 @@ class TestSplitBusEquivalent:
                     histograms[engine] = contention_histogram(outcome.trace, 0).counts
                 except AnalysisError:
                     histograms[engine] = None
-            assert histograms["stepped"] == histograms["event"]
+            assert histograms["event"] == histograms["stepped"]
+            assert histograms["codegen"] == histograms["stepped"]
 
     @pytest.mark.parametrize("response_arbiter", ARBITRATION_POLICIES)
     def test_every_response_arbiter_under_round_robin_requests(self, response_arbiter):

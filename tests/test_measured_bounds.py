@@ -10,7 +10,10 @@ decomposition.  These tests pin the contract:
   arbiter: observed worst case <= measured ``ubdm`` <= analytical term;
 * **the differential oracle** — on ``bus_only`` the pipeline reproduces the
   legacy bus-only ``UbdEstimator`` result exactly;
-* **engine parity** — both simulation engines produce identical reports;
+* **engine parity** — every simulation engine (the stepped oracle, the
+  event engine and the codegen generated loops) produces identical reports,
+  and the sandwich holds when the pipeline's stress runs themselves execute
+  on a fast engine;
 * **composition** — the measured terms compose into an end-to-end bound via
   ``methodology/composition.py`` under the same MBTA rules as the
   analytical ones;
@@ -36,6 +39,9 @@ from repro.methodology.ubd import (
 
 TOPOLOGIES = ("bus_only", "bus_bank_queues", "split_bus")
 FAIR_ARBITERS = ("round_robin", "fifo")
+#: The fast engines the pipeline's stage checks are repeated on (the
+#: stepped oracle is covered by TestEngineParity's differential).
+FAST_ENGINES = ("event", "codegen")
 
 #: Shared saw-tooth parameters: k_max covers two periods of the small
 #: platform's ubd (6), keeping the sweep deterministic and fast.
@@ -66,10 +72,11 @@ def report_for(
 
 
 class TestPerResourceSandwich:
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
     @pytest.mark.parametrize("arbiter", FAIR_ARBITERS)
     @pytest.mark.parametrize("topology", TOPOLOGIES)
-    def test_every_term_measured_and_sandwiched(self, topology, arbiter):
-        config, report = report_for(topology, arbiter)
+    def test_every_term_measured_and_sandwiched(self, topology, arbiter, engine):
+        config, report = report_for(topology, arbiter, engine)
         assert set(report.terms) == set(config.ubd_terms)
         for resource, term in report.terms.items():
             assert term.covers_observation, term.summary()
@@ -172,17 +179,18 @@ class TestLegacyOracle:
 
 
 class TestEngineParity:
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
     @pytest.mark.parametrize("topology", ["bus_bank_queues", "split_bus"])
-    def test_engines_produce_identical_reports(self, topology):
-        _, event = report_for(topology, engine="event")
+    def test_engines_produce_identical_reports(self, topology, engine):
+        _, fast = report_for(topology, engine=engine)
         _, stepped = report_for(topology, engine="stepped")
-        assert event.measured_terms == stepped.measured_terms
-        for resource in event.terms:
+        assert fast.measured_terms == stepped.measured_terms
+        for resource in fast.terms:
             assert (
-                event.terms[resource].as_record()
+                fast.terms[resource].as_record()
                 == stepped.terms[resource].as_record()
             )
-        assert event.end_to_end_ubdm == stepped.end_to_end_ubdm
+        assert fast.end_to_end_ubdm == stepped.end_to_end_ubdm
 
 
 # --------------------------------------------------------------------------- #
