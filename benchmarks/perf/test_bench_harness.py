@@ -172,9 +172,7 @@ class TestCli:
         assert artifact.is_file()
         payload = load_payload(artifact)
         assert payload["workloads"][0]["name"] == "ref/round_robin/load"
-        code = bench_main(
-            ["compare", str(artifact), str(artifact), "--max-regression", "0.15"]
-        )
+        code = bench_main(["compare", str(artifact), str(artifact), "--max-regression", "0.15"])
         assert code == 0
         out = capsys.readouterr().out
         assert "PASS" in out

@@ -34,9 +34,7 @@ def platform_with_l1_latency(latency: int):
         num_cores=4,
         il1=CacheConfig(size_bytes=1024, ways=2, hit_latency=latency),
         dl1=CacheConfig(size_bytes=1024, ways=2, hit_latency=latency),
-        l2=L2Config(
-            cache=CacheConfig(size_bytes=32 * 1024, ways=4, line_size=32, hit_latency=2)
-        ),
+        l2=L2Config(cache=CacheConfig(size_bytes=32 * 1024, ways=4, line_size=32, hit_latency=2)),
     )
 
 

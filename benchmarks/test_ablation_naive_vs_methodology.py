@@ -36,7 +36,9 @@ def run_comparison(iterations: int):
         estimate = naive.estimate(scua)
         naive_rows.append([name, estimate.requests, f"{estimate.ubdm:.2f}"])
 
-    methodology = UbdEstimator(config, k_max=2 * config.ubd + 6, iterations=max(15, iterations // 2)).run()
+    methodology = UbdEstimator(
+        config, k_max=2 * config.ubd + 6, iterations=max(15, iterations // 2)
+    ).run()
 
     # ETB comparison for one task padded with each bound.
     runner = ExperimentRunner(config)

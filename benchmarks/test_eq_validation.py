@@ -49,7 +49,9 @@ def run_validation(iterations: int):
         scua = build_rsk(config, 0, iterations=iterations)
         contended = runner.run_against_rsk(scua, trace=True)
         plateau = contention_histogram(contended.trace, 0).mode
-        estimator = UbdEstimator(config, k_max=2 * config.ubd + 4, iterations=max(10, iterations // 3))
+        estimator = UbdEstimator(
+            config, k_max=2 * config.ubd + 4, iterations=max(10, iterations // 3)
+        )
         ubdm = estimator.run().ubdm
         rows.append(
             [

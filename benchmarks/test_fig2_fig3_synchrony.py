@@ -65,7 +65,5 @@ def test_fig2_fig3_gamma_versus_delta(benchmark, artifact_dir, quick_mode):
     assert max(gammas) == ubd - 1
     assert min(gammas) == 0
 
-    table = render_table(
-        ["delta", "gamma (Eq. 2)", "gamma (timeline)", "gamma (simulated)"], rows
-    )
+    table = render_table(["delta", "gamma (Eq. 2)", "gamma (timeline)", "gamma (simulated)"], rows)
     write_artifact(artifact_dir, "fig2_fig3_gamma_vs_delta.txt", table)

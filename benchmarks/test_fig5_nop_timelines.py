@@ -36,7 +36,13 @@ def measure(iterations: int = 25):
         histogram = contention_histogram(contended.trace, 0)
         delta = config.expected_rsk_injection_time + k
         rows.append(
-            [k, delta, gamma_of_delta(delta, config.ubd), histogram.mode, round(histogram.fraction_at_mode(), 3)]
+            [
+                k,
+                delta,
+                gamma_of_delta(delta, config.ubd),
+                histogram.mode,
+                round(histogram.fraction_at_mode(), 3),
+            ]
         )
     return rows
 

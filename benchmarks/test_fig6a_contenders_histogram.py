@@ -23,9 +23,7 @@ from repro.report.tables import render_table
 from .conftest import write_artifact
 
 
-def run_campaigns(
-    num_workloads: int, observed_iterations: int, rsk_iterations: int, runner
-):
+def run_campaigns(num_workloads: int, observed_iterations: int, rsk_iterations: int, runner):
     config = reference_config()
     eembc_like = run_workload_campaign(
         config,

@@ -188,9 +188,7 @@ def assess_write_burst(
                 f"{config.topology.name!r}; the memory term does not apply"
             ),
         )
-    burst_possible = depth > 1 and (
-        full_stalls > 0 or store_rate * service > 1.0
-    )
+    burst_possible = depth > 1 and (full_stalls > 0 or store_rate * service > 1.0)
     detail = (
         f"worst per-core store rate {store_rate:.3f}/cycle x row-miss service "
         f"{service} cycles = {store_rate * service:.2f} writes per bank service, "

@@ -155,9 +155,7 @@ def contender_histogram(
     kinds = kinds if kinds is not None else ("load", "store", "ifetch")
     records = list(trace.for_port(observed_core, kinds))
     if not records:
-        raise AnalysisError(
-            f"trace holds no {list(kinds)} requests for core {observed_core}"
-        )
+        raise AnalysisError(f"trace holds no {list(kinds)} requests for core {observed_core}")
     selected = records[skip_first:] if skip_first < len(records) else records
     counts = Counter(record.contenders_at_ready for record in selected)
     return ContenderHistogram(

@@ -224,9 +224,7 @@ def synchrony_timeline(
         if grant is not None and len(intervals) >= rounds * num_cores:
             break
     if grant is None:
-        raise AnalysisError(
-            f"timeline search did not reach delta={delta}; increase rounds"
-        )
+        raise AnalysisError(f"timeline search did not reach delta={delta}; increase rounds")
     contention = grant - ready
     return {
         "ubd": ubd,

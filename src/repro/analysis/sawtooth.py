@@ -53,9 +53,7 @@ class PeriodEstimate:
 
     def summary(self) -> str:
         """One-line human readable summary."""
-        methods = ", ".join(
-            f"{name}={value}" for name, value in sorted(self.per_method.items())
-        )
+        methods = ", ".join(f"{name}={value}" for name, value in sorted(self.per_method.items()))
         return (
             f"period={self.period_k} k-steps ({self.period_cycles} cycles), "
             f"agreement={self.agreement:.0%} [{methods}]"
@@ -198,9 +196,7 @@ class SawtoothAnalyzer:
             consensus = per_method["exact"]
         else:
             consensus = int(np.median(np.asarray(successful)))
-        agreeing = sum(
-            1 for value in successful if abs(value - consensus) <= self.spacing
-        )
+        agreeing = sum(1 for value in successful if abs(value - consensus) <= self.spacing)
         agreement = agreeing / len(successful)
         return PeriodEstimate(
             period_k=consensus,

@@ -1,0 +1,310 @@
+"""Verdicts, findings and the machine-readable ``flags.json`` schema.
+
+An audit evaluates a platform (or a finished campaign) along named *quality
+dimensions* — the measured-bound sandwich, the write-burst gate, engine
+equivalence, and so on.  Every dimension produces structured
+:class:`Finding`\\ s, each with one of three verdicts:
+
+* ``pass`` — the check ran and the property holds;
+* ``warn`` — the check could not establish the property (an analytical side
+  of a sandwich is undefined, a gate flagged an assumption, a measurement
+  was not applicable) but nothing *observed* contradicts it;
+* ``fail`` — an observed quantity contradicts a bound or an invariant
+  (a measured term not covering its observation, diverging engines, a
+  campaign artifact whose records disagree with its summary).
+
+Verdicts aggregate by worst case: a dimension's verdict is the worst of its
+findings, the audit's verdict is the worst of its dimensions, and the CLI
+exit code is the verdict's position in :data:`VERDICT_ORDER` (0/1/2) so CI
+can gate on ``fail`` while still surfacing ``warn``.
+
+The whole report serialises to a versioned ``flags.json``
+(:meth:`AuditReport.to_dict` / :func:`report_from_dict` round-trip, pinned
+by tier-1 tests); bump :data:`FLAGS_SCHEMA_VERSION` whenever a field changes
+meaning so downstream consumers never misread stale artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+from ..errors import AuditError
+
+#: Version stamp embedded in every ``flags.json``; bump on any change to the
+#: payload layout or to the meaning of a verdict.
+FLAGS_SCHEMA_VERSION = 1
+
+#: The three verdicts, ordered best to worst; the index doubles as the CLI
+#: exit code (0 = pass, 1 = warn, 2 = fail).
+VERDICT_ORDER: Tuple[str, ...] = ("pass", "warn", "fail")
+
+VERDICT_PASS = "pass"
+VERDICT_WARN = "warn"
+VERDICT_FAIL = "fail"
+
+#: File names an audit writes into its output directory.
+FLAGS_NAME = "flags.json"
+REPORT_NAME = "report.html"
+
+
+def _require_verdict(verdict: str) -> str:
+    if verdict not in VERDICT_ORDER:
+        raise AuditError(f"unknown verdict {verdict!r}; expected one of {list(VERDICT_ORDER)}")
+    return verdict
+
+
+def worst_verdict(verdicts: Iterable[str]) -> str:
+    """The worst verdict of ``verdicts`` (``pass`` for an empty iterable)."""
+    worst = 0
+    for verdict in verdicts:
+        worst = max(worst, VERDICT_ORDER.index(_require_verdict(verdict)))
+    return VERDICT_ORDER[worst]
+
+
+def exit_code_for(verdict: str) -> int:
+    """Map a verdict to the audit CLI's exit code (0 / 1 / 2)."""
+    return VERDICT_ORDER.index(_require_verdict(verdict))
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One named check inside a dimension, with its verdict and evidence.
+
+    Attributes:
+        check: short machine-stable identifier of the check (unique inside
+            its dimension).
+        verdict: ``pass`` / ``warn`` / ``fail``.
+        detail: one-line human readable explanation.
+        evidence: JSON-serialisable payload backing the verdict (observed
+            vs measured vs analytical values, burst rates, fallback
+            reasons, ...).  Shapes are per-check and documented in
+            ``DESIGN.md`` ("Audit dimensions").
+    """
+
+    check: str
+    verdict: str
+    detail: str
+    evidence: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require_verdict(self.verdict)
+
+    def as_record(self) -> Dict[str, object]:
+        """JSON-serialisable view (the shape ``flags.json`` embeds)."""
+        return {
+            "check": self.check,
+            "verdict": self.verdict,
+            "detail": self.detail,
+            "evidence": dict(self.evidence),
+        }
+
+
+@dataclass(frozen=True)
+class DimensionResult:
+    """Outcome of one audit dimension.
+
+    Attributes:
+        name: the dimension's registered name.
+        title: human readable heading used by the HTML report.
+        findings: the dimension's checks, in evaluation order.
+        tables: optional evidence tables for the report —
+            ``(title, headers, rows)`` triples rendered through
+            :func:`repro.report.tables.render_table`.
+        histograms: optional evidence histograms —
+            ``(title, label, counts)`` triples rendered through
+            :func:`repro.report.histogram.render_histogram`.
+    """
+
+    name: str
+    title: str
+    findings: Tuple[Finding, ...]
+    tables: Tuple[Tuple[str, Tuple[str, ...], Tuple[Tuple[str, ...], ...]], ...] = ()
+    histograms: Tuple[Tuple[str, str, Dict[int, int]], ...] = ()
+
+    @property
+    def verdict(self) -> str:
+        """Worst verdict across the dimension's findings."""
+        return worst_verdict(finding.verdict for finding in self.findings)
+
+    def as_record(self) -> Dict[str, object]:
+        """JSON-serialisable view (the shape ``flags.json`` embeds)."""
+        return {
+            "name": self.name,
+            "title": self.title,
+            "verdict": self.verdict,
+            "findings": [finding.as_record() for finding in self.findings],
+            "tables": [
+                {"title": title, "headers": list(headers), "rows": [list(r) for r in rows]}
+                for title, headers, rows in self.tables
+            ],
+            "histograms": [
+                {
+                    "title": title,
+                    "label": label,
+                    "counts": {str(k): counts[k] for k in sorted(counts)},
+                }
+                for title, label, counts in self.histograms
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """A complete audit: the target, plus one result per dimension.
+
+    Attributes:
+        target: what was audited — ``kind`` (``preset`` / ``config`` /
+            ``campaign``), ``name`` and, for file targets, ``path``.
+        dimensions: dimension results in evaluation order.
+    """
+
+    target: Dict[str, object]
+    dimensions: Tuple[DimensionResult, ...]
+
+    @property
+    def verdict(self) -> str:
+        """Worst verdict across every dimension."""
+        return worst_verdict(dimension.verdict for dimension in self.dimensions)
+
+    @property
+    def exit_code(self) -> int:
+        """The CLI exit code for this audit (0 pass / 1 warn / 2 fail)."""
+        return exit_code_for(self.verdict)
+
+    def dimension(self, name: str) -> DimensionResult:
+        """The result of dimension ``name`` (:class:`AuditError` if absent)."""
+        for dimension in self.dimensions:
+            if dimension.name == name:
+                return dimension
+        raise AuditError(
+            f"audit has no dimension {name!r}; "
+            f"present: {[d.name for d in self.dimensions]}"
+        )
+
+    def failed_findings(self) -> List[Finding]:
+        """Every finding whose verdict is ``fail``, across all dimensions."""
+        return [
+            finding
+            for dimension in self.dimensions
+            for finding in dimension.findings
+            if finding.verdict == VERDICT_FAIL
+        ]
+
+    def to_dict(self) -> Dict[str, object]:
+        """The versioned ``flags.json`` payload."""
+        return {
+            "schema": FLAGS_SCHEMA_VERSION,
+            "tool": "repro-bounds audit",
+            "target": dict(self.target),
+            "verdict": self.verdict,
+            "exit_code": self.exit_code,
+            "dimensions": [dimension.as_record() for dimension in self.dimensions],
+        }
+
+
+def _finding_from_record(record: Mapping[str, object]) -> Finding:
+    data: Any = record
+    try:
+        return Finding(
+            check=str(data["check"]),
+            verdict=str(data["verdict"]),
+            detail=str(data["detail"]),
+            evidence=dict(data.get("evidence", {})),
+        )
+    except (KeyError, TypeError) as exc:
+        raise AuditError(f"malformed finding record: {exc}") from exc
+
+
+def _dimension_from_record(record: Mapping[str, object]) -> DimensionResult:
+    data: Any = record
+    try:
+        findings = tuple(_finding_from_record(finding) for finding in data.get("findings", ()))
+        tables = tuple(
+            (
+                str(table["title"]),
+                tuple(str(h) for h in table["headers"]),
+                tuple(tuple(str(c) for c in row) for row in table["rows"]),
+            )
+            for table in data.get("tables", ())
+        )
+        histograms = tuple(
+            (
+                str(histogram["title"]),
+                str(histogram["label"]),
+                {int(k): int(v) for k, v in histogram["counts"].items()},
+            )
+            for histogram in data.get("histograms", ())
+        )
+        dimension = DimensionResult(
+            name=str(data["name"]),
+            title=str(data["title"]),
+            findings=findings,
+            tables=tables,
+            histograms=histograms,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise AuditError(f"malformed dimension record: {exc}") from exc
+    stored = record.get("verdict")
+    if stored is not None and stored != dimension.verdict:
+        raise AuditError(
+            f"dimension {dimension.name!r} stores verdict {stored!r} but its "
+            f"findings aggregate to {dimension.verdict!r}"
+        )
+    return dimension
+
+
+def report_from_dict(payload: Mapping[str, object]) -> AuditReport:
+    """Rebuild an :class:`AuditReport` from a ``flags.json`` payload.
+
+    Validation is strict: an unknown schema version, a malformed record or a
+    stored verdict disagreeing with its findings raises
+    :class:`~repro.errors.AuditError` — a flag file must never be half-read.
+    """
+    if not isinstance(payload, Mapping):
+        raise AuditError("flags payload must be a JSON object")
+    if payload.get("schema") != FLAGS_SCHEMA_VERSION:
+        raise AuditError(
+            f"unsupported flags schema {payload.get('schema')!r} "
+            f"(this build reads version {FLAGS_SCHEMA_VERSION})"
+        )
+    target = payload.get("target")
+    if not isinstance(target, Mapping):
+        raise AuditError("flags payload has no target object")
+    dimensions_raw = payload.get("dimensions")
+    if not isinstance(dimensions_raw, list):
+        raise AuditError("flags payload has no dimensions list")
+    report = AuditReport(
+        target=dict(target),
+        dimensions=tuple(_dimension_from_record(d) for d in dimensions_raw),
+    )
+    stored = payload.get("verdict")
+    if stored is not None and stored != report.verdict:
+        raise AuditError(
+            f"flags payload stores verdict {stored!r} but its dimensions "
+            f"aggregate to {report.verdict!r}"
+        )
+    return report
+
+
+def write_flags(report: AuditReport, path: os.PathLike) -> Path:
+    """Write ``report`` as canonical ``flags.json`` under ``path``."""
+    destination = Path(path)
+    with destination.open("w", encoding="utf-8") as handle:
+        json.dump(report.to_dict(), handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    return destination
+
+
+def load_flags(path: os.PathLike) -> AuditReport:
+    """Load and validate a ``flags.json`` file."""
+    source = Path(path)
+    try:
+        with source.open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise AuditError(f"cannot read flags file {source}: {exc}") from exc
+    return report_from_dict(payload)

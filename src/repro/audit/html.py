@@ -1,0 +1,129 @@
+"""Self-contained HTML rendering of an :class:`~repro.audit.core.AuditReport`.
+
+The report is a single file with inline CSS and zero external references
+(no scripts, no fonts, no images) so it can be archived as a CI artifact
+and opened anywhere, years later, exactly as emitted.  Findings render as
+real HTML tables; the evidence tables and histograms reuse the existing
+text renderers (:func:`repro.report.tables.render_table`,
+:func:`repro.report.histogram.render_histogram`) inside ``<pre>`` blocks —
+one rendering path for the CLI, the campaign report and the audit report.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Dict, List
+
+from ..report.histogram import render_histogram
+from ..report.tables import render_table
+from .core import FLAGS_SCHEMA_VERSION, AuditReport, DimensionResult, Finding
+
+_STYLE = """
+body { font-family: -apple-system, "Segoe UI", Roboto, Helvetica, Arial,
+       sans-serif; margin: 2rem auto; max-width: 72rem; padding: 0 1rem;
+       color: #1c2733; background: #ffffff; }
+h1 { font-size: 1.5rem; border-bottom: 2px solid #d5dce3; padding-bottom: .4rem; }
+h2 { font-size: 1.15rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; margin: .6rem 0 1rem; }
+th, td { border: 1px solid #d5dce3; padding: .35rem .6rem; text-align: left;
+         font-size: .9rem; vertical-align: top; }
+th { background: #f2f5f8; }
+pre { background: #f6f8fa; border: 1px solid #d5dce3; padding: .6rem;
+      overflow-x: auto; font-size: .8rem; line-height: 1.35; }
+code { font-family: ui-monospace, SFMono-Regular, Menlo, Consolas, monospace; }
+.verdict { display: inline-block; padding: .1rem .55rem; border-radius: .8rem;
+           font-weight: 600; font-size: .8rem; text-transform: uppercase; }
+.verdict-pass { background: #dcf2e3; color: #1d6b3a; }
+.verdict-warn { background: #fdf0d3; color: #8a6116; }
+.verdict-fail { background: #fbdcdc; color: #9e2020; }
+.meta { color: #5a6b7b; font-size: .85rem; }
+details { margin: .3rem 0; }
+summary { cursor: pointer; color: #35506b; font-size: .85rem; }
+"""
+
+
+def _badge(verdict: str) -> str:
+    return f'<span class="verdict verdict-{verdict}">{verdict}</span>'
+
+
+def _findings_table(findings: List[Finding]) -> str:
+    rows = []
+    for finding in findings:
+        evidence = ""
+        if finding.evidence:
+            payload = html.escape(
+                json.dumps(finding.evidence, sort_keys=True, indent=2, default=str)
+            )
+            evidence = (
+                "<details><summary>evidence</summary>"
+                f"<pre><code>{payload}</code></pre></details>"
+            )
+        rows.append(
+            "<tr>"
+            f"<td><code>{html.escape(finding.check)}</code></td>"
+            f"<td>{_badge(finding.verdict)}</td>"
+            f"<td>{html.escape(finding.detail)}{evidence}</td>"
+            "</tr>"
+        )
+    return (
+        "<table><thead><tr><th>check</th><th>verdict</th><th>detail</th>"
+        "</tr></thead><tbody>" + "".join(rows) + "</tbody></table>"
+    )
+
+
+def _dimension_section(dimension: DimensionResult) -> str:
+    parts = [
+        f'<h2 id="{html.escape(dimension.name)}">'
+        f"{html.escape(dimension.title)} {_badge(dimension.verdict)}</h2>",
+        f'<p class="meta">dimension <code>{html.escape(dimension.name)}</code> · '
+        f"{len(dimension.findings)} finding(s)</p>",
+        _findings_table(list(dimension.findings)),
+    ]
+    for title, headers, rows in dimension.tables:
+        rendered = html.escape(render_table(list(headers), [list(r) for r in rows]))
+        parts.append(f"<h3>{html.escape(title)}</h3><pre><code>{rendered}</code></pre>")
+    for title, label, counts in dimension.histograms:
+        rendered = html.escape(render_histogram(counts, title=title, label=label))
+        parts.append(f"<pre><code>{rendered}</code></pre>")
+    return "\n".join(parts)
+
+
+def _target_line(target: Dict[str, object]) -> str:
+    pieces = []
+    for key in ("kind", "name", "path", "topology"):
+        value = target.get(key)
+        if value is not None:
+            pieces.append(f"{key}: <code>{html.escape(str(value))}</code>")
+    return " · ".join(pieces) or "unknown target"
+
+
+def render_html(report: AuditReport) -> str:
+    """Render ``report`` as one dependency-free HTML document."""
+    summary_rows = "".join(
+        "<tr>"
+        f'<td><a href="#{html.escape(d.name)}"><code>{html.escape(d.name)}</code></a></td>'
+        f"<td>{html.escape(d.title)}</td>"
+        f"<td>{_badge(d.verdict)}</td>"
+        f"<td>{len(d.findings)}</td>"
+        "</tr>"
+        for d in report.dimensions
+    )
+    sections = "\n".join(_dimension_section(d) for d in report.dimensions)
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro-bounds audit: {html.escape(str(report.target.get("name", "")))}</title>
+<style>{_STYLE}</style>
+</head>
+<body>
+<h1>repro-bounds audit {_badge(report.verdict)}</h1>
+<p class="meta">{_target_line(report.target)} ·
+flags schema {FLAGS_SCHEMA_VERSION} · exit code {report.exit_code}</p>
+<table><thead><tr><th>dimension</th><th>title</th><th>verdict</th>
+<th>findings</th></tr></thead><tbody>{summary_rows}</tbody></table>
+{sections}
+</body>
+</html>
+"""

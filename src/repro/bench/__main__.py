@@ -45,9 +45,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run = subparsers.add_parser("run", help="time the workload grid, emit BENCH_<rev>.json")
-    run.add_argument(
-        "--quick", action="store_true", help="reduced workload sizes (CI smoke mode)"
-    )
+    run.add_argument("--quick", action="store_true", help="reduced workload sizes (CI smoke mode)")
     run.add_argument(
         "--out",
         metavar="DIR",
@@ -72,9 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to specific workloads (repeatable; default: all)",
     )
 
-    compare = subparsers.add_parser(
-        "compare", help="gate new BENCH payload(s) against a baseline"
-    )
+    compare = subparsers.add_parser("compare", help="gate new BENCH payload(s) against a baseline")
     compare.add_argument("old", help="baseline BENCH_*.json")
     compare.add_argument("new", nargs="+", help="candidate BENCH_*.json file(s)")
     compare.add_argument(
@@ -98,9 +94,7 @@ def _run(args: argparse.Namespace) -> int:
     if args.workload:
         wanted = set(args.workload)
         workloads = tuple(w for w in WORKLOADS if w.name in wanted)
-    payload = run_benchmarks(
-        workloads=workloads, quick=args.quick, repeats=args.repeats, rev=rev
-    )
+    payload = run_benchmarks(workloads=workloads, quick=args.quick, repeats=args.repeats, rev=rev)
     print(render_report(payload))
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)

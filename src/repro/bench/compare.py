@@ -96,9 +96,7 @@ def compare_payloads(
             "speedups are not directly comparable — regenerate the baseline "
             "at the same size"
         )
-    result.lines.append(
-        f"{'workload':28s} {'old':>9s} {'new':>9s} {'ratio':>7s}  verdict"
-    )
+    result.lines.append(f"{'workload':28s} {'old':>9s} {'new':>9s} {'ratio':>7s}  verdict")
     for name, old_entry in old_entries.items():
         new_entry = new_entries.get(name)
         if new_entry is None:

@@ -164,9 +164,7 @@ def _build_system(workload: BenchWorkload, quick: bool) -> Tuple[System, int]:
     if workload.stress is not None:
         entry = rsk_for_resource(workload.stress)
         scua = entry.build(config, 0, kind=workload.kind, iterations=iterations)
-        contenders = build_stress_contender_set(
-            config, workload.stress, 0, kind=workload.kind
-        )
+        contenders = build_stress_contender_set(config, workload.stress, 0, kind=workload.kind)
     else:
         scua = build_rsk(config, 0, kind=workload.kind, iterations=iterations)
         contenders = build_contender_set(config, 0, kind=workload.kind)
@@ -286,17 +284,11 @@ def _geomean(values: Sequence[float]) -> float:
 
 
 def _summarize(entries: Sequence[Dict[str, object]]) -> Dict[str, object]:
-    default = next(
-        (entry for entry in entries if entry["name"] == DEFAULT_WORKLOAD), None
-    )
+    default = next((entry for entry in entries if entry["name"] == DEFAULT_WORKLOAD), None)
     per_engine: Dict[str, Dict[str, object]] = {}
     engine_names = entries[0]["speedups"].keys() if entries else ()
     for engine in engine_names:
-        values = [
-            entry["speedups"][engine]
-            for entry in entries
-            if entry["speedups"][engine] > 0
-        ]
+        values = [entry["speedups"][engine] for entry in entries if entry["speedups"][engine] > 0]
         per_engine[engine] = {
             "geomean_speedup": _geomean(values),
             "min_speedup": min(values) if values else 0.0,

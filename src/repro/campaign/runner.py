@@ -91,18 +91,14 @@ def _synthetic_metrics(descriptor: RunDescriptor) -> Dict[str, object]:
 def _rsk_metrics(descriptor: RunDescriptor) -> Dict[str, object]:
     config = descriptor.config
     observed = descriptor.observed_core
-    scua = build_rsk(
-        config, observed, kind=descriptor.rsk_kind, iterations=descriptor.iterations
-    )
+    scua = build_rsk(config, observed, kind=descriptor.rsk_kind, iterations=descriptor.iterations)
     contenders: Dict[int, Program] = {
         core: build_rsk(config, core, kind=descriptor.rsk_kind, iterations=None)
         for core in range(len(descriptor.tasks))
         if core != observed
     }
     runner = ExperimentRunner(config)
-    isolation, contended = runner.run_pair(
-        scua, contenders, scua_core=observed, trace=True
-    )
+    isolation, contended = runner.run_pair(scua, contenders, scua_core=observed, trace=True)
     metrics: Dict[str, object] = contended.as_record()
     metrics["isolation"] = isolation.as_record()
     metrics["slowdown"] = contended.slowdown_versus(isolation)
@@ -125,9 +121,7 @@ def _rsk_metrics(descriptor: RunDescriptor) -> Dict[str, object]:
             if decomposition.histograms.get(stage)
         }
     try:
-        delays = contention_histogram(
-            contended.trace, observed, kinds=(descriptor.rsk_kind,)
-        )
+        delays = contention_histogram(contended.trace, observed, kinds=(descriptor.rsk_kind,))
     except AnalysisError:
         # Store rsk traffic drains through the store buffer; if no request of
         # the requested kind completed there is no delay histogram to report.
@@ -231,9 +225,7 @@ class ParallelRunner:
         simulated = len(pending)
         if self.jobs > 1 and len(pending) > 1:
             with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                fresh = list(
-                    pool.map(execute_run, [descriptor for _, descriptor in pending])
-                )
+                fresh = list(pool.map(execute_run, [descriptor for _, descriptor in pending]))
         else:
             fresh = [execute_run(descriptor) for _, descriptor in pending]
         for (digest, _), record in zip(pending, fresh):
@@ -303,11 +295,7 @@ def summarize_records(records: Sequence[Dict[str, object]]) -> Dict[str, object]
                 "mem_arbitration": mem_arbitration,
                 "response_arbitration": response_arbitration,
                 "runs": 0,
-                "analytical_ubd": (
-                    config.ubd
-                    if arbiter in FAIR_ARBITRATION_POLICIES
-                    else None
-                ),
+                "analytical_ubd": (config.ubd if arbiter in FAIR_ARBITRATION_POLICIES else None),
                 # Like analytical_ubd, only reported where the fair-round
                 # reasoning holds — has_composable_bounds checks *both*
                 # stages: the bus arbiter and the bank-queue arbiter.
@@ -342,16 +330,12 @@ def summarize_records(records: Sequence[Dict[str, object]]) -> Dict[str, object]
                 kind_bucket["max_contention_delay"] = max(previous, delay)
             slowdown = record["metrics"].get("slowdown")
             if slowdown is not None:
-                kind_bucket["max_slowdown"] = max(
-                    kind_bucket.get("max_slowdown", 0), slowdown
-                )
+                kind_bucket["max_slowdown"] = max(kind_bucket.get("max_slowdown", 0), slowdown)
             stage_worst = record["metrics"].get("stage_worst_case")
             if stage_worst:
                 aggregated_stages = kind_bucket.setdefault("stage_worst_case", {})
                 for stage, worst in stage_worst.items():
-                    aggregated_stages[stage] = max(
-                        aggregated_stages.get(stage, 0), worst
-                    )
+                    aggregated_stages[stage] = max(aggregated_stages.get(stage, 0), worst)
 
     for bucket in per_platform.values():
         utilisations = bucket.pop("_utilisations")
@@ -366,9 +350,7 @@ def summarize_records(records: Sequence[Dict[str, object]]) -> Dict[str, object]
         "total_runs": len(records),
         "presets": sorted({record["preset"] for record in records}),
         "arbiters": sorted({record["arbiter"] for record in records}),
-        "topologies": sorted(
-            {record.get("topology", "bus_only") for record in records}
-        ),
+        "topologies": sorted({record.get("topology", "bus_only") for record in records}),
         "kinds": {
             kind: sum(1 for record in records if record["kind"] == kind)
             for kind in sorted({record["kind"] for record in records})
@@ -381,7 +363,5 @@ def _fraction_at_most(aggregated: Dict[str, int], contenders: int) -> float:
     total = sum(aggregated.values())
     if total == 0:
         return 0.0
-    matching = sum(
-        count for key, count in aggregated.items() if int(key) <= contenders
-    )
+    matching = sum(count for key, count in aggregated.items() if int(key) <= contenders)
     return matching / total

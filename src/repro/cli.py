@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the library's main use cases without writing any
+Five subcommands cover the library's main use cases without writing any
 Python:
 
 * ``repro-bounds derive-ubd`` — run the full rsk-nop methodology on a preset
@@ -10,6 +10,11 @@ Python:
 * ``repro-bounds campaign`` — run an experiment campaign (randomly composed
   EEMBC-like workloads plus rsk reference runs, the Figure 6(a) experiment)
   through the parallel campaign engine, optionally writing JSON artifacts;
+* ``repro-bounds audit`` — run every registered audit dimension over a
+  preset, an ``ArchConfig`` JSON file or a finished campaign directory and
+  emit a machine-readable ``flags.json`` plus a self-contained
+  ``report.html``, exiting with the worst verdict (0 pass / 1 warn /
+  2 fail) so CI can gate on it;
 * ``repro-bounds list`` — print the registered presets, arbitration
   policies, simulation engines and topologies.  The listing is read straight
   from the factories' registries, so it can never drift from what the
@@ -22,6 +27,8 @@ Examples::
     repro-bounds campaign --preset ref --workloads 8
     repro-bounds campaign --jobs 4 --out out/campaign --cache-dir out/cache
     repro-bounds campaign --topology bus_only --topology bus_bank_queues
+    repro-bounds audit small --topology split_bus --out out/audit
+    repro-bounds audit out/campaign
     repro-bounds list
 """
 
@@ -78,9 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    derive = subparsers.add_parser(
-        "derive-ubd", help="run the rsk-nop methodology and report ubdm"
-    )
+    derive = subparsers.add_parser("derive-ubd", help="run the rsk-nop methodology and report ubdm")
     derive.add_argument("--k-max", type=int, default=60, help="initial nop sweep upper bound")
     derive.add_argument(
         "--iterations", type=int, default=40, help="loop iterations of each rsk-nop kernel"
@@ -179,6 +184,57 @@ def build_parser() -> argparse.ArgumentParser:
         "preset's own topology)",
     )
 
+    audit = subparsers.add_parser(
+        "audit",
+        help="evaluate every registered audit dimension over a preset, an "
+        "ArchConfig JSON file or a finished campaign directory; emits "
+        "flags.json + report.html and exits with the worst verdict "
+        "(0 pass / 1 warn / 2 fail)",
+    )
+    audit.add_argument(
+        "target",
+        help="preset name, ArchConfig JSON file, or campaign output directory",
+    )
+    audit.add_argument(
+        "--topology",
+        choices=registered_topologies(),
+        default=None,
+        help="override the topology of a preset/config target "
+        "(invalid for campaign directories)",
+    )
+    audit.add_argument(
+        "--out",
+        metavar="DIR",
+        default="out/audit",
+        help="directory receiving flags.json and report.html "
+        "(default: out/audit)",
+    )
+    audit.add_argument("--k-max", type=int, default=60, help="initial nop sweep upper bound")
+    audit.add_argument(
+        "--iterations",
+        type=int,
+        default=40,
+        help="loop iterations of each rsk-nop kernel",
+    )
+    audit.add_argument(
+        "--stress-iterations",
+        type=int,
+        default=40,
+        help="loop iterations of each per-resource stressing kernel",
+    )
+    audit.add_argument(
+        "--synchrony-iterations",
+        type=int,
+        default=150,
+        help="loop iterations of the traced synchrony/store-probe runs",
+    )
+    audit.add_argument(
+        "--equivalence-iterations",
+        type=int,
+        default=40,
+        help="loop iterations of the engine cross-check run",
+    )
+
     subparsers.add_parser(
         "list",
         help="print registered presets, arbiters, engines and topologies "
@@ -225,9 +281,7 @@ def _run_per_resource_derive(args: argparse.Namespace, config) -> int:
             ]
         )
     print(
-        render_table(
-            ["resource", "observed", "ubdm", "analytical", "method", "check"], rows
-        )
+        render_table(["resource", "observed", "ubdm", "analytical", "method", "check"], rows)
     )
     print()
     print(
@@ -269,9 +323,7 @@ def _run_derive_ubd(args: argparse.Namespace) -> int:
     print(f"Platform: {args.preset} (analytical ubd = {config.ubd} cycles)")
     if config.topology.has_memory_queues:
         if config.has_composable_bounds:
-            terms = " + ".join(
-                f"{resource}:{term}" for resource, term in config.ubd_terms.items()
-            )
+            terms = " + ".join(f"{resource}:{term}" for resource, term in config.ubd_terms.items())
             print(
                 f"Topology {config.topology.name}: per-resource bounds {terms} "
                 f"= end-to-end {config.end_to_end_ubd} cycles per memory request"
@@ -362,6 +414,51 @@ def _run_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_audit(args: argparse.Namespace) -> int:
+    """The ``audit`` subcommand: dimensions -> verdict -> artifacts."""
+    from .audit import AuditOptions, run_audit
+
+    options = AuditOptions(
+        k_max=args.k_max,
+        iterations=args.iterations,
+        stress_iterations=args.stress_iterations,
+        synchrony_iterations=args.synchrony_iterations,
+        equivalence_iterations=args.equivalence_iterations,
+    )
+    artifacts = run_audit(args.target, args.out, topology=args.topology, options=options)
+    report = artifacts.report
+    target = " ".join(f"{key}={value}" for key, value in sorted(report.target.items()))
+    print(f"Audit target: {target}")
+    print()
+    print(
+        render_table(
+            ["dimension", "verdict", "findings"],
+            [
+                [dimension.name, dimension.verdict.upper(), len(dimension.findings)]
+                for dimension in report.dimensions
+            ],
+        )
+    )
+    flagged = [
+        (dimension, finding)
+        for dimension in report.dimensions
+        for finding in dimension.findings
+        if finding.verdict != "pass"
+    ]
+    if flagged:
+        print()
+        for dimension, finding in flagged:
+            print(
+                f"[{finding.verdict.upper()}] {dimension.name}/{finding.check}: "
+                f"{finding.detail}"
+            )
+    print()
+    print(f"Wrote {artifacts.flags_path}")
+    print(f"Wrote {artifacts.html_path}")
+    print(f"Verdict: {report.verdict} (exit code {report.exit_code})")
+    return report.exit_code
+
+
 def _run_list(args: argparse.Namespace) -> int:
     """Print every registered preset, arbiter, engine and topology.
 
@@ -431,6 +528,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_synchrony(args)
         if args.command == "campaign":
             return _run_campaign(args)
+        if args.command == "audit":
+            return _run_audit(args)
         if args.command == "list":
             return _run_list(args)
     except ReproError as exc:

@@ -79,9 +79,7 @@ ENGINES = ("stepped", "event", "codegen")
 
 
 #: Names accepted by ``ArchConfig.engine`` (see :data:`_known_arbitrations`).
-_known_engines = registry_backed_names(
-    "repro.sim.scheduler", "registered_engines", ENGINES
-)
+_known_engines = registry_backed_names("repro.sim.scheduler", "registered_engines", ENGINES)
 
 
 #: Shared-resource topologies shipped with the simulator.  Like
@@ -96,9 +94,7 @@ _known_engines = registry_backed_names(
 TOPOLOGIES = ("bus_only", "bus_bank_queues", "split_bus")
 
 #: Names accepted by ``TopologyConfig.name`` (see :data:`_known_arbitrations`).
-_known_topologies = registry_backed_names(
-    "repro.sim.topology", "registered_topologies", TOPOLOGIES
-)
+_known_topologies = registry_backed_names("repro.sim.topology", "registered_topologies", TOPOLOGIES)
 
 
 @dataclass(frozen=True)
@@ -572,9 +568,7 @@ class ArchConfig:
             # fair-round reasoning does not apply (mirrors the campaign
             # summaries' analytical_ubd: null convention).
             "ubd_terms": dict(self.ubd_terms) if self.has_composable_bounds else None,
-            "end_to_end_ubd": (
-                self.end_to_end_ubd if self.has_composable_bounds else None
-            ),
+            "end_to_end_ubd": (self.end_to_end_ubd if self.has_composable_bounds else None),
             "store_buffer_entries": self.store_buffer.entries,
         }
 
@@ -614,9 +608,7 @@ def small_config(**overrides) -> ArchConfig:
         num_cores=3,
         il1=CacheConfig(size_bytes=1024, ways=2, hit_latency=1),
         dl1=CacheConfig(size_bytes=1024, ways=2, hit_latency=1),
-        l2=L2Config(
-            cache=CacheConfig(size_bytes=8 * 1024, ways=4, line_size=32, hit_latency=2)
-        ),
+        l2=L2Config(cache=CacheConfig(size_bytes=8 * 1024, ways=4, line_size=32, hit_latency=2)),
         bus=BusConfig(transfer_latency=1),
     )
     return cfg.with_overrides(**overrides) if overrides else cfg

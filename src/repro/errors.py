@@ -56,3 +56,14 @@ class MethodologyError(ReproError):
     contender kernels than available cores, or requesting confidence checks
     without enabling the performance monitoring counters.
     """
+
+
+class AuditError(ReproError):
+    """An audit could not be assembled or its artifacts are malformed.
+
+    Raised when an audit target cannot be resolved (not a preset, not a
+    configuration file, not a campaign directory), or when a ``flags.json``
+    payload fails schema validation on load.  Individual audit *checks*
+    never raise this — a failing check is a finding with a ``fail`` verdict,
+    not an error.
+    """

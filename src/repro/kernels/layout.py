@@ -112,9 +112,7 @@ def same_bank_same_set_addresses(
         raise ProgramError(f"need at least one address, got {count}")
     dram = config.dram
     if not 0 <= target_bank < dram.num_banks:
-        raise ProgramError(
-            f"target bank {target_bank} out of range for {dram.num_banks} banks"
-        )
+        raise ProgramError(f"target bank {target_bank} out of range for {dram.num_banks} banks")
     space = core_address_space(core_id)
     stride = math.lcm(
         config.dl1.same_set_stride,
@@ -148,9 +146,7 @@ def footprint_fits_l2_partition(config: ArchConfig, addresses: List[int]) -> boo
     l2 = config.l2.cache
     # Partitions can be uneven when the way count is not a multiple of the
     # core count; be conservative and size against the smallest partition.
-    ways_per_core = min(
-        len(config.l2_ways_for_core(core)) for core in range(config.num_cores)
-    )
+    ways_per_core = min(len(config.l2_ways_for_core(core)) for core in range(config.num_cores))
     ways_per_core = max(1, ways_per_core)
     lines = {addr - (addr % l2.line_size) for addr in addresses}
     if len(lines) > ways_per_core * l2.num_sets:

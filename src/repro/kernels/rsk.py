@@ -436,7 +436,5 @@ def rsk_request_count(program: Program) -> int:
     """
     count = program.count_memory_instructions()
     if count is None:
-        raise ProgramError(
-            f"program {program.name!r} is infinite; its request count is unbounded"
-        )
+        raise ProgramError(f"program {program.name!r} is infinite; its request count is unbounded")
     return count

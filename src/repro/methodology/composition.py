@@ -93,9 +93,7 @@ class ComposedEtbReport:
 
     def summary(self) -> str:
         """One-line human readable report."""
-        decomposition = " + ".join(
-            f"{resource}:{pad}" for resource, pad in self.pads.items()
-        )
+        decomposition = " + ".join(f"{resource}:{pad}" for resource, pad in self.pads.items())
         base = (
             f"{self.task_name}: isolation {self.isolation_time} + pads "
             f"[{decomposition}] = ETB {self.etb} cycles "
@@ -150,9 +148,7 @@ def compose_etb(
             f"memory requests ({memory_requests}) cannot exceed bus requests "
             f"({bus_requests}): every memory access crosses the bus first"
         )
-    if memory_requests > 0 and not any(
-        resource in _MEMORY_STAGE_RESOURCES for resource in terms
-    ):
+    if memory_requests > 0 and not any(resource in _MEMORY_STAGE_RESOURCES for resource in terms):
         # Refuse rather than underbound (the same rule ArchConfig.ubd_terms
         # applies to unfair policies): a bus-only decomposition carries no
         # terms for DRAM-bank or response-port contention, so a task whose
@@ -167,9 +163,7 @@ def compose_etb(
         )
     pads: Dict[str, int] = {}
     for resource, term in terms.items():
-        requests = (
-            memory_requests if resource in _MEMORY_STAGE_RESOURCES else bus_requests
-        )
+        requests = (memory_requests if resource in _MEMORY_STAGE_RESOURCES else bus_requests)
         pads[resource] = mbta_padding(requests, term)
     return ComposedEtbReport(
         task_name=task_name,

@@ -163,9 +163,7 @@ class ExperimentRunner:
         """Run ``scua`` against ``contenders`` (a mapping core -> program)."""
         self._check_scua(scua, scua_core)
         if scua_core in contenders:
-            raise MethodologyError(
-                f"core {scua_core} cannot host both the scua and a contender"
-            )
+            raise MethodologyError(f"core {scua_core} cannot host both the scua and a contender")
         for core in contenders:
             if not 0 <= core < self.config.num_cores:
                 raise MethodologyError(f"contender core {core} does not exist")
@@ -215,9 +213,7 @@ class ExperimentRunner:
         engine uses this for every rsk-style run descriptor.
         """
         isolation = self.run_isolation(scua, scua_core=scua_core)
-        contended = self.run_contended(
-            scua, contenders, scua_core=scua_core, trace=trace
-        )
+        contended = self.run_contended(scua, contenders, scua_core=scua_core, trace=trace)
         return isolation, contended
 
     # ------------------------------------------------------------------ #

@@ -73,9 +73,7 @@ class TaskSetResult:
         """Render the task-set analysis as a text table."""
         rows = []
         for task in self.tasks:
-            observed = (
-                task.contended_time if task.contended_time is not None else "-"
-            )
+            observed = (task.contended_time if task.contended_time is not None else "-")
             covered = {True: "yes", False: "NO", None: "-"}[task.report.covers_observation]
             rows.append(
                 [

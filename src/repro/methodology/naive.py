@@ -79,9 +79,7 @@ class NaiveUbdEstimator:
             raise MethodologyError(
                 f"scua {scua.name!r} issued no bus requests; det/nr is undefined"
             )
-        contended = self.runner.run_against_rsk(
-            scua, self.scua_core, kind=self.contender_kind
-        )
+        contended = self.runner.run_against_rsk(scua, self.scua_core, kind=self.contender_kind)
         det = contended.slowdown_versus(isolation)
         return NaiveEstimate(
             ubdm=det / isolation.bus_requests,

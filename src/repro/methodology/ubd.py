@@ -200,9 +200,7 @@ class UbdEstimator:
             iterations=self.iterations,
         )
         isolation = self.runner.run_isolation(scua, self.scua_core)
-        contended = self.runner.run_against_rsk(
-            scua, self.scua_core, kind=self.instruction_type
-        )
+        contended = self.runner.run_against_rsk(scua, self.scua_core, kind=self.instruction_type)
         return SweepPoint(
             k=k,
             isolation_time=isolation.execution_time,
@@ -463,9 +461,7 @@ class MeasuredBoundReport:
             "topology": self.topology,
             "instruction_type": self.instruction_type,
             "analytical_terms": dict(self.analytical_terms),
-            "terms": {
-                resource: term.as_record() for resource, term in self.terms.items()
-            },
+            "terms": {resource: term.as_record() for resource, term in self.terms.items()},
             "end_to_end_ubdm": self.end_to_end_ubdm,
             "end_to_end_analytical": self.end_to_end_analytical,
             "passed": self.passed,
@@ -565,9 +561,7 @@ class MeasuredBoundPipeline:
             preload_caches=preload_caches,
         )
         #: Stress runs must reach the memory stage, so the L2 stays cold.
-        self.stress_runner = ExperimentRunner(
-            config, preload_l2=False, preload_il1=True
-        )
+        self.stress_runner = ExperimentRunner(config, preload_l2=False, preload_il1=True)
 
     # ------------------------------------------------------------------ #
     # Individual measurement stages.
@@ -727,9 +721,7 @@ class MeasuredBoundPipeline:
                 requests=requests.get(resource, 0),
                 pmc=pmc_sections.get(resource, {}),
             )
-        cross_check = BoundCrossCheck(
-            checks=[term.sandwich for term in terms.values()]
-        )
+        cross_check = BoundCrossCheck(checks=[term.sandwich for term in terms.values()])
         return MeasuredBoundReport(
             arch_name=config.name,
             topology=config.topology.name,

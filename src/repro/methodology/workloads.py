@@ -96,9 +96,7 @@ def build_workload_programs(
     the number of contenders on a fixed platform.
     """
     if len(task_names) > config.num_cores:
-        raise MethodologyError(
-            f"workload has {len(task_names)} tasks for {config.num_cores} cores"
-        )
+        raise MethodologyError(f"workload has {len(task_names)} tasks for {config.num_cores} cores")
     programs: List[Optional[Program]] = [None] * config.num_cores
     for core, name in enumerate(task_names):
         if core == observed_core:
@@ -169,9 +167,7 @@ def run_workload_campaign(
             ``None`` keeps the historical in-process serial execution; both
             paths produce bit-identical results.
     """
-    workloads = random_workloads(
-        num_workloads, config.num_cores, seed=seed, names=names
-    )
+    workloads = random_workloads(num_workloads, config.num_cores, seed=seed, names=names)
     if runner is not None:
         # Imported lazily: repro.campaign imports this module at load time.
         from ..campaign import workload_campaign_descriptors, workload_run_from_record
@@ -214,9 +210,7 @@ def run_rsk_reference_workload(
     finds all other cores with a pending request.
     """
     programs: List[Optional[Program]] = [None] * config.num_cores
-    programs[observed_core] = build_rsk(
-        config, observed_core, kind=kind, iterations=iterations
-    )
+    programs[observed_core] = build_rsk(config, observed_core, kind=kind, iterations=iterations)
     for core in range(config.num_cores):
         if core != observed_core:
             programs[core] = build_rsk(config, core, kind=kind, iterations=None)

@@ -52,9 +52,7 @@ class Registry(Generic[T]):
     def register(self, name: str, entry: T) -> T:
         """Add ``entry`` under ``name``; empty or taken names are errors."""
         if not name:
-            raise ConfigurationError(
-                f"a registered {self.kind} needs a non-empty name"
-            )
+            raise ConfigurationError(f"a registered {self.kind} needs a non-empty name")
         if name in self._entries:
             raise ConfigurationError(f"{self.kind} {name!r} already registered")
         self._entries[name] = entry

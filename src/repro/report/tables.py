@@ -15,9 +15,7 @@ def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> st
     widths = [len(header) for header in headers]
     for row in materialized:
         if len(row) != len(headers):
-            raise ValueError(
-                f"row has {len(row)} cells but the table has {len(headers)} columns"
-            )
+            raise ValueError(f"row has {len(row)} cells but the table has {len(headers)} columns")
         for index, cell in enumerate(row):
             widths[index] = max(widths[index], len(cell))
 

@@ -275,13 +275,9 @@ class WayPartitionedCache(SetAssociativeCache):
             chosen_way = free_ways[0]
         else:
             # Evict the least recently used line among the owner's ways.
-            candidates = [
-                (line_set[t][_STAMP], t, w) for w, t in used.items() if w in ways
-            ]
+            candidates = [(line_set[t][_STAMP], t, w) for w, t in used.items() if w in ways]
             if not candidates:
-                raise SimulationError(
-                    f"partition for owner {owner} has no resident lines to evict"
-                )
+                raise SimulationError(f"partition for owner {owner} has no resident lines to evict")
             _, victim_tag, chosen_way = min(candidates)
             del line_set[victim_tag]
             del way_map[victim_tag]

@@ -412,9 +412,7 @@ def _emit_bankq_horizon(w: _SourceWriter, plan: _BankQueuePlan) -> None:
                     with w.indent():
                         w.line("_r = _free")
                     if plan.policy == "tdma":
-                        for text in _tdma_grant_lines(
-                            "_r", "_p", plan.slot, plan.ports
-                        ):
+                        for text in _tdma_grant_lines("_r", "_p", plan.slot, plan.ports):
                             w.line(text)
                         w.line("if _g < _h:")
                         with w.indent():
@@ -887,10 +885,7 @@ def specialisation_mismatch(system: "System") -> Optional[str]:
                         f"{type(bank_arbiter).__name__}, not the built-in "
                         f"{plan.policy!r} class"
                     )
-                if (
-                    plan.policy == "tdma"
-                    and bank_arbiter.slot_cycles != plan.slot
-                ):
+                if plan.policy == "tdma" and bank_arbiter.slot_cycles != plan.slot:
                     return f"{plan.label} TDMA slot differs from the configuration"
                 if plan.policy == "fixed_priority" and any(
                     bank_arbiter._rank[port] != port

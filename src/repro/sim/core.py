@@ -209,9 +209,7 @@ class Core:
     def on_data_line(self, addr: int, cycle: int) -> None:
         """A demand load completed; fill the DL1 and retire the load."""
         if self.state is not CoreState.WAIT_LOAD:
-            raise SimulationError(
-                f"core {self.core_id}: unexpected data line at cycle {cycle}"
-            )
+            raise SimulationError(f"core {self.core_id}: unexpected data line at cycle {cycle}")
         self.dl1.fill(addr)
         self._retire(cycle)
 

@@ -199,12 +199,8 @@ class Program:
             yield prologue_pc + index * INSTRUCTION_BYTES, instr
 
         body_base = self.base_pc + len(self.prologue) * INSTRUCTION_BYTES
-        body_pcs = tuple(
-            body_base + index * INSTRUCTION_BYTES for index in range(len(self.body))
-        )
-        counter = (
-            range(self.iterations) if self.iterations is not None else itertools.count()
-        )
+        body_pcs = tuple(body_base + index * INSTRUCTION_BYTES for index in range(len(self.body)))
+        counter = (range(self.iterations) if self.iterations is not None else itertools.count())
         for _ in counter:
             for pc, instr in zip(body_pcs, self.body):
                 yield pc, instr

@@ -47,12 +47,8 @@ class PartitionedL2:
         self.config = config
         cache_cfg = config.l2.cache
         if config.l2.partitioned:
-            partitions = {
-                core: config.l2_ways_for_core(core) for core in range(config.num_cores)
-            }
-            self._cache: SetAssociativeCache = WayPartitionedCache(
-                cache_cfg, partitions, name="l2"
-            )
+            partitions = {core: config.l2_ways_for_core(core) for core in range(config.num_cores)}
+            self._cache: SetAssociativeCache = WayPartitionedCache(cache_cfg, partitions, name="l2")
             self._partitioned = True
         else:
             self._cache = SetAssociativeCache(cache_cfg, name="l2")

@@ -423,9 +423,7 @@ class BankQueuedMemoryController(MemoryController):
         self._queued_reads -= 1
         self.stats.reads += 1
         self.stats.total_read_latency += result.complete_cycle - access.ready_cycle
-        heapq.heappush(
-            self._in_flight, (result.complete_cycle, self._sequence, pending)
-        )
+        heapq.heappush(self._in_flight, (result.complete_cycle, self._sequence, pending))
         self._sequence += 1
 
     # ------------------------------------------------------------------ #

@@ -218,9 +218,7 @@ class EventScheduler:
             for resource in resources:
                 if resource._horizon_dirty or resource._horizon_cache <= cycle:
                     resource.arbitrate(cycle)
-                    candidate = resource._horizon_cache = resource.next_event_cycle(
-                        cycle
-                    )
+                    candidate = resource._horizon_cache = resource.next_event_cycle(cycle)
                     resource._horizon_dirty = False
                 else:
                     candidate = resource._horizon_cache
@@ -291,9 +289,7 @@ def register_engine(name: str, description: str = ""):
     """
 
     def decorator(cls: Type) -> Type:
-        ENGINE_REGISTRY.register(
-            name, EngineEntry(name=name, cls=cls, description=description)
-        )
+        ENGINE_REGISTRY.register(name, EngineEntry(name=name, cls=cls, description=description))
         return cls
 
     return decorator
@@ -314,9 +310,7 @@ def make_engine(name: str, system):
     return ENGINE_REGISTRY.require(name).cls(system)
 
 
-register_engine("stepped", "cycle-by-cycle oracle loop (reference semantics)")(
-    SteppedEngine
-)
+register_engine("stepped", "cycle-by-cycle oracle loop (reference semantics)")(SteppedEngine)
 register_engine(
     "event", "event-driven fast path: jump the clock to the min component horizon"
 )(EventScheduler)

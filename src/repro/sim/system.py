@@ -79,9 +79,7 @@ class SystemResult:
         """Execution time (cycles) of ``core_id``; raises if it never finished."""
         done = self.done_cycles[core_id]
         if done is None:
-            raise SimulationError(
-                f"core {core_id} did not finish; execution time undefined"
-            )
+            raise SimulationError(f"core {core_id} did not finish; execution time undefined")
         return done
 
 
@@ -337,9 +335,7 @@ class System:
             else:
                 engine = "event" if skip_ahead else "stepped"
         elif skip_ahead is not None:
-            raise ConfigurationError(
-                "pass either engine= or the legacy skip_ahead=, not both"
-            )
+            raise ConfigurationError("pass either engine= or the legacy skip_ahead=, not both")
         cycle, timed_out = make_engine(engine, self).run(observed, max_cycles)
         return SystemResult(
             cycles=cycle + 1,

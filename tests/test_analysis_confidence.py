@@ -78,9 +78,7 @@ class TestPeriodChecks:
         assert not report.passed
 
     def test_insufficient_sweep_coverage_fails(self):
-        report = assess_confidence(
-            bus_utilisation=1.0, period=period(27), sweep_span_k=30
-        )
+        report = assess_confidence(bus_utilisation=1.0, period=period(27), sweep_span_k=30)
         names = [check.name for check in report.failed_checks()]
         assert "sweep_coverage" in names
 

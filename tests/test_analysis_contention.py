@@ -130,9 +130,7 @@ class TestContenderHistogram:
         assert histogram.as_sorted_items() == [(0, 5), (3, 1)]
 
     def test_empty_fractions_are_zero(self):
-        histogram = ContenderHistogram(
-            counts={}, total_requests=0, observed_core=0, num_cores=4
-        )
+        histogram = ContenderHistogram(counts={}, total_requests=0, observed_core=0, num_cores=4)
         assert histogram.fraction_with(0) == 0.0
         assert histogram.fraction_with_at_most(3) == 0.0
 
@@ -168,9 +166,7 @@ def miss_record(
     """A demand load that missed the L2: full per-stage timestamps."""
     record = load_record(port=port, ready=ready, grant=grant)
     record.mem_ready_cycle = record.complete_cycle if mem_ready is None else mem_ready
-    record.mem_grant_cycle = (
-        record.mem_ready_cycle if mem_grant is None else mem_grant
-    )
+    record.mem_grant_cycle = (record.mem_ready_cycle if mem_grant is None else mem_grant)
     record.mem_complete_cycle = (
         record.mem_grant_cycle + 15 if mem_complete is None else mem_complete
     )
@@ -361,6 +357,4 @@ class TestCrossCheckStageBounds:
         from repro.analysis.contention import cross_check_stage_bounds
 
         with pytest.raises(AnalysisError):
-            cross_check_stage_bounds(
-                observed={}, measured={"crossbar": 3}, analytical={"bus": 6}
-            )
+            cross_check_stage_bounds(observed={}, measured={"crossbar": 3}, analytical={"bus": 6})

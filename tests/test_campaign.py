@@ -80,9 +80,7 @@ class TestCampaignSpec:
         descriptors = spec.expand()
         # presets x arbiters x seeds x (workloads + rsk reference)
         assert len(descriptors) == 2 * 2 * 3 * (2 + 1)
-        assert [d.run_id for d in descriptors] == [
-            f"{i:05d}" for i in range(len(descriptors))
-        ]
+        assert [d.run_id for d in descriptors] == [f"{i:05d}" for i in range(len(descriptors))]
 
     def test_arbiter_override_lands_in_config(self):
         spec = CampaignSpec(presets=("small",), arbiters=("tdma",), num_workloads=1)
@@ -110,9 +108,7 @@ class TestCampaignSpec:
         from repro.config import PRESETS, TopologyConfig, small_config
 
         PRESETS["_rr_banks"] = lambda **overrides: small_config(
-            topology=TopologyConfig(
-                name="bus_bank_queues", mem_arbitration="round_robin"
-            ),
+            topology=TopologyConfig(name="bus_bank_queues", mem_arbitration="round_robin"),
             **overrides,
         )
         try:
@@ -128,18 +124,14 @@ class TestCampaignSpec:
 
     def test_default_keeps_preset_topology(self):
         spec = CampaignSpec(presets=("multi_resource",), num_workloads=1, iterations=4)
-        assert all(
-            d.config.topology.name == "bus_bank_queues" for d in spec.expand()
-        )
+        assert all(d.config.topology.name == "bus_bank_queues" for d in spec.expand())
 
     def test_unknown_topology_rejected(self):
         with pytest.raises(MethodologyError):
             CampaignSpec(presets=("small",), topologies=("mesh",))
 
     def test_contender_count_limits_occupied_cores(self):
-        spec = CampaignSpec(
-            presets=("small",), contender_counts=(1,), num_workloads=2
-        )
+        spec = CampaignSpec(presets=("small",), contender_counts=(1,), num_workloads=2)
         for descriptor in spec.expand():
             assert len(descriptor.tasks) == 2
             assert descriptor.contenders == 1
@@ -232,9 +224,7 @@ class TestParallelRunner:
 
     def test_records_follow_descriptor_order(self):
         outcome = ParallelRunner(jobs=1).run(TINY_SPEC.expand())
-        assert [r["run_id"] for r in outcome.records] == [
-            d.run_id for d in TINY_SPEC.expand()
-        ]
+        assert [r["run_id"] for r in outcome.records] == [d.run_id for d in TINY_SPEC.expand()]
         assert outcome.stats["simulated"] == len(outcome.records)
         assert outcome.stats["cached"] == 0
 
@@ -246,9 +236,7 @@ class TestParallelRunner:
         parallel = write_campaign_artifacts(
             ParallelRunner(jobs=2).run(descriptors), tmp_path / "parallel"
         )
-        assert (
-            serial.results_path.read_bytes() == parallel.results_path.read_bytes()
-        )
+        assert serial.results_path.read_bytes() == parallel.results_path.read_bytes()
         serial_summary = load_summary(serial.summary_path)
         parallel_summary = load_summary(parallel.summary_path)
         del serial_summary["timing"], parallel_summary["timing"]
@@ -326,9 +314,7 @@ class TestParallelRunner:
 class TestWorkloadCampaignBridge:
     def test_runner_path_matches_legacy_serial_path(self):
         config = small_config()
-        legacy = run_workload_campaign(
-            config, num_workloads=3, observed_iterations=5, seed=7
-        )
+        legacy = run_workload_campaign(config, num_workloads=3, observed_iterations=5, seed=7)
         engine = run_workload_campaign(
             config,
             num_workloads=3,

@@ -40,13 +40,20 @@ class TestParser:
         args = build_parser().parse_args(
             [
                 "campaign",
-                "--jobs", "4",
-                "--out", "out/campaign",
-                "--cache-dir", "out/cache",
-                "--arbiter", "round_robin",
-                "--arbiter", "tdma",
-                "--contenders", "1",
-                "--contenders", "2",
+                "--jobs",
+                "4",
+                "--out",
+                "out/campaign",
+                "--cache-dir",
+                "out/cache",
+                "--arbiter",
+                "round_robin",
+                "--arbiter",
+                "tdma",
+                "--contenders",
+                "1",
+                "--contenders",
+                "2",
             ]
         )
         assert args.jobs == 4
@@ -63,8 +70,10 @@ class TestParser:
         args = build_parser().parse_args(
             [
                 "campaign",
-                "--topology", "bus_only",
-                "--topology", "bus_bank_queues",
+                "--topology",
+                "bus_only",
+                "--topology",
+                "bus_bank_queues",
             ]
         )
         assert args.topology == ["bus_only", "bus_bank_queues"]
@@ -83,6 +92,23 @@ class TestParser:
 
     def test_list_subcommand_parses(self):
         assert build_parser().parse_args(["list"]).command == "list"
+
+    def test_audit_defaults(self):
+        args = build_parser().parse_args(["audit", "small"])
+        assert args.command == "audit"
+        assert args.target == "small"
+        assert args.topology is None
+        assert args.out == "out/audit"
+        assert args.k_max == 60
+        assert args.synchrony_iterations == 150
+
+    def test_audit_requires_a_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["audit"])
+
+    def test_audit_topology_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["audit", "small", "--topology", "mesh"])
 
 
 class TestCommands:
@@ -113,9 +139,7 @@ class TestCommands:
         assert "gamma=" in output
 
     def test_campaign_on_small_preset(self, capsys):
-        exit_code = main(
-            ["--preset", "small", "campaign", "--workloads", "2", "--iterations", "5"]
-        )
+        exit_code = main(["--preset", "small", "campaign", "--workloads", "2", "--iterations", "5"])
         output = capsys.readouterr().out
         assert exit_code == 0
         assert "EEMBC-like" in output
@@ -129,20 +153,23 @@ class TestCommands:
         # registered name must show up.
         from repro.config import ARBITRATION_POLICIES, ENGINES, PRESETS, TOPOLOGIES
 
-        for name in (
-            list(PRESETS) + list(ARBITRATION_POLICIES) + list(ENGINES) + list(TOPOLOGIES)
-        ):
+        for name in list(PRESETS) + list(ARBITRATION_POLICIES) + list(ENGINES) + list(TOPOLOGIES):
             assert name in output
 
     def test_campaign_topology_sweep_on_small_preset(self, capsys):
         exit_code = main(
             [
-                "--preset", "small",
+                "--preset",
+                "small",
                 "campaign",
-                "--workloads", "1",
-                "--iterations", "4",
-                "--topology", "bus_only",
-                "--topology", "bus_bank_queues",
+                "--workloads",
+                "1",
+                "--iterations",
+                "4",
+                "--topology",
+                "bus_only",
+                "--topology",
+                "bus_bank_queues",
             ]
         )
         output = capsys.readouterr().out
@@ -152,10 +179,13 @@ class TestCommands:
     def test_synchrony_with_topology_override(self, capsys):
         exit_code = main(
             [
-                "--preset", "small",
+                "--preset",
+                "small",
                 "synchrony",
-                "--iterations", "30",
-                "--topology", "bus_bank_queues",
+                "--iterations",
+                "30",
+                "--topology",
+                "bus_bank_queues",
             ]
         )
         output = capsys.readouterr().out
@@ -163,9 +193,7 @@ class TestCommands:
         assert "gamma=" in output
 
     def test_library_errors_become_clean_cli_errors(self, capsys):
-        exit_code = main(
-            ["--preset", "small", "campaign", "--workloads", "1", "--jobs", "0"]
-        )
+        exit_code = main(["--preset", "small", "campaign", "--workloads", "1", "--jobs", "0"])
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "jobs must be >= 1" in captured.err
@@ -175,13 +203,19 @@ class TestCommands:
         from repro.campaign import load_campaign
 
         argv = [
-            "--preset", "small",
+            "--preset",
+            "small",
             "campaign",
-            "--workloads", "2",
-            "--iterations", "5",
-            "--jobs", "2",
-            "--out", str(tmp_path / "campaign"),
-            "--cache-dir", str(tmp_path / "cache"),
+            "--workloads",
+            "2",
+            "--iterations",
+            "5",
+            "--jobs",
+            "2",
+            "--out",
+            str(tmp_path / "campaign"),
+            "--cache-dir",
+            str(tmp_path / "cache"),
         ]
         assert main(argv) == 0
         cold = capsys.readouterr().out
@@ -263,3 +297,76 @@ class TestPerResourceCli:
         output = capsys.readouterr().out
         assert exit_code == 0
         assert "write_burst" in output
+
+
+#: The reduced measurement knobs the CI audit job uses.
+AUDIT_FAST = [
+    "--k-max",
+    "14",
+    "--iterations",
+    "15",
+    "--stress-iterations",
+    "30",
+    "--synchrony-iterations",
+    "60",
+    "--equivalence-iterations",
+    "25",
+]
+
+
+class TestAuditCli:
+    def test_audit_preset_exit_code_is_worst_verdict(self, tmp_path, capsys):
+        exit_code = main(["audit", "small", "--out", str(tmp_path / "audit")] + AUDIT_FAST)
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Verdict: pass (exit code 0)" in output
+        for dimension in ("measured_bounds", "engine_equivalence", "synchrony"):
+            assert dimension in output
+        assert (tmp_path / "audit" / "flags.json").exists()
+        assert (tmp_path / "audit" / "report.html").exists()
+
+    def test_audit_flagged_topology_exits_one_and_prints_the_warning(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "audit",
+                "small",
+                "--topology",
+                "bus_bank_queues",
+                "--out",
+                str(tmp_path / "audit"),
+            ]
+            + AUDIT_FAST
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 1
+        assert "Verdict: warn (exit code 1)" in output
+        assert "[WARN] write_burst/store_probe" in output
+
+    def test_audit_campaign_directory(self, tmp_path, capsys):
+        campaign_dir = tmp_path / "campaign"
+        campaign_argv = [
+            "--preset",
+            "small",
+            "campaign",
+            "--workloads",
+            "2",
+            "--iterations",
+            "5",
+            "--out",
+            str(campaign_dir),
+        ]
+        assert main(campaign_argv) == 0
+        capsys.readouterr()
+        exit_code = main(["audit", str(campaign_dir), "--out", str(tmp_path / "audit")])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "artifact_schema" in output
+        assert "campaign_bounds" in output
+        assert (tmp_path / "audit" / "flags.json").exists()
+
+    def test_audit_unresolvable_target_is_a_clean_error(self, capsys):
+        exit_code = main(["audit", "nonsense"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "cannot resolve audit target" in captured.err
+        assert "Traceback" not in captured.err

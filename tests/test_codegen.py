@@ -147,9 +147,7 @@ class TestCompileCache:
             return small_config(
                 num_cores=cores,
                 engine=engine,
-                bus=BusConfig(
-                    arbitration="tdma", transfer_latency=transfer, tdma_slot=slot
-                ),
+                bus=BusConfig(arbitration="tdma", transfer_latency=transfer, tdma_slot=slot),
                 topology=TopologyConfig(name=topology),
             )
 
@@ -303,12 +301,8 @@ class TestDiagnosticsLoop:
         horizon against the generic resource methods; on a correct build it
         must finish silently, on the oracle's exact cycle."""
         config = _topology_config(topology)
-        oracle = System(config, _rsk_programs(config)).run(
-            observed_cores=[0], engine="stepped"
-        )
+        oracle = System(config, _rsk_programs(config)).run(observed_cores=[0], engine="stepped")
         loop = compile_loop(config, diagnostics=True)
-        cycle, timed_out = loop.run(
-            System(config, _rsk_programs(config)), [0], 2_000_000
-        )
+        cycle, timed_out = loop.run(System(config, _rsk_programs(config)), [0], 2_000_000)
         assert not timed_out
         assert cycle + 1 == oracle.cycles

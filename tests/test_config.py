@@ -192,9 +192,7 @@ class TestPresets:
     def test_preset_names(self):
         assert set(PRESETS) == {"ref", "var", "small", "multi_resource", "split_bus"}
 
-    @pytest.mark.parametrize(
-        "name", ["ref", "var", "small", "multi_resource", "split_bus"]
-    )
+    @pytest.mark.parametrize("name", ["ref", "var", "small", "multi_resource", "split_bus"])
     def test_get_preset_builds(self, name):
         assert get_preset(name).name == name
 

@@ -200,9 +200,7 @@ class TestCoreBookkeeping:
             config = micro_config(l1_latency=l1_latency)
             stride = config.dl1.same_set_stride
             addresses = [index * stride for index in range(config.dl1.ways + 1)]
-            program = Program(
-                name="rsk-like", body=tuple(Load(a) for a in addresses), iterations=3
-            )
+            program = Program(name="rsk-like", body=tuple(Load(a) for a in addresses), iterations=3)
             system = System(config, [program], trace=True, preload_il1=True, preload_l2=True)
             result = system.run()
             deltas = set(result.trace.injection_times(0, kinds=["load"]))

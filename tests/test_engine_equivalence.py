@@ -95,9 +95,7 @@ def _check_codegen(config, build_system, observed, max_cycles, oracle_state):
     generated source attached either way.
     """
     codegen_mod.regenerate(config)
-    retry = build_system().run(
-        observed_cores=observed, max_cycles=max_cycles, engine="codegen"
-    )
+    retry = build_system().run(observed_cores=observed, max_cycles=max_cycles, engine="codegen")
     retry_matches = _observable_state(retry) == oracle_state
     diag_loop = codegen_mod.regenerate(config, diagnostics=True)
     diag_note = "diagnostics re-run found no divergent inline decision"
@@ -149,9 +147,7 @@ class TestAllArbitersEquivalent:
         programs[0] = scua
         for core, program in contenders.items():
             programs[core] = program
-        outcomes = _run_both(
-            config, programs, observed=[0], preload_l2=True, preload_il1=True
-        )
+        outcomes = _run_both(config, programs, observed=[0], preload_l2=True, preload_il1=True)
         stepped = _observable_state(outcomes["stepped"])
         event = _observable_state(outcomes["event"])
         assert stepped == event
@@ -177,23 +173,17 @@ class TestAllArbitersEquivalent:
         for core, program in contenders.items():
             programs[core] = program
         outcomes = _run_both(config, programs, observed=[0])
-        assert _observable_state(outcomes["stepped"]) == _observable_state(
-            outcomes["event"]
-        )
+        assert _observable_state(outcomes["stepped"]) == _observable_state(outcomes["event"])
 
     def test_timeout_stops_on_the_same_cycle(self):
         config = small_config()
         scua = build_rsk(config, 0, iterations=10_000)
         programs: List[Optional[Program]] = [None] * config.num_cores
         programs[0] = scua
-        outcomes = _run_both(
-            config, programs, observed=[0], max_cycles=777, preload_l2=True
-        )
+        outcomes = _run_both(config, programs, observed=[0], max_cycles=777, preload_l2=True)
         for outcome in outcomes.values():
             assert outcome.timed_out
-        assert _observable_state(outcomes["stepped"]) == _observable_state(
-            outcomes["event"]
-        )
+        assert _observable_state(outcomes["stepped"]) == _observable_state(outcomes["event"])
 
 
 class TestChainedTopologyEquivalent:
@@ -216,9 +206,7 @@ class TestChainedTopologyEquivalent:
         for core, program in contenders.items():
             programs[core] = program
         outcomes = _run_both(config, programs, observed=[0])
-        assert _observable_state(outcomes["stepped"]) == _observable_state(
-            outcomes["event"]
-        )
+        assert _observable_state(outcomes["stepped"]) == _observable_state(outcomes["event"])
         return outcomes
 
     @pytest.mark.parametrize("arbiter", ARBITRATION_POLICIES)
@@ -258,9 +246,7 @@ class TestChainedTopologyEquivalent:
         outcomes = _run_both(config, programs, observed=[0], max_cycles=901)
         for outcome in outcomes.values():
             assert outcome.timed_out
-        assert _observable_state(outcomes["stepped"]) == _observable_state(
-            outcomes["event"]
-        )
+        assert _observable_state(outcomes["stepped"]) == _observable_state(outcomes["event"])
 
 
 class TestSplitBusEquivalent:
@@ -279,9 +265,7 @@ class TestSplitBusEquivalent:
         for core, program in contenders.items():
             programs[core] = program
         outcomes = _run_both(config, programs, observed=[0])
-        assert _observable_state(outcomes["stepped"]) == _observable_state(
-            outcomes["event"]
-        )
+        assert _observable_state(outcomes["stepped"]) == _observable_state(outcomes["event"])
         return outcomes
 
     @pytest.mark.parametrize("arbiter", ARBITRATION_POLICIES)
@@ -321,9 +305,7 @@ class TestSplitBusEquivalent:
         outcomes = _run_both(config, programs, observed=[0], max_cycles=903)
         for outcome in outcomes.values():
             assert outcome.timed_out
-        assert _observable_state(outcomes["stepped"]) == _observable_state(
-            outcomes["event"]
-        )
+        assert _observable_state(outcomes["stepped"]) == _observable_state(outcomes["event"])
 
 
 # --------------------------------------------------------------------------- #
@@ -349,16 +331,12 @@ _programs = st.builds(
     iterations=st.integers(min_value=1, max_value=5),
 )
 
-def _build_config(
-    arbiter, transfer, slot, dl1_latency, entries, cores, topology, mem_arbiter
-):
+def _build_config(arbiter, transfer, slot, dl1_latency, entries, cores, topology, mem_arbiter):
     return small_config(
         num_cores=cores,
         bus=BusConfig(arbitration=arbiter, transfer_latency=transfer, tdma_slot=slot),
         dl1=CacheConfig(size_bytes=1024, ways=2, hit_latency=dl1_latency),
-        l2=L2Config(
-            cache=CacheConfig(size_bytes=8 * 1024, ways=4, line_size=32, hit_latency=2)
-        ),
+        l2=L2Config(cache=CacheConfig(size_bytes=8 * 1024, ways=4, line_size=32, hit_latency=2)),
         store_buffer=StoreBufferConfig(entries=entries),
         # The drawn arbiter doubles as the response-channel policy so the
         # split_bus strategy also sweeps response arbitration.
@@ -406,6 +384,4 @@ class TestEngineEquivalenceProperties:
             preload_l2=preload_l2,
             preload_il1=preload_il1,
         )
-        assert _observable_state(outcomes["stepped"]) == _observable_state(
-            outcomes["event"]
-        )
+        assert _observable_state(outcomes["stepped"]) == _observable_state(outcomes["event"])

@@ -129,9 +129,7 @@ class TestBusEventPort:
 
 class TestMemoryControllerEventPort:
     def test_enqueue_and_deliver_invalidate(self):
-        controller = MemoryController(
-            DramConfig(), read_callback=lambda pending, cycle: None
-        )
+        controller = MemoryController(DramConfig(), read_callback=lambda pending, cycle: None)
         assert controller.horizon(0) == NO_EVENT
         pending = controller.enqueue_read(0, 0x100, cycle=0)
         assert controller.horizon(0) == pending.complete_cycle

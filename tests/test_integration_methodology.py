@@ -102,9 +102,7 @@ class TestRobustnessAcrossPlatformParameters:
         """Figure 7(b): with stores the slowdown is saw-tooth shaped for one
         period only and vanishes once the store buffer hides the bus."""
         config = small_config()
-        estimator = UbdEstimator(
-            config, instruction_type="store", iterations=15, auto_extend=False
-        )
+        estimator = UbdEstimator(config, instruction_type="store", iterations=15, auto_extend=False)
         drain_interval = config.ubd + config.bus_service_l2_hit
         ks = list(range(1, drain_interval + 6))
         points = estimator.sweep(ks)

@@ -85,9 +85,7 @@ class TestProgramProperties:
         assert program.count_memory_instructions() is None
 
     def test_total_instructions_counts_prologue(self):
-        program = Program(
-            name="p", body=(Nop(), Nop()), iterations=3, prologue=(Alu(),)
-        )
+        program = Program(name="p", body=(Nop(), Nop()), iterations=3, prologue=(Alu(),))
         assert program.total_instructions == 1 + 3 * 2
 
     def test_memory_instruction_count(self):
@@ -141,9 +139,7 @@ class TestInstructionStream:
         assert pcs == [0x100, 0x104, 0x100, 0x104]
 
     def test_prologue_comes_first_with_distinct_pcs(self):
-        program = Program(
-            name="p", body=(Nop(),), iterations=2, prologue=(Alu(),), base_pc=0x100
-        )
+        program = Program(name="p", body=(Nop(),), iterations=2, prologue=(Alu(),), base_pc=0x100)
         stream = list(program.instruction_stream())
         assert stream[0][0] == 0x100
         assert isinstance(stream[0][1], Alu)

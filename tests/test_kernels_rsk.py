@@ -232,13 +232,9 @@ class TestRskRegistry:
         from repro.kernels.rsk import rsk_for_resource
 
         config = small_config()
-        assert rsk_for_resource("bus").build(config, 0, iterations=5).name.startswith(
-            "rsk-load"
-        )
+        assert rsk_for_resource("bus").build(config, 0, iterations=5).name.startswith("rsk-load")
         assert rsk_for_resource("memory").build(config, 1).name.startswith("rsk-bank")
-        assert rsk_for_resource("bus_response").build(config, 2).name.startswith(
-            "rsk-response"
-        )
+        assert rsk_for_resource("bus_response").build(config, 2).name.startswith("rsk-response")
 
     def test_unknown_resource_names_alternatives(self):
         from repro.errors import ConfigurationError

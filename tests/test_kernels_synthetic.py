@@ -117,9 +117,7 @@ class TestKernelBehaviour:
         program = build_synthetic_kernel(ref, "basefp", 0, iterations=10)
         system = System(ref, [program], preload_il1=True, preload_l2=True, preload_dl1=True)
         result = system.run()
-        requests_per_instruction = (
-            result.pmc.core[0].bus_requests / result.instructions[0]
-        )
+        requests_per_instruction = result.pmc.core[0].bus_requests / result.instructions[0]
         assert requests_per_instruction < 0.05
 
     def test_bus_heavy_kernel_produces_more_traffic_than_light_one(self, ref):

@@ -164,9 +164,7 @@ class TestLegacyOracle:
         assert report.bus_methodology.ubdm == legacy.ubdm
         assert report.bus_methodology.period.period_k == legacy.period.period_k
         assert report.bus_methodology.points == legacy.points
-        assert (
-            report.bus_methodology.confidence.passed == legacy.confidence.passed
-        )
+        assert report.bus_methodology.confidence.passed == legacy.confidence.passed
 
     def test_bus_only_recovers_the_analytical_ubd(self):
         config, report = report_for("bus_only")
@@ -186,10 +184,7 @@ class TestEngineParity:
         _, stepped = report_for(topology, engine="stepped")
         assert fast.measured_terms == stepped.measured_terms
         for resource in fast.terms:
-            assert (
-                fast.terms[resource].as_record()
-                == stepped.terms[resource].as_record()
-            )
+            assert fast.terms[resource].as_record() == stepped.terms[resource].as_record()
         assert fast.end_to_end_ubdm == stepped.end_to_end_ubdm
 
 
@@ -205,11 +200,7 @@ class TestMeasuredComposition:
             task_name="t", isolation_time=100, bus_requests=10, memory_requests=4
         )
         terms = report.measured_terms
-        expected = (
-            100
-            + 10 * terms["bus"]
-            + 4 * (terms["memory"] + terms["bus_response"])
-        )
+        expected = (100 + 10 * terms["bus"] + 4 * (terms["memory"] + terms["bus_response"]))
         assert composed.etb == expected
         assert set(composed.pads) == set(terms)
 
@@ -283,9 +274,7 @@ class TestPipelineValidation:
         "overrides",
         [
             dict(bus=BusConfig(arbitration="fixed_priority", transfer_latency=1)),
-            dict(
-                topology=TopologyConfig(name="bus_bank_queues", mem_arbitration="tdma")
-            ),
+            dict(topology=TopologyConfig(name="bus_bank_queues", mem_arbitration="tdma")),
         ],
     )
     def test_non_composable_platforms_refused(self, overrides):

@@ -14,7 +14,8 @@ class TestReads:
     def test_read_completion_fires_callback(self):
         completions = []
         controller = MemoryController(
-            DramConfig(), read_callback=lambda pending, cycle: completions.append((pending.addr, cycle))
+            DramConfig(),
+            read_callback=lambda pending, cycle: completions.append((pending.addr, cycle)),
         )
         pending = controller.enqueue_read(core_id=0, addr=0x100, cycle=0)
         assert controller.outstanding_reads == 1

@@ -103,9 +103,7 @@ class TestAutoExtension:
         wider = small_config(
             num_cores=5,
             l2=L2Config(
-                cache=CacheConfig(
-                    size_bytes=32 * 1024, ways=8, line_size=32, hit_latency=2
-                )
+                cache=CacheConfig(size_bytes=32 * 1024, ways=8, line_size=32, hit_latency=2)
             ),
         )
         narrow_result = UbdEstimator(narrow, k_max=14, iterations=12).run()

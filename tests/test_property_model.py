@@ -40,7 +40,10 @@ class TestGammaInvariants:
     def test_gamma_zero_delta_is_ubd(self, ubd):
         assert gamma_of_delta(0, ubd) == ubd
 
-    @given(delta=st.integers(min_value=1, max_value=500), ubd=st.integers(min_value=2, max_value=100))
+    @given(
+        delta=st.integers(min_value=1, max_value=500),
+        ubd=st.integers(min_value=2, max_value=100),
+    )
     def test_gamma_plus_delta_offset_is_multiple_of_ubd(self, delta, ubd):
         """Within one round, waiting gamma cycles lands exactly on the next
         grant opportunity: (delta + gamma) is always a multiple of ubd."""
@@ -102,9 +105,7 @@ class TestSawtoothDetectionRoundTrip:
         delta_rsk=st.integers(min_value=1, max_value=6),
         requests=st.integers(min_value=10, max_value=500),
     )
-    def test_detector_recovers_the_period_that_generated_the_series(
-        self, ubd, delta_rsk, requests
-    ):
+    def test_detector_recovers_the_period_that_generated_the_series(self, ubd, delta_rsk, requests):
         """Generate dbus(k) from Equation 2 and check the analyzer recovers ubd
         regardless of the (hidden) injection time and scaling."""
         ks = list(range(1, 3 * ubd + 2))

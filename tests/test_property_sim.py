@@ -107,8 +107,12 @@ program_strategy = st.builds(
         st.one_of(
             st.builds(Nop),
             st.builds(Alu, latency=st.integers(min_value=1, max_value=3)),
-            st.builds(Load, addr=st.integers(min_value=0, max_value=15).map(lambda i: 0x100 + 32 * i)),
-            st.builds(Store, addr=st.integers(min_value=0, max_value=15).map(lambda i: 0x300 + 32 * i)),
+            st.builds(
+                Load, addr=st.integers(min_value=0, max_value=15).map(lambda i: 0x100 + 32 * i)
+            ),
+            st.builds(
+                Store, addr=st.integers(min_value=0, max_value=15).map(lambda i: 0x300 + 32 * i)
+            ),
         ),
         min_size=1,
         max_size=10,

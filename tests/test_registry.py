@@ -81,15 +81,11 @@ class TestRegistry:
 
 class TestRegistryBackedNames:
     def test_reads_through_to_the_registry(self):
-        names = registry_backed_names(
-            "repro.sim.arbiter", "registered_arbiters", ("stale",)
-        )
+        names = registry_backed_names("repro.sim.arbiter", "registered_arbiters", ("stale",))
         assert names() == ARBITER_REGISTRY.names()
 
     def test_unimportable_module_falls_back(self):
-        names = registry_backed_names(
-            "repro.no_such_module", "accessor", ("fallback",)
-        )
+        names = registry_backed_names("repro.no_such_module", "accessor", ("fallback",))
         assert names() == ("fallback",)
 
 

@@ -103,9 +103,7 @@ class TestIdleResponseMatchesBusOnly:
                 preload_l2=True,
                 preload_il1=True,
             )
-            results[topology] = _observable(
-                system.run(observed_cores=[0], engine=engine)
-            )
+            results[topology] = _observable(system.run(observed_cores=[0], engine=engine))
         assert results["bus_only"] == results["split_bus"]
 
     def test_store_traffic_identical(self):
@@ -266,9 +264,7 @@ class TestRuntimeTopologyRegistration:
             outcomes = {}
             for engine in ("stepped", "event"):
                 system = System(config, _bank_programs(config), trace=True)
-                outcomes[engine] = _observable(
-                    system.run(observed_cores=[0], engine=engine)
-                )
+                outcomes[engine] = _observable(system.run(observed_cores=[0], engine=engine))
             assert outcomes["stepped"] == outcomes["event"]
         finally:
             TOPOLOGY_REGISTRY.pop(name)

@@ -65,9 +65,7 @@ from repro.config import DramConfig
 
 
 def _queued_config(**overrides):
-    return small_config(
-        topology=TopologyConfig(name="bus_bank_queues"), **overrides
-    )
+    return small_config(topology=TopologyConfig(name="bus_bank_queues"), **overrides)
 
 
 def _rsk_programs(config, iterations=50, kind="load"):
@@ -166,9 +164,7 @@ class TestRegistries:
 
     def test_build_split_bus_chains_three_resources(self):
         config = small_config(topology=TopologyConfig(name="split_bus"))
-        chain = build_topology(
-            config, TopologyHooks(service_callback=lambda request, cycle: 1)
-        )
+        chain = build_topology(config, TopologyHooks(service_callback=lambda request, cycle: 1))
         assert [r.resource_name for r in chain.resources] == [
             "bus",
             "memqueue",
@@ -189,9 +185,7 @@ class TestRegistries:
         for resource in system.resources:
             assert isinstance(resource, SharedResource)
         assert [r.resource_name for r in system.resources] == ["bus", "memqueue"]
-        split = System(
-            small_config(topology=TopologyConfig(name="split_bus")), [None] * 3
-        )
+        split = System(small_config(topology=TopologyConfig(name="split_bus")), [None] * 3)
         assert [r.resource_name for r in split.resources] == [
             "bus",
             "memqueue",
