@@ -17,6 +17,7 @@ import pytest
 from repro.bench import (
     BENCH_SCHEMA_VERSION,
     BenchWorkload,
+    CampaignBench,
     compare_payloads,
     load_payload,
     render_report,
@@ -33,10 +34,26 @@ TINY = BenchWorkload(
     quick_iterations=120,
 )
 
+TINY_CAMPAIGN = CampaignBench(
+    name="small/tiny",
+    preset="small",
+    seeds=(7,),
+    quick_seeds=(7,),
+    workloads=1,
+    quick_workloads=1,
+    iterations=4,
+    quick_iterations=4,
+    rsk_iterations=8,
+    quick_rsk_iterations=8,
+    jobs_axis=(2,),
+)
+
 
 @pytest.fixture(scope="module")
 def payload():
-    return run_benchmarks(workloads=(TINY,), quick=True, repeats=1, rev="test")
+    return run_benchmarks(
+        workloads=(TINY,), quick=True, repeats=1, rev="test", campaigns=(TINY_CAMPAIGN,)
+    )
 
 
 class TestHarness:
@@ -80,6 +97,41 @@ class TestHarness:
         (entry,) = payload["workloads"]
         assert entry["topology"] == "bus_bank_queues"
         assert entry["engines"]["stepped"]["cycles"] == entry["engines"]["event"]["cycles"]
+
+    def test_campaign_entry_schema_and_guarantees(self, payload):
+        """The campaigns section records cold/warm runs-per-sec, the gated
+        warm_speedup ratio and the parallel-efficiency series; the warm
+        phase must have answered from the index alone (zero artifact
+        reads, zero simulations — violations raise inside the harness)."""
+        (entry,) = payload["campaigns"]
+        assert entry["name"] == TINY_CAMPAIGN.name
+        assert entry["runs"] == 2  # one workload + the rsk reference
+        assert entry["unique_runs"] == 2
+        assert entry["cold"]["runs_per_sec"] > 0
+        assert entry["warm"]["runs_per_sec"] > 0
+        # A warm re-run skips every simulation, so it must beat cold.
+        assert entry["warm_speedup"] > 1.0
+        assert entry["warm"]["counters"]["artifact_reads"] == 0
+        assert entry["warm"]["counters"]["index_queries"] >= 1
+        assert set(entry["parallel"]) == {"2"}
+        series = entry["parallel"]["2"]
+        assert series["runs_per_sec"] > 0
+        assert series["efficiency"] == pytest.approx(series["speedup"] / 2)
+        assert payload["summary"]["campaign_geomean_warm_speedup"] > 1.0
+
+    def test_campaigns_render_and_serialise(self, payload):
+        report = render_report(payload)
+        assert TINY_CAMPAIGN.name in report
+        assert "warm" in report
+        rebuilt = json.loads(json.dumps(payload))
+        assert rebuilt["campaigns"][0]["name"] == TINY_CAMPAIGN.name
+
+    def test_campaign_family_can_be_skipped(self):
+        payload = run_benchmarks(
+            workloads=(TINY,), quick=True, repeats=1, rev="t", campaigns=()
+        )
+        assert payload["campaigns"] == []
+        assert payload["summary"]["campaign_geomean_warm_speedup"] is None
 
     def test_topology_bearing_preset_keeps_its_topology(self):
         """A workload that does not override the topology runs on the
@@ -125,6 +177,15 @@ class TestCompareGate:
         slower = copy.deepcopy(payload)
         slower["workloads"][0]["speedups"]["codegen"] *= 0.5
         assert compare_payloads(payload, slower, metric="codegen_speedup").ok is False
+        assert compare_payloads(payload, slower, metric="speedup").ok
+
+    def test_campaign_warm_speedup_metric_gates_the_store_path(self, payload):
+        """The campaign leg of the perf job gates entry["warm_speedup"] of
+        the campaigns section — a slower warm-hit path must fail even when
+        every engine workload is untouched, and vice versa."""
+        slower = copy.deepcopy(payload)
+        slower["campaigns"][0]["warm_speedup"] *= 0.5
+        assert compare_payloads(payload, slower, metric="campaign_warm_speedup").ok is False
         assert compare_payloads(payload, slower, metric="speedup").ok
 
     def test_missing_workload_fails(self, payload):

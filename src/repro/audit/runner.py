@@ -32,7 +32,7 @@ from .core import (
     AuditReport,
     write_flags,
 )
-from ..campaign.artifacts import RESULTS_NAME, load_campaign
+from ..campaign.artifacts import RESULTS_NAME, load_campaign, load_manifest
 from .dimensions import AuditOptions, audit_config
 from .html import render_html
 
@@ -93,10 +93,17 @@ def audit_config_file(
 
 
 def audit_campaign_dir(directory: os.PathLike) -> AuditReport:
-    """Audit a finished campaign directory (read-only; nothing re-simulated)."""
+    """Audit a campaign directory (read-only; nothing re-simulated).
+
+    Loads the optional ``campaign.json`` manifest alongside the records and
+    summary: store-backed streaming campaigns stamp their identity and
+    completion state there, and the dimensions use it to tell an in-flight
+    (or crashed) directory from a corrupt one.
+    """
     campaign_dir = Path(directory)
     try:
         records, summary = load_campaign(campaign_dir)
+        manifest = load_manifest(campaign_dir)
     except ReproError as exc:
         raise AuditError(
             f"cannot load campaign artifacts from {campaign_dir}: {exc}"
@@ -106,7 +113,13 @@ def audit_campaign_dir(directory: os.PathLike) -> AuditReport:
         "name": campaign_dir.name,
         "path": str(campaign_dir),
     }
-    return AuditReport(target=target, dimensions=audit_campaign_artifacts(records, summary))
+    if manifest is not None:
+        target["campaign_id"] = str(manifest.get("campaign_id"))
+        target["completed"] = bool(manifest.get("completed"))
+    return AuditReport(
+        target=target,
+        dimensions=audit_campaign_artifacts(records, summary, manifest=manifest),
+    )
 
 
 def resolve_and_audit(

@@ -16,6 +16,12 @@ across hosts; raw ``cycles_per_sec`` is recorded for trend plots but is
 hardware-dependent.
 """
 
+from .campaign_bench import (
+    CAMPAIGN_WORKLOADS,
+    CampaignBench,
+    run_campaign_benchmarks,
+    time_campaign,
+)
 from .compare import CompareResult, compare_payloads, load_payload
 from .harness import (
     BENCH_SCHEMA_VERSION,
@@ -29,6 +35,8 @@ from .harness import (
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "BenchWorkload",
+    "CAMPAIGN_WORKLOADS",
+    "CampaignBench",
     "CompareResult",
     "DEFAULT_WORKLOAD",
     "WORKLOADS",
@@ -36,4 +44,6 @@ __all__ = [
     "load_payload",
     "render_report",
     "run_benchmarks",
+    "run_campaign_benchmarks",
+    "time_campaign",
 ]

@@ -17,6 +17,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from .campaign_bench import CAMPAIGN_WORKLOADS
 from .compare import METRICS, compare_files
 from .harness import WORKLOADS, render_report, run_benchmarks
 
@@ -67,7 +68,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--workload",
         action="append",
         choices=[workload.name for workload in WORKLOADS],
-        help="restrict to specific workloads (repeatable; default: all)",
+        help="restrict to specific engine workloads (repeatable; default: "
+        "all; restricting skips the campaign family unless --campaign is "
+        "also given)",
+    )
+    run.add_argument(
+        "--campaign",
+        action="append",
+        choices=[bench.name for bench in CAMPAIGN_WORKLOADS],
+        help="restrict to specific campaign benches (repeatable; default: "
+        "all; restricting skips the engine workloads unless --workload is "
+        "also given)",
     )
 
     compare = subparsers.add_parser("compare", help="gate new BENCH payload(s) against a baseline")
@@ -91,10 +102,24 @@ def build_parser() -> argparse.ArgumentParser:
 def _run(args: argparse.Namespace) -> int:
     rev = args.rev if args.rev is not None else _detect_rev()
     workloads = WORKLOADS
+    campaigns = CAMPAIGN_WORKLOADS
     if args.workload:
         wanted = set(args.workload)
         workloads = tuple(w for w in WORKLOADS if w.name in wanted)
-    payload = run_benchmarks(workloads=workloads, quick=args.quick, repeats=args.repeats, rev=rev)
+        if not args.campaign:
+            campaigns = ()
+    if args.campaign:
+        wanted = set(args.campaign)
+        campaigns = tuple(c for c in CAMPAIGN_WORKLOADS if c.name in wanted)
+        if not args.workload:
+            workloads = ()
+    payload = run_benchmarks(
+        workloads=workloads,
+        quick=args.quick,
+        repeats=args.repeats,
+        rev=rev,
+        campaigns=campaigns,
+    )
     print(render_report(payload))
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,228 @@
+"""Campaign-throughput benchmarks: runs/sec through the result store.
+
+While :mod:`repro.bench.harness` times single simulations, this family
+times whole *campaigns* through the durable
+:class:`~repro.campaign.store.ResultStore`, capturing the three numbers
+the campaign engine is optimised for:
+
+* **cold** runs/sec — miss-frontier execution through shard dispatch;
+* **warm** runs/sec — a re-run of an unchanged campaign, which must
+  simulate nothing and resolve the whole grid from the store's SQLite
+  index (a handful of batched queries, zero artifact reads);
+* **parallel efficiency** — cold speedup per worker versus ``--jobs``.
+
+The gated metric is ``warm_speedup`` (warm / cold runs per second): like
+the engine ``speedup`` metrics it is a same-process ratio, so a committed
+baseline stays meaningful on any CI host.  Raw runs/sec and the store's
+operation counters are recorded for trend plots and the ≥10x-fewer-ops
+acceptance check.
+
+Each measurement also re-asserts the engine's core guarantees — a warm
+re-run performs zero simulations and reads zero artifact files, and
+parallel records equal serial records — so a broken guarantee surfaces as
+a bench *error*, never as a silently fast number.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..campaign import CampaignSpec, ParallelRunner, ResultStore
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class CampaignBench:
+    """One timed campaign: a spec grid pushed through the result store.
+
+    Attributes:
+        name: stable identifier used to match entries across payloads.
+        preset: platform preset the campaign sweeps.
+        arbiters: bus arbitration policies of the grid.
+        seeds: base seeds (each draws an independent workload set).
+        quick_seeds: reduced seed axis for ``--quick`` (CI) runs.
+        workloads / quick_workloads: random workloads per grid point.
+        iterations / quick_iterations: observed-task loop iterations.
+        rsk_iterations / quick_rsk_iterations: observed-rsk iterations.
+        jobs_axis: worker counts measured for the parallel-efficiency
+            series (cold, fresh store per point).
+    """
+
+    name: str
+    preset: str
+    arbiters: Tuple[str, ...] = ("round_robin",)
+    seeds: Tuple[int, ...] = (2015,)
+    quick_seeds: Tuple[int, ...] = (2015,)
+    workloads: int = 4
+    quick_workloads: int = 2
+    iterations: int = 10
+    quick_iterations: int = 5
+    rsk_iterations: int = 20
+    quick_rsk_iterations: int = 10
+    jobs_axis: Tuple[int, ...] = (2,)
+
+    def spec(self, quick: bool) -> CampaignSpec:
+        """The campaign grid at full or quick size."""
+        return CampaignSpec(
+            presets=(self.preset,),
+            arbiters=self.arbiters,
+            seeds=self.quick_seeds if quick else self.seeds,
+            num_workloads=self.quick_workloads if quick else self.workloads,
+            iterations=self.quick_iterations if quick else self.iterations,
+            rsk_iterations=self.quick_rsk_iterations if quick else self.rsk_iterations,
+        )
+
+
+def _grid() -> Tuple[CampaignBench, ...]:
+    return (
+        # Seed sweep on the 2-core platform: many runs per config object,
+        # which is exactly the shape shard-level config dedup amortises.
+        CampaignBench(
+            name="small/seed-sweep",
+            preset="small",
+            seeds=(2015, 2016, 2017, 2018),
+            quick_seeds=(2015, 2016),
+        ),
+        # Arbiter sweep on the paper's default 4-core platform: heavier
+        # individual runs, two distinct configs in the frontier.
+        CampaignBench(
+            name="ref/arbiter-sweep",
+            preset="ref",
+            arbiters=("round_robin", "fifo"),
+            workloads=4,
+            quick_workloads=2,
+            iterations=8,
+            quick_iterations=4,
+            rsk_iterations=16,
+            quick_rsk_iterations=8,
+        ),
+    )
+
+
+#: The campaign-throughput workload grid.
+CAMPAIGN_WORKLOADS: Tuple[CampaignBench, ...] = _grid()
+
+
+def _timed_run(
+    runner: ParallelRunner, descriptors: Sequence[object]
+) -> Tuple[float, object]:
+    started = time.perf_counter()
+    outcome = runner.run(descriptors)  # type: ignore[arg-type]
+    return time.perf_counter() - started, outcome
+
+
+def time_campaign(
+    bench: CampaignBench, quick: bool, repeats: int
+) -> Dict[str, object]:
+    """Measure one campaign bench: cold, warm and parallel phases.
+
+    Every phase keeps the best wall time of ``repeats`` attempts (cold and
+    parallel attempts each get a fresh store; warm attempts share the store
+    the last cold attempt populated).
+    """
+    descriptors = bench.spec(quick).expand()
+    runs = len(descriptors)
+    entry: Dict[str, object] = {
+        "name": bench.name,
+        "preset": bench.preset,
+        "runs": runs,
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-bench-campaign-") as tmp:
+        base = Path(tmp)
+        cold_seconds: Optional[float] = None
+        reference: Optional[Tuple[Dict[str, object], ...]] = None
+        warm_dir: Optional[Path] = None
+        for attempt in range(max(1, repeats)):
+            directory = base / f"cold-{attempt}"
+            with ResultStore(directory, campaign_id=bench.name) as store:
+                elapsed, outcome = _timed_run(ParallelRunner(jobs=1, cache=store), descriptors)
+            if outcome.stats["simulated"] != outcome.stats["unique_runs"]:
+                raise SimulationError(
+                    f"{bench.name}: cold campaign hit a fresh store "
+                    f"({outcome.stats['simulated']} simulated of "
+                    f"{outcome.stats['unique_runs']} unique runs)"
+                )
+            if reference is None:
+                reference = outcome.records
+                entry["unique_runs"] = outcome.stats["unique_runs"]
+            if cold_seconds is None or elapsed < cold_seconds:
+                cold_seconds = elapsed
+            warm_dir = directory
+        assert cold_seconds is not None and warm_dir is not None and reference is not None
+
+        warm_seconds: Optional[float] = None
+        warm_counters: Dict[str, int] = {}
+        with ResultStore(warm_dir, campaign_id=bench.name) as store:
+            for _ in range(max(1, repeats)):
+                store.counters.reset()
+                elapsed, outcome = _timed_run(ParallelRunner(jobs=1, cache=store), descriptors)
+                if outcome.stats["simulated"] != 0:
+                    raise SimulationError(
+                        f"{bench.name}: warm re-run simulated "
+                        f"{outcome.stats['simulated']} run(s); the store "
+                        "failed to dedupe an unchanged campaign"
+                    )
+                if store.counters.artifact_reads != 0:
+                    raise SimulationError(
+                        f"{bench.name}: warm re-run read "
+                        f"{store.counters.artifact_reads} artifact file(s); "
+                        "the index should have answered from its inline records"
+                    )
+                if outcome.records != reference:
+                    raise SimulationError(
+                        f"{bench.name}: warm records differ from cold records"
+                    )
+                if warm_seconds is None or elapsed < warm_seconds:
+                    warm_seconds = elapsed
+                    warm_counters = store.counters.as_dict()
+        assert warm_seconds is not None
+
+        parallel: Dict[str, Dict[str, float]] = {}
+        for jobs in bench.jobs_axis:
+            best: Optional[float] = None
+            for attempt in range(max(1, repeats)):
+                directory = base / f"par{jobs}-{attempt}"
+                with ResultStore(directory, campaign_id=bench.name) as store:
+                    elapsed, outcome = _timed_run(
+                        ParallelRunner(jobs=jobs, cache=store), descriptors
+                    )
+                if outcome.records != reference:
+                    raise SimulationError(
+                        f"{bench.name}: parallel (jobs={jobs}) records differ "
+                        "from serial records"
+                    )
+                if best is None or elapsed < best:
+                    best = elapsed
+            assert best is not None
+            speedup = cold_seconds / best if best else 0.0
+            parallel[str(jobs)] = {
+                "seconds": best,
+                "runs_per_sec": runs / best if best else 0.0,
+                "speedup": speedup,
+                "efficiency": speedup / jobs,
+            }
+
+    cold_rps = runs / cold_seconds if cold_seconds else 0.0
+    warm_rps = runs / warm_seconds if warm_seconds else 0.0
+    entry["cold"] = {"seconds": cold_seconds, "runs_per_sec": cold_rps}
+    entry["warm"] = {
+        "seconds": warm_seconds,
+        "runs_per_sec": warm_rps,
+        "counters": warm_counters,
+    }
+    entry["warm_speedup"] = warm_rps / cold_rps if cold_rps else 0.0
+    entry["parallel"] = parallel
+    return entry
+
+
+def run_campaign_benchmarks(
+    campaigns: Sequence[CampaignBench] = CAMPAIGN_WORKLOADS,
+    quick: bool = False,
+    repeats: int = 2,
+) -> List[Dict[str, object]]:
+    """Time every campaign bench and return the ``campaigns`` payload section."""
+    return [time_campaign(bench, quick, repeats) for bench in campaigns]

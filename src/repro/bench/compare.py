@@ -20,9 +20,11 @@ from .harness import BENCH_SCHEMA_VERSION
 
 #: Metrics the gate can check.  ``speedup`` is the event engine vs the
 #: stepped oracle; ``codegen_speedup`` gates the generated-loop engine the
-#: same host-independent way; ``cycles_per_sec`` (event engine) is only
-#: meaningful when both payloads come from the same machine.
-METRICS = ("speedup", "codegen_speedup", "cycles_per_sec")
+#: same host-independent way; ``campaign_warm_speedup`` gates the result
+#: store's warm-hit path (warm vs cold runs/sec of the ``campaigns``
+#: section — also a same-process ratio); ``cycles_per_sec`` (event engine)
+#: is only meaningful when both payloads come from the same machine.
+METRICS = ("speedup", "codegen_speedup", "campaign_warm_speedup", "cycles_per_sec")
 
 
 @dataclass
@@ -60,9 +62,17 @@ def _metric_of(entry: Dict[str, object], metric: str) -> float:
         return float(entry["speedup"])
     if metric == "codegen_speedup":
         return float(entry["speedups"]["codegen"])
+    if metric == "campaign_warm_speedup":
+        return float(entry["warm_speedup"])
     if metric == "cycles_per_sec":
         return float(entry["engines"]["event"]["cycles_per_sec"])
     raise ValueError(f"unknown metric {metric!r}; available: {list(METRICS)}")
+
+
+def _section_of(metric: str) -> str:
+    """The payload section a metric gates: engine metrics live under
+    ``workloads``, campaign metrics under ``campaigns``."""
+    return "campaigns" if metric.startswith("campaign_") else "workloads"
 
 
 def compare_payloads(
@@ -82,8 +92,9 @@ def compare_payloads(
     """
     if not 0 <= max_regression < 1:
         raise ValueError(f"max_regression must be in [0, 1), got {max_regression}")
-    old_entries = {entry["name"]: entry for entry in old["workloads"]}
-    new_entries = {entry["name"]: entry for entry in new["workloads"]}
+    section = _section_of(metric)
+    old_entries = {entry["name"]: entry for entry in old.get(section, [])}
+    new_entries = {entry["name"]: entry for entry in new.get(section, [])}
     result = CompareResult(ok=True)
     result.lines.append(
         f"comparing {metric} (old rev {old.get('rev')}, new rev {new.get('rev')}, "

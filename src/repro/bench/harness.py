@@ -15,9 +15,12 @@ from __future__ import annotations
 import platform
 import time
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..config import ENGINES, get_preset
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a load-time module cycle
+    from .campaign_bench import CampaignBench
 from ..errors import SimulationError
 from ..kernels.rsk import build_rsk, build_stress_contender_set, rsk_for_resource
 from ..methodology.experiment import build_contender_set
@@ -27,7 +30,10 @@ from ..sim.system import System
 #: the meaning of a metric changes, so the compare gate never misreads a
 #: stale baseline.  v2: entries gain a per-engine ``speedups`` mapping and
 #: the summary a per-engine ``engines`` section (the codegen engine).
-BENCH_SCHEMA_VERSION = 2
+#: v3: payloads gain a ``campaigns`` section (campaign throughput through
+#: the result store: cold/warm runs-per-sec, ``warm_speedup``, parallel
+#: efficiency) and the summary a ``campaign_geomean_warm_speedup``.
+BENCH_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -212,6 +218,7 @@ def run_benchmarks(
     quick: bool = False,
     repeats: int = 2,
     rev: str = "local",
+    campaigns: Optional[Sequence["CampaignBench"]] = None,
 ) -> Dict[str, object]:
     """Time ``workloads`` on every registered engine and return the payload.
 
@@ -221,7 +228,16 @@ def run_benchmarks(
     stepped oracle for every workload — a mismatch means a fast engine
     broke cycle-exactness and is reported as an error rather than a slow
     result.
+
+    ``campaigns`` selects the campaign-throughput family
+    (:mod:`repro.bench.campaign_bench`); ``None`` runs the default
+    :data:`~repro.bench.campaign_bench.CAMPAIGN_WORKLOADS` grid and ``()``
+    skips the family entirely.
     """
+    from .campaign_bench import CAMPAIGN_WORKLOADS, run_campaign_benchmarks
+
+    if campaigns is None:
+        campaigns = CAMPAIGN_WORKLOADS
     entries: List[Dict[str, object]] = []
     for workload in workloads:
         engines: Dict[str, Dict[str, float]] = {}
@@ -263,6 +279,7 @@ def run_benchmarks(
                 "speedups": speedups,
             }
         )
+    campaign_entries = run_campaign_benchmarks(campaigns, quick=quick, repeats=repeats)
     return {
         "schema": BENCH_SCHEMA_VERSION,
         "rev": rev,
@@ -270,7 +287,8 @@ def run_benchmarks(
         "repeats": repeats,
         "python": platform.python_version(),
         "workloads": entries,
-        "summary": _summarize(entries),
+        "campaigns": campaign_entries,
+        "summary": _summarize(entries, campaign_entries),
     }
 
 
@@ -283,7 +301,10 @@ def _geomean(values: Sequence[float]) -> float:
     return product ** (1.0 / len(values))
 
 
-def _summarize(entries: Sequence[Dict[str, object]]) -> Dict[str, object]:
+def _summarize(
+    entries: Sequence[Dict[str, object]],
+    campaign_entries: Sequence[Dict[str, object]] = (),
+) -> Dict[str, object]:
     default = next((entry for entry in entries if entry["name"] == DEFAULT_WORKLOAD), None)
     per_engine: Dict[str, Dict[str, object]] = {}
     engine_names = entries[0]["speedups"].keys() if entries else ()
@@ -296,6 +317,9 @@ def _summarize(entries: Sequence[Dict[str, object]]) -> Dict[str, object]:
             "default_speedup": default["speedups"][engine] if default else None,
         }
     event = per_engine.get("event", {})
+    warm_speedups = [
+        entry["warm_speedup"] for entry in campaign_entries if entry["warm_speedup"] > 0
+    ]
     return {
         # Legacy top-level keys mirror the event engine (the original
         # schema-v1 meaning); per-engine numbers live under "engines".
@@ -305,6 +329,9 @@ def _summarize(entries: Sequence[Dict[str, object]]) -> Dict[str, object]:
         "default_workload": DEFAULT_WORKLOAD,
         "default_speedup": event.get("default_speedup"),
         "engines": per_engine,
+        "campaign_geomean_warm_speedup": (
+            _geomean(warm_speedups) if warm_speedups else None
+        ),
     }
 
 
@@ -337,4 +364,26 @@ def render_report(payload: Dict[str, object]) -> str:
                 f"{stats['default_speedup']:.2f}x"
             )
         lines.append(line)
+    campaigns = payload.get("campaigns") or []
+    if campaigns:
+        lines.append("")
+        lines.append(
+            f"{'campaign':24s} {'runs':>5s} {'cold r/s':>9s} {'warm r/s':>9s} "
+            f"{'warm x':>7s}  parallel"
+        )
+        for entry in campaigns:
+            parallel = ", ".join(
+                f"jobs={jobs}: {stats['runs_per_sec']:.0f} r/s "
+                f"(eff {stats['efficiency']:.2f})"
+                for jobs, stats in sorted(entry["parallel"].items())
+            )
+            lines.append(
+                f"{entry['name']:24s} {entry['runs']:>5d} "
+                f"{entry['cold']['runs_per_sec']:>9.0f} "
+                f"{entry['warm']['runs_per_sec']:>9.0f} "
+                f"{entry['warm_speedup']:>6.1f}x  {parallel}"
+            )
+        geomean = summary.get("campaign_geomean_warm_speedup")
+        if geomean is not None:
+            lines.append(f"campaign warm speedup: geomean {geomean:.1f}x")
     return "\n".join(lines)

@@ -7,14 +7,16 @@ and cached:
 
 * :class:`CampaignSpec` / :class:`RunDescriptor` — declare the grid of runs
   (:mod:`repro.campaign.spec`);
-* :class:`ParallelRunner` / :func:`execute_run` — execute descriptors over a
-  process pool with deterministic, order-independent results
+* :class:`ParallelRunner` / :func:`execute_shard` — execute descriptors as
+  shards over a process pool with deterministic, order-independent results
   (:mod:`repro.campaign.runner`);
-* :class:`ResultCache` — content-addressed cache so re-runs only simulate
-  what changed (:mod:`repro.campaign.cache`);
-* :func:`write_campaign_artifacts` / :func:`load_campaign` — the
-  ``results.jsonl`` / ``summary.json`` artifact layer
-  (:mod:`repro.campaign.artifacts`).
+* :class:`ResultCache` / :class:`ResultStore` — content-addressed result
+  backends so re-runs only simulate what changed; the store adds a durable
+  SQLite index with cross-campaign dedup (:mod:`repro.campaign.cache`,
+  :mod:`repro.campaign.store`);
+* :func:`write_campaign_artifacts` / :class:`CampaignStreamWriter` /
+  :func:`load_campaign` — the ``results.jsonl`` / ``summary.json`` /
+  ``campaign.json`` artifact layer (:mod:`repro.campaign.artifacts`).
 
 The CLI front-end is ``repro-bounds campaign --jobs N --out DIR``; the
 report renderer lives in :mod:`repro.report.campaign`.
@@ -22,18 +24,28 @@ report renderer lives in :mod:`repro.report.campaign`.
 
 from .artifacts import (
     CampaignArtifacts,
+    CampaignStreamWriter,
+    MANIFEST_NAME,
     RESULTS_NAME,
     SUMMARY_NAME,
+    build_manifest,
     load_campaign,
+    load_manifest,
     load_results,
     load_summary,
     write_campaign_artifacts,
+    write_manifest,
 )
 from .cache import ResultCache
 from .runner import (
     CampaignOutcome,
     ParallelRunner,
+    ShardRun,
+    ShardTask,
+    compact_shard,
+    default_shard_size,
     execute_run,
+    execute_shard,
     histogram_from_json,
     summarize_records,
     workload_run_from_record,
@@ -44,28 +56,52 @@ from .spec import (
     SCHEMA_VERSION,
     CampaignSpec,
     RunDescriptor,
+    campaign_digest,
     workload_campaign_descriptors,
+)
+from .store import (
+    LEGACY_CAMPAIGN_ID,
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    StoreCounters,
+    is_store_directory,
 )
 
 __all__ = [
     "CampaignArtifacts",
     "CampaignOutcome",
     "CampaignSpec",
+    "CampaignStreamWriter",
     "KIND_RSK",
     "KIND_SYNTHETIC",
+    "LEGACY_CAMPAIGN_ID",
+    "MANIFEST_NAME",
     "ParallelRunner",
     "RESULTS_NAME",
     "ResultCache",
+    "ResultStore",
     "RunDescriptor",
     "SCHEMA_VERSION",
+    "STORE_SCHEMA_VERSION",
     "SUMMARY_NAME",
+    "ShardRun",
+    "ShardTask",
+    "StoreCounters",
+    "build_manifest",
+    "campaign_digest",
+    "compact_shard",
+    "default_shard_size",
     "execute_run",
+    "execute_shard",
     "histogram_from_json",
+    "is_store_directory",
     "load_campaign",
+    "load_manifest",
     "load_results",
     "load_summary",
     "summarize_records",
     "workload_campaign_descriptors",
     "workload_run_from_record",
     "write_campaign_artifacts",
+    "write_manifest",
 ]

@@ -1,24 +1,43 @@
 """Parallel campaign execution with deterministic results.
 
 :func:`execute_run` turns one :class:`~repro.campaign.spec.RunDescriptor`
-into a plain-JSON result record; :class:`ParallelRunner` fans a sequence of
-descriptors out over a ``concurrent.futures.ProcessPoolExecutor`` (or runs
-them in-process for ``jobs=1``) and reassembles the records in descriptor
-order.  Because every record is a pure function of its descriptor and the
-assembly order is fixed, a parallel campaign's artifacts are bit-identical
-to a serial campaign's — the only difference is wall-clock time.
+into a plain-JSON result record; :class:`ParallelRunner` partitions the
+miss-frontier into *shards* and fans those out over a
+``concurrent.futures.ProcessPoolExecutor`` (or runs them in-process for
+``jobs=1``), reassembling the records in descriptor order.  Because every
+record is a pure function of its descriptor and the assembly order is
+fixed, a parallel campaign's artifacts are bit-identical to a serial
+campaign's — the only difference is wall-clock time.
 
-A :class:`~repro.campaign.cache.ResultCache` can be attached so repeated
-campaigns only simulate cache misses; :class:`CampaignOutcome.stats` reports
-how many runs were simulated versus served from the cache.
+Sharding is the IPC amortisation: a 10k-run grid crosses the executor
+boundary ~``4 * jobs`` times instead of 10k times, and each
+:class:`ShardTask` ships every distinct :class:`ArchConfig` exactly once —
+descriptors inside the shard reference it by index, so identical platform
+payloads are never re-pickled per run.  Inside a worker, contender rsk
+programs are memoised per (config, kind) across the shard's runs.
+
+A result cache/store can be attached so repeated campaigns only simulate
+misses: lookups and insertions go through the batched
+``get_many``/``put_many`` interface shared by the flat
+:class:`~repro.campaign.cache.ResultCache` and the SQLite-indexed
+:class:`~repro.campaign.store.ResultStore` (whose index answers a whole
+grid in a handful of queries, and whose hits dedupe across *all*
+historical campaigns).  :class:`CampaignOutcome.stats` reports how many
+runs were simulated versus served from the cache.
+
+Streaming: pass a :class:`~repro.campaign.artifacts.CampaignStreamWriter`
+to :meth:`ParallelRunner.run` and records are appended to
+``results.jsonl`` (and ``summary.json`` checkpointed) while the campaign
+runs, in exactly the order a one-shot write would produce.
 """
 
 from __future__ import annotations
 
+import math
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from ..analysis.contention import (
     DECOMPOSITION_STAGES,
@@ -27,17 +46,32 @@ from ..analysis.contention import (
     contention_histogram,
     latency_decomposition,
 )
-from ..config import FAIR_ARBITRATION_POLICIES, config_from_dict
+from ..config import ArchConfig, FAIR_ARBITRATION_POLICIES, config_from_dict
 from ..errors import AnalysisError, MethodologyError
 from ..kernels.rsk import build_rsk
 from ..methodology.experiment import ExperimentRunner
 from ..methodology.workloads import WorkloadRun, run_single_workload
 from ..sim.isa import Program
-from .cache import ResultCache
-from .spec import KIND_RSK, KIND_SYNTHETIC, SCHEMA_VERSION, RunDescriptor
+from .spec import KIND_RSK, KIND_SYNTHETIC, SCHEMA_VERSION, RunDescriptor, campaign_digest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from .artifacts import CampaignStreamWriter
 
 
-def execute_run(descriptor: RunDescriptor) -> Dict[str, object]:
+class ResultBackend(Protocol):
+    """What the runner needs from a cache/store: batched digest I/O."""
+
+    def get_many(self, digests: Sequence[str]) -> Dict[str, Dict[str, object]]: ...
+
+    def put_many(self, items: Sequence[Tuple[str, Dict[str, object]]]) -> None: ...
+
+
+def execute_run(
+    descriptor: RunDescriptor,
+    *,
+    _contender_memo: Optional["_ContenderMemo"] = None,
+    _config_slot: int = -1,
+) -> Dict[str, object]:
     """Simulate one descriptor and return its JSON-serialisable result record.
 
     This is the worker function shipped to pool processes; it must stay a
@@ -68,8 +102,14 @@ def execute_run(descriptor: RunDescriptor) -> Dict[str, object]:
         record["metrics"] = _synthetic_metrics(descriptor)
     else:
         record["rsk_kind"] = descriptor.rsk_kind
-        record["metrics"] = _rsk_metrics(descriptor)
+        record["metrics"] = _rsk_metrics(descriptor, _contender_memo, _config_slot)
     return record
+
+
+#: Memo key for contender rsk programs: (config slot, rsk kind, occupied
+#: cores, observed core) fully determines the contender program map.
+_ContenderKey = Tuple[int, str, int, int]
+_ContenderMemo = Dict[_ContenderKey, Dict[int, Program]]
 
 
 def _synthetic_metrics(descriptor: RunDescriptor) -> Dict[str, object]:
@@ -88,15 +128,34 @@ def _synthetic_metrics(descriptor: RunDescriptor) -> Dict[str, object]:
     }
 
 
-def _rsk_metrics(descriptor: RunDescriptor) -> Dict[str, object]:
+def _rsk_metrics(
+    descriptor: RunDescriptor,
+    contender_memo: Optional[_ContenderMemo] = None,
+    config_slot: int = -1,
+) -> Dict[str, object]:
     config = descriptor.config
     observed = descriptor.observed_core
     scua = build_rsk(config, observed, kind=descriptor.rsk_kind, iterations=descriptor.iterations)
-    contenders: Dict[int, Program] = {
-        core: build_rsk(config, core, kind=descriptor.rsk_kind, iterations=None)
-        for core in range(len(descriptor.tasks))
-        if core != observed
-    }
+    # Contender programs depend only on (config, kind, cores, observed), so a
+    # shard executing many runs on the same platform builds them once.
+    # Programs are frozen dataclasses, which makes sharing them safe.
+    memo_key: _ContenderKey = (
+        config_slot,
+        descriptor.rsk_kind,
+        len(descriptor.tasks),
+        observed,
+    )
+    contenders: Optional[Dict[int, Program]] = (
+        contender_memo.get(memo_key) if contender_memo is not None else None
+    )
+    if contenders is None:
+        contenders = {
+            core: build_rsk(config, core, kind=descriptor.rsk_kind, iterations=None)
+            for core in range(len(descriptor.tasks))
+            if core != observed
+        }
+        if contender_memo is not None:
+            contender_memo[memo_key] = contenders
     runner = ExperimentRunner(config)
     isolation, contended = runner.run_pair(scua, contenders, scua_core=observed, trace=True)
     metrics: Dict[str, object] = contended.as_record()
@@ -166,6 +225,103 @@ def workload_run_from_record(record: Dict[str, object]) -> WorkloadRun:
 
 
 @dataclass(frozen=True)
+class ShardRun:
+    """One run inside a :class:`ShardTask`, with the config replaced by an
+    index into the shard's deduplicated config table.
+
+    Campaign grids repeat the same :class:`ArchConfig` object across dozens
+    of descriptors (every workload/seed of one grid point shares it); a
+    shard pickles each distinct config once and each run carries only a
+    small integer, so the IPC payload stays proportional to the number of
+    *platforms* in the shard, not the number of runs.
+    """
+
+    run_id: str
+    preset: str
+    config_index: int
+    kind: str
+    tasks: Tuple[str, ...]
+    observed_core: int
+    iterations: int
+    seed: int
+    rsk_kind: str
+    digest: str
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """A contiguous slice of the miss-frontier, shipped to one worker."""
+
+    index: int
+    configs: Tuple[ArchConfig, ...]
+    runs: Tuple[ShardRun, ...]
+
+
+def compact_shard(index: int, pending: Sequence[Tuple[str, RunDescriptor]]) -> ShardTask:
+    """Pack ``(digest, descriptor)`` pairs into a :class:`ShardTask`.
+
+    Configs are deduplicated by object identity — :meth:`CampaignSpec.expand
+    <repro.campaign.spec.CampaignSpec.expand>` reuses one config object per
+    grid point, so identity dedup catches exactly the repetition that
+    matters without hashing whole configurations.
+    """
+    configs: List[ArchConfig] = []
+    slots: Dict[int, int] = {}
+    runs: List[ShardRun] = []
+    for digest, descriptor in pending:
+        key = id(descriptor.config)
+        slot = slots.get(key)
+        if slot is None:
+            slot = len(configs)
+            configs.append(descriptor.config)
+            slots[key] = slot
+        runs.append(
+            ShardRun(
+                run_id=descriptor.run_id,
+                preset=descriptor.preset,
+                config_index=slot,
+                kind=descriptor.kind,
+                tasks=descriptor.tasks,
+                observed_core=descriptor.observed_core,
+                iterations=descriptor.iterations,
+                seed=descriptor.seed,
+                rsk_kind=descriptor.rsk_kind,
+                digest=digest,
+            )
+        )
+    return ShardTask(index=index, configs=tuple(configs), runs=tuple(runs))
+
+
+def execute_shard(shard: ShardTask) -> Tuple[int, List[Tuple[str, Dict[str, object]]]]:
+    """Execute a shard's runs in order; the worker entry point.
+
+    Returns ``(shard.index, [(digest, record), ...])`` so the parent can
+    reassemble shards in submission order regardless of completion order.
+    One process-level setup (the contender-program memo) is amortised
+    across every run of the shard.
+    """
+    memo: _ContenderMemo = {}
+    results: List[Tuple[str, Dict[str, object]]] = []
+    for run in shard.runs:
+        descriptor = RunDescriptor(
+            run_id=run.run_id,
+            preset=run.preset,
+            config=shard.configs[run.config_index],
+            kind=run.kind,
+            tasks=run.tasks,
+            observed_core=run.observed_core,
+            iterations=run.iterations,
+            seed=run.seed,
+            rsk_kind=run.rsk_kind,
+        )
+        record = execute_run(
+            descriptor, _contender_memo=memo, _config_slot=run.config_index
+        )
+        results.append((run.digest, record))
+    return shard.index, results
+
+
+@dataclass(frozen=True)
 class CampaignOutcome:
     """All records of a finished campaign plus execution statistics.
 
@@ -186,6 +342,55 @@ class CampaignOutcome:
         return summary
 
 
+class _RecordEmitter:
+    """Assembles final records in descriptor order as digests resolve.
+
+    Keeps an emit pointer over the descriptor sequence and advances it
+    whenever the next descriptor's digest has a record — which happens
+    strictly in shard order, so the stream of emitted records is identical
+    to what a serial one-shot run would produce.
+    """
+
+    def __init__(
+        self,
+        descriptors: Sequence[RunDescriptor],
+        digests: Sequence[str],
+        by_digest: Dict[str, Dict[str, object]],
+        stream: Optional["CampaignStreamWriter"],
+    ) -> None:
+        self._descriptors = descriptors
+        self._digests = digests
+        self._by_digest = by_digest
+        self._stream = stream
+        self.records: List[Dict[str, object]] = []
+        self._next = 0
+
+    def drain(self) -> None:
+        """Emit every descriptor whose digest is resolved, in order."""
+        fresh: List[Dict[str, object]] = []
+        while self._next < len(self._digests):
+            base = self._by_digest.get(self._digests[self._next])
+            if base is None:
+                break
+            record = dict(base)
+            record["run_id"] = self._descriptors[self._next].run_id
+            self.records.append(record)
+            fresh.append(record)
+            self._next += 1
+        if fresh and self._stream is not None:
+            self._stream.append(fresh)
+
+
+def default_shard_size(pending: int, jobs: int) -> int:
+    """Shard size targeting ~4 shards per worker: small enough that a slow
+    shard cannot straggle the whole campaign, large enough that executor
+    round-trips stay negligible (a 10k-run grid on 8 jobs crosses the pool
+    boundary 32 times, not 10k times)."""
+    if pending <= 0:
+        return 1
+    return max(1, math.ceil(pending / (4 * max(1, jobs))))
+
+
 class ParallelRunner:
     """Executes run descriptors, optionally in parallel and through a cache.
 
@@ -193,60 +398,125 @@ class ParallelRunner:
         jobs: worker processes; ``1`` executes in-process (no pool, no
             pickling) and is the reference behaviour the parallel path must
             reproduce bit-for-bit.
-        cache: optional content-addressed result cache shared across
+        cache: optional content-addressed result backend (flat
+            :class:`~repro.campaign.cache.ResultCache` or SQLite-indexed
+            :class:`~repro.campaign.store.ResultStore`) shared across
             campaigns; hits skip simulation entirely.
+        shard_size: runs per dispatched shard; ``None`` picks
+            :func:`default_shard_size` from the miss count and job count.
     """
 
-    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultBackend] = None,
+        shard_size: Optional[int] = None,
+    ) -> None:
         if jobs < 1:
             raise MethodologyError(f"jobs must be >= 1, got {jobs}")
+        if shard_size is not None and shard_size < 1:
+            raise MethodologyError(f"shard_size must be >= 1, got {shard_size}")
         self.jobs = jobs
         self.cache = cache
+        self.shard_size = shard_size
 
-    def run(self, descriptors: Sequence[RunDescriptor]) -> CampaignOutcome:
-        """Execute ``descriptors`` and return their records in input order."""
+    def run(
+        self,
+        descriptors: Sequence[RunDescriptor],
+        stream: Optional["CampaignStreamWriter"] = None,
+    ) -> CampaignOutcome:
+        """Execute ``descriptors`` and return their records in input order.
+
+        With ``stream``, records are additionally appended to the stream
+        writer as they resolve (cached prefix immediately, then shard by
+        shard); the caller still finalises the stream with the summary.
+        """
         started = time.perf_counter()
         digests = [descriptor.digest() for descriptor in descriptors]
+        # First occurrence of each digest, in descriptor order: duplicate
+        # descriptors simulate once and share the record.
+        frontier: Dict[str, RunDescriptor] = {}
+        for digest, descriptor in zip(digests, descriptors):
+            if digest not in frontier:
+                frontier[digest] = descriptor
         by_digest: Dict[str, Dict[str, object]] = {}
-        pending: List[Tuple[str, RunDescriptor]] = []
-        pending_digests: set = set()
-        cached_hits = 0
-        for digest, descriptor in zip(digests, descriptors):
-            if digest in by_digest or digest in pending_digests:
-                continue
-            record = self.cache.get(digest) if self.cache is not None else None
-            if record is not None and record.get("schema") == SCHEMA_VERSION:
-                by_digest[digest] = record
-                cached_hits += 1
-            else:
-                pending.append((digest, descriptor))
-                pending_digests.add(digest)
-
+        if self.cache is not None:
+            for digest, record in self.cache.get_many(list(frontier)).items():
+                if record.get("schema") == SCHEMA_VERSION:
+                    by_digest[digest] = record
+        cached_hits = len(by_digest)
+        pending: List[Tuple[str, RunDescriptor]] = [
+            (digest, descriptor)
+            for digest, descriptor in frontier.items()
+            if digest not in by_digest
+        ]
         simulated = len(pending)
-        if self.jobs > 1 and len(pending) > 1:
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                fresh = list(pool.map(execute_run, [descriptor for _, descriptor in pending]))
-        else:
-            fresh = [execute_run(descriptor) for _, descriptor in pending]
-        for (digest, _), record in zip(pending, fresh):
-            by_digest[digest] = record
-            if self.cache is not None:
-                self.cache.put(digest, record)
+        shard_size = self.shard_size or default_shard_size(len(pending), self.jobs)
+        shards = [
+            compact_shard(index, pending[start : start + shard_size])
+            for index, start in enumerate(range(0, len(pending), shard_size))
+        ]
 
-        records = []
-        for digest, descriptor in zip(digests, descriptors):
-            record = dict(by_digest[digest])
-            record["run_id"] = descriptor.run_id
-            records.append(record)
-        stats = {
-            "runs": len(records),
-            "unique_runs": len(by_digest),
+        if stream is not None:
+            stream.begin(campaign_digest(digests), len(descriptors))
+        emitter = _RecordEmitter(descriptors, digests, by_digest, stream)
+        try:
+            # The cached prefix (the whole campaign, on a warm re-run)
+            # streams before any shard is dispatched.
+            emitter.drain()
+            self._execute_shards(shards, by_digest, emitter, stream)
+        except BaseException:
+            if stream is not None:
+                stream.abandon()
+            raise
+
+        stats: Dict[str, object] = {
+            "runs": len(descriptors),
+            "unique_runs": len(frontier),
             "simulated": simulated,
             "cached": cached_hits,
             "jobs": self.jobs,
+            "shards": len(shards),
+            "shard_size": shard_size,
             "elapsed_seconds": time.perf_counter() - started,
         }
-        return CampaignOutcome(records=tuple(records), stats=stats)
+        counters = getattr(self.cache, "counters", None)
+        if counters is not None:
+            stats["store"] = counters.as_dict()
+        return CampaignOutcome(records=tuple(emitter.records), stats=stats)
+
+    def _execute_shards(
+        self,
+        shards: Sequence[ShardTask],
+        by_digest: Dict[str, Dict[str, object]],
+        emitter: _RecordEmitter,
+        stream: Optional["CampaignStreamWriter"],
+    ) -> None:
+        """Run the shards and absorb their results in shard order."""
+
+        def absorb(fresh: List[Tuple[str, Dict[str, object]]]) -> None:
+            by_digest.update(fresh)
+            if self.cache is not None:
+                self.cache.put_many(fresh)
+            emitter.drain()
+
+        if self.jobs > 1 and len(shards) > 1:
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(shards))) as pool:
+                futures = [pool.submit(execute_shard, shard) for shard in shards]
+                # Absorb out-of-order completions in shard order so cache
+                # writes and the stream see the exact serial sequence.
+                buffered: Dict[int, List[Tuple[str, Dict[str, object]]]] = {}
+                next_shard = 0
+                for future in as_completed(futures):
+                    index, fresh = future.result()
+                    buffered[index] = fresh
+                    while next_shard in buffered:
+                        absorb(buffered.pop(next_shard))
+                        next_shard += 1
+        else:
+            for shard in shards:
+                _, fresh = execute_shard(shard)
+                absorb(fresh)
 
 
 def summarize_records(records: Sequence[Dict[str, object]]) -> Dict[str, object]:

@@ -294,5 +294,16 @@ def workload_campaign_descriptors(
     )
 
 
+def campaign_digest(digests: Sequence[str]) -> str:
+    """Content identity of a campaign: the digest of its ordered run digests.
+
+    Pure function of the expanded descriptors, so serial and parallel
+    executions (and re-runs on any machine) agree on it; stamped into the
+    ``campaign.json`` manifest and onto the result store's rows for
+    per-campaign attribution.
+    """
+    return canonical_digest({"schema": SCHEMA_VERSION, "runs": list(digests)})
+
+
 def _run_id(index: int) -> str:
     return f"{index:05d}"

@@ -1,0 +1,492 @@
+"""Durable, SQLite-indexed result store for campaign runs.
+
+:class:`ResultStore` is the scale successor of the flat per-file
+:class:`~repro.campaign.cache.ResultCache`.  It keeps the cache's
+content-addressed JSON artifacts — one ``<digest>.json`` per run, written
+atomically, human-inspectable, the durable source of truth — but adds a
+SQLite index (``index.sqlite``, WAL mode) so a campaign resolves its whole
+grid with a handful of batched queries instead of one filesystem probe per
+run:
+
+* ``runs(digest PRIMARY KEY, campaign_id, seed, created_at, path, record)``
+  — one row per stored run.  ``record`` carries a write-through copy of the
+  artifact's canonical JSON, so a warm campaign reads *zero* artifact
+  files; ``path`` names the artifact the row can always be rebuilt from.
+* ``meta(key, value)`` — the schema-version stamp
+  (:data:`STORE_SCHEMA_VERSION`).  A store written by a newer layout is
+  refused instead of misread.
+
+Durability and concurrency contract:
+
+* Artifacts are written first (tempfile + ``os.replace``), index rows
+  second, inside one transaction — a crash can leave an artifact without a
+  row (repaired by :meth:`ResultStore.rebuild_index`) but never a row
+  without its artifact.
+* WAL mode plus a busy timeout makes concurrent writers safe: two runners
+  sharing one store commit batches independently; ``INSERT OR REPLACE`` on
+  the content digest makes double-writes idempotent (both writers store the
+  same bytes for the same digest, by construction of the digest).
+* A corrupt or deleted index is an inconvenience, not data loss: the store
+  drops it and re-indexes every readable ``*.json`` artifact.
+* Lookups ignore ``campaign_id`` — any historical campaign's hit
+  short-circuits simulation, which is what makes overlapping sweeps only
+  simulate their frontier.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+#: Layout version of the index; bump when the table shapes or the meaning
+#: of a column changes.  A store stamped with a *newer* version is refused
+#: (the artifacts remain readable by re-indexing with the newer tool); an
+#: older or missing stamp triggers a transparent rebuild.
+STORE_SCHEMA_VERSION = 1
+
+#: File name of the SQLite index inside a store directory.
+INDEX_NAME = "index.sqlite"
+
+#: ``campaign_id`` recorded for rows imported from a legacy flat cache.
+LEGACY_CAMPAIGN_ID = "legacy-migration"
+
+#: SQLite bind-variable budget per batched query (the engine's historical
+#: default limit is 999; stay comfortably below it).
+_BATCH = 500
+
+_CREATE_RUNS = """
+CREATE TABLE IF NOT EXISTS runs (
+    digest      TEXT PRIMARY KEY,
+    campaign_id TEXT NOT NULL,
+    seed        INTEGER,
+    created_at  REAL NOT NULL,
+    path        TEXT NOT NULL,
+    record      TEXT NOT NULL
+)
+"""
+
+_CREATE_META = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+)
+"""
+
+
+@dataclass
+class StoreCounters:
+    """Operation counters — what the throughput bench and tests assert on.
+
+    ``index_queries`` counts SQL statements that hit the index,
+    ``artifact_reads``/``artifact_writes`` count JSON files opened.  A warm
+    grid lookup must cost O(grid / batch) queries and zero artifact reads;
+    the legacy per-file cache costs one filesystem probe per run.
+    """
+
+    index_queries: int = 0
+    artifact_reads: int = 0
+    artifact_writes: int = 0
+    batches_flushed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "index_queries": self.index_queries,
+            "artifact_reads": self.artifact_reads,
+            "artifact_writes": self.artifact_writes,
+            "batches_flushed": self.batches_flushed,
+        }
+
+    def reset(self) -> None:
+        """Zero every counter (phase boundaries in benches and tests)."""
+        self.index_queries = 0
+        self.artifact_reads = 0
+        self.artifact_writes = 0
+        self.batches_flushed = 0
+
+
+class ResultStore:
+    """Digest-keyed durable run store: JSON artifacts + SQLite index.
+
+    Args:
+        directory: store root (created on demand).  Holds the ``*.json``
+            artifacts and ``index.sqlite``.
+        campaign_id: label stamped on rows written through this handle so
+            ``stats()`` can attribute entries to campaigns.  Lookups never
+            filter on it — cross-campaign dedup is the point of the store.
+    """
+
+    def __init__(self, directory: "os.PathLike[str] | str", campaign_id: str = "adhoc") -> None:
+        self.directory = Path(directory)
+        self.campaign_id = campaign_id
+        self.counters = StoreCounters()
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot use {self.directory} as a result store: {exc}"
+            ) from exc
+        self._db = self._open_index()
+
+    # ------------------------------------------------------------------ #
+    # Index lifecycle.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def index_path(self) -> Path:
+        return self.directory / INDEX_NAME
+
+    def _connect(self) -> sqlite3.Connection:
+        db = sqlite3.connect(self.index_path, timeout=30.0)
+        db.execute("PRAGMA journal_mode=WAL")
+        db.execute("PRAGMA synchronous=NORMAL")
+        db.execute("PRAGMA busy_timeout=30000")
+        return db
+
+    def _open_index(self) -> sqlite3.Connection:
+        try:
+            db = self._connect()
+            version = self._read_version(db)
+        except sqlite3.DatabaseError:
+            # Not a database / torn file: rebuild the index from the
+            # artifacts, which remain the source of truth.
+            return self._recover_index()
+        if version is None:
+            # Fresh index.  Artifacts are the source of truth, so adopt any
+            # already in the directory (lost/deleted index, rsynced store).
+            self._initialise(db)
+            self._db = db
+            self.rebuild_index()
+            return db
+        if version > STORE_SCHEMA_VERSION:
+            db.close()
+            raise ConfigurationError(
+                f"{self.index_path} uses store schema {version}, newer than "
+                f"this tool's schema {STORE_SCHEMA_VERSION}; upgrade the "
+                "tool or re-index the artifacts with `repro-bounds cache migrate`"
+            )
+        if version < STORE_SCHEMA_VERSION:
+            db.close()
+            return self._recover_index()
+        return db
+
+    @staticmethod
+    def _read_version(db: sqlite3.Connection) -> Optional[int]:
+        try:
+            row = db.execute("SELECT value FROM meta WHERE key = 'schema_version'").fetchone()
+        except sqlite3.OperationalError:
+            return None  # fresh database: no tables yet
+        if row is None:
+            return None
+        try:
+            return int(row[0])
+        except (TypeError, ValueError):
+            raise sqlite3.DatabaseError(f"malformed schema_version stamp {row[0]!r}")
+
+    def _initialise(self, db: sqlite3.Connection) -> None:
+        with db:
+            db.execute(_CREATE_RUNS)
+            db.execute(_CREATE_META)
+            db.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(STORE_SCHEMA_VERSION),),
+            )
+
+    def _recover_index(self) -> sqlite3.Connection:
+        """Drop the unusable index and rebuild it from the JSON artifacts."""
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                os.unlink(f"{self.index_path}{suffix}")
+            except OSError:
+                pass
+        db = self._connect()
+        self._initialise(db)
+        self._db = db
+        self.rebuild_index()
+        return db
+
+    def close(self) -> None:
+        """Close the index connection (the store can be reopened any time)."""
+        self._db.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Lookups.
+    # ------------------------------------------------------------------ #
+
+    def get_many(self, digests: Sequence[str]) -> Dict[str, Dict[str, object]]:
+        """Resolve ``digests`` in batched index queries.
+
+        Returns a mapping of the *hits*; absent keys are misses.  One query
+        resolves up to ``_BATCH`` digests, so a whole campaign grid costs
+        ``ceil(grid / _BATCH)`` queries and zero artifact reads — versus one
+        filesystem probe per run for the flat per-file cache.  A row whose
+        inline record is unreadable falls back to its artifact; if that too
+        is unreadable the digest is a miss (the run is simply re-simulated).
+        """
+        hits: Dict[str, Dict[str, object]] = {}
+        unique = list(dict.fromkeys(digests))
+        for start in range(0, len(unique), _BATCH):
+            chunk = unique[start : start + _BATCH]
+            marks = ",".join("?" for _ in chunk)
+            self.counters.index_queries += 1
+            rows = self._db.execute(
+                f"SELECT digest, path, record FROM runs WHERE digest IN ({marks})",
+                chunk,
+            ).fetchall()
+            for digest, path, text in rows:
+                record = self._decode(digest, text)
+                if record is None:
+                    record = self._read_artifact(digest, Path(path))
+                if record is not None:
+                    hits[digest] = record
+        return hits
+
+    def get(self, digest: str) -> Optional[Dict[str, object]]:
+        """Single-digest convenience wrapper over :meth:`get_many`."""
+        return self.get_many([digest]).get(digest)
+
+    def _decode(self, digest: str, text: object) -> Optional[Dict[str, object]]:
+        try:
+            record = json.loads(text)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return None
+        if not isinstance(record, dict) or record.get("digest") != digest:
+            return None
+        return record
+
+    def _read_artifact(self, digest: str, path: Path) -> Optional[Dict[str, object]]:
+        # Index rows store bare artifact names; anchor those under the
+        # store root.  Paths that already carry a directory (``glob``
+        # results during rebuild/migration) are used as-is.
+        if not path.is_absolute() and path.parent == Path("."):
+            path = self.directory / path
+        self.counters.artifact_reads += 1
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict) or record.get("digest") != digest:
+            return None
+        return record
+
+    def __contains__(self, digest: str) -> bool:
+        self.counters.index_queries += 1
+        row = self._db.execute("SELECT 1 FROM runs WHERE digest = ?", (digest,)).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        self.counters.index_queries += 1
+        row = self._db.execute("SELECT COUNT(*) FROM runs").fetchone()
+        return int(row[0])
+
+    # ------------------------------------------------------------------ #
+    # Writes.
+    # ------------------------------------------------------------------ #
+
+    def put_many(self, items: Sequence[Tuple[str, Dict[str, object]]]) -> None:
+        """Store ``(digest, record)`` pairs: artifacts first, then one
+        indexed transaction.
+
+        The write order is the crash-safety contract: after any prefix of
+        this method, every indexed row has its artifact on disk.  Replays
+        (same digest again) are idempotent.
+        """
+        if not items:
+            return
+        rows: List[Tuple[str, str, Optional[int], float, str, str]] = []
+        now = time.time()
+        for digest, record in items:
+            text = json.dumps(record, sort_keys=True, separators=(",", ":"))
+            name = f"{digest}.json"
+            self._write_artifact(name, text)
+            seed = record.get("seed")
+            rows.append(
+                (
+                    digest,
+                    self.campaign_id,
+                    seed if isinstance(seed, int) else None,
+                    now,
+                    name,
+                    text,
+                )
+            )
+        self.counters.index_queries += 1
+        self.counters.batches_flushed += 1
+        with self._db:
+            self._db.executemany(
+                "INSERT OR REPLACE INTO runs "
+                "(digest, campaign_id, seed, created_at, path, record) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+
+    def put(self, digest: str, record: Dict[str, object]) -> None:
+        """Single-record convenience wrapper over :meth:`put_many`."""
+        self.put_many([(digest, record)])
+
+    def _write_artifact(self, name: str, text: str) -> None:
+        path = self.directory / name
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        self.counters.artifact_writes += 1
+        with tmp.open("w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------ #
+    # Maintenance: rebuild, migration, stats, gc.
+    # ------------------------------------------------------------------ #
+
+    def rebuild_index(self) -> int:
+        """Re-index every readable ``*.json`` artifact not already indexed.
+
+        Returns the number of rows added.  Used both for corrupt-index
+        recovery and to adopt artifacts copied in from elsewhere.
+        """
+        indexed = {
+            row[0] for row in self._db.execute("SELECT digest FROM runs").fetchall()
+        }
+        self.counters.index_queries += 1
+        added = 0
+        batch: List[Tuple[str, Dict[str, object]]] = []
+        for path in sorted(self.directory.glob("*.json")):
+            digest = path.stem
+            if digest in indexed:
+                continue
+            record = self._read_artifact(digest, path)
+            if record is None:
+                continue
+            batch.append((digest, record))
+            added += 1
+            if len(batch) >= _BATCH:
+                self.put_many(batch)
+                batch = []
+        self.put_many(batch)
+        return added
+
+    def migrate_legacy(self, legacy_dir: "os.PathLike[str] | str") -> int:
+        """One-shot import of a legacy flat :class:`ResultCache` directory.
+
+        Copies every readable ``<digest>.json`` whose embedded digest
+        matches its file name into the store (artifact + index row, stamped
+        ``legacy-migration``), skipping digests already present.  The source
+        directory is left untouched.  Returns the number of imported runs.
+        """
+        source = Path(legacy_dir)
+        if not source.is_dir():
+            raise ConfigurationError(f"legacy cache directory {source} does not exist")
+        if source.resolve() == self.directory.resolve():
+            # In-place adoption: the flat cache layout is already the
+            # store's artifact layout; only the index is missing.
+            return self.rebuild_index()
+        campaign_id = self.campaign_id
+        self.campaign_id = LEGACY_CAMPAIGN_ID
+        try:
+            imported = 0
+            batch: List[Tuple[str, Dict[str, object]]] = []
+            candidates = sorted(source.glob("*.json"))
+            known = self.get_many([path.stem for path in candidates])
+            for path in candidates:
+                digest = path.stem
+                if digest in known:
+                    continue
+                record = self._read_artifact(digest, path)
+                if record is None:
+                    continue
+                batch.append((digest, record))
+                imported += 1
+                if len(batch) >= _BATCH:
+                    self.put_many(batch)
+                    batch = []
+            self.put_many(batch)
+        finally:
+            self.campaign_id = campaign_id
+        return imported
+
+    def stats(self) -> Dict[str, object]:
+        """Entries, per-campaign attribution and on-disk sizes."""
+        self.counters.index_queries += 2
+        entries = int(self._db.execute("SELECT COUNT(*) FROM runs").fetchone()[0])
+        campaigns = {
+            str(campaign): int(count)
+            for campaign, count in self._db.execute(
+                "SELECT campaign_id, COUNT(*) FROM runs "
+                "GROUP BY campaign_id ORDER BY campaign_id"
+            ).fetchall()
+        }
+        artifact_bytes = sum(
+            path.stat().st_size for path in self.directory.glob("*.json")
+        )
+        try:
+            index_bytes = self.index_path.stat().st_size
+        except OSError:
+            index_bytes = 0
+        return {
+            "directory": str(self.directory),
+            "schema": STORE_SCHEMA_VERSION,
+            "entries": entries,
+            "campaigns": campaigns,
+            "artifact_bytes": artifact_bytes,
+            "index_bytes": index_bytes,
+        }
+
+    def gc(self, keep_days: float) -> int:
+        """Delete runs older than ``keep_days`` days (rows *and* artifacts).
+
+        Returns the number of runs removed.  Artifacts are unlinked after
+        their rows so a crash mid-gc leaves re-indexable files, never
+        dangling rows.
+        """
+        if keep_days < 0:
+            raise ConfigurationError(f"keep_days must be >= 0, got {keep_days}")
+        cutoff = time.time() - keep_days * 86400.0
+        self.counters.index_queries += 2
+        victims = [
+            (str(digest), str(path))
+            for digest, path in self._db.execute(
+                "SELECT digest, path FROM runs WHERE created_at < ?", (cutoff,)
+            ).fetchall()
+        ]
+        if not victims:
+            return 0
+        with self._db:
+            for start in range(0, len(victims), _BATCH):
+                chunk = victims[start : start + _BATCH]
+                marks = ",".join("?" for _ in chunk)
+                self._db.execute(
+                    f"DELETE FROM runs WHERE digest IN ({marks})",
+                    [digest for digest, _ in chunk],
+                )
+        for _, path in victims:
+            target = Path(path)
+            if not target.is_absolute():
+                target = self.directory / target
+            try:
+                os.unlink(target)
+            except OSError:
+                pass
+        return len(victims)
+
+
+def is_store_directory(directory: "os.PathLike[str] | str") -> bool:
+    """True when ``directory`` holds (or held) a SQLite-indexed store."""
+    return (Path(directory) / INDEX_NAME).exists()
+
+
+def iter_legacy_entries(directory: "os.PathLike[str] | str") -> Iterable[Tuple[str, Path]]:
+    """Yield ``(digest, path)`` for every flat-cache artifact in ``directory``."""
+    root = Path(directory)
+    for path in sorted(root.glob("*.json")):
+        yield path.stem, path

@@ -15,6 +15,11 @@ Python:
   emit a machine-readable ``flags.json`` plus a self-contained
   ``report.html``, exiting with the worst verdict (0 pass / 1 warn /
   2 fail) so CI can gate on it;
+* ``repro-bounds cache`` — inspect and maintain a durable result store
+  (``stats``), migrate a legacy flat cache directory into one (``migrate``)
+  or expire old entries (``gc --keep-days N``).  Exit codes: 0 on success,
+  2 on configuration errors (missing store/legacy directory, corrupt
+  arguments) — the same convention every subcommand follows;
 * ``repro-bounds list`` — print the registered presets, arbitration
   policies, simulation engines and topologies.  The listing is read straight
   from the factories' registries, so it can never drift from what the
@@ -25,8 +30,11 @@ Examples::
     repro-bounds derive-ubd --preset ref --k-max 60 --iterations 40
     repro-bounds synchrony --preset var
     repro-bounds campaign --preset ref --workloads 8
-    repro-bounds campaign --jobs 4 --out out/campaign --cache-dir out/cache
+    repro-bounds campaign --jobs 4 --out out/campaign --store out/store
     repro-bounds campaign --topology bus_only --topology bus_bank_queues
+    repro-bounds cache stats --store out/store
+    repro-bounds cache migrate --store out/store --legacy out/cache
+    repro-bounds cache gc --store out/store --keep-days 30
     repro-bounds audit small --topology split_bus --out out/audit
     repro-bounds audit out/campaign
     repro-bounds list
@@ -42,12 +50,15 @@ from .analysis.confidence import assess_write_burst
 from .analysis.contention import contention_histogram, latency_decomposition
 from .campaign import (
     CampaignSpec,
+    CampaignStreamWriter,
     ParallelRunner,
     ResultCache,
-    write_campaign_artifacts,
+    ResultStore,
+    campaign_digest,
+    is_store_directory,
 )
 from .config import PRESETS, get_preset
-from .errors import ReproError
+from .errors import ConfigurationError, ReproError
 from .sim.arbiter import registered_arbiters
 from .sim.scheduler import registered_engines
 from .sim.topology import registered_topologies
@@ -157,12 +168,28 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--out",
         metavar="DIR",
-        help="write results.jsonl and summary.json into DIR",
+        help="write results.jsonl, summary.json and the campaign.json "
+        "manifest into DIR, streaming them while the campaign runs",
     )
     campaign.add_argument(
         "--cache-dir",
         metavar="DIR",
-        help="content-addressed result cache; re-runs only simulate misses",
+        help="flat content-addressed result cache (one file per digest); "
+        "re-runs only simulate misses",
+    )
+    campaign.add_argument(
+        "--store",
+        metavar="DIR",
+        help="durable SQLite-indexed result store; like --cache-dir but "
+        "lookups are batched index queries and hits dedupe across all "
+        "historical campaigns (see 'repro-bounds cache')",
+    )
+    campaign.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="runs per dispatched shard (default: auto, ~4 shards per job)",
     )
     campaign.add_argument(
         "--arbiter",
@@ -233,6 +260,50 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=40,
         help="loop iterations of the engine cross-check run",
+    )
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="inspect and maintain a durable result store (exit 0 on "
+        "success, 2 on configuration errors)",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats",
+        help="print entry counts, per-campaign attribution and on-disk sizes",
+    )
+    cache_stats.add_argument(
+        "--store", metavar="DIR", required=True, help="result store directory"
+    )
+    cache_migrate = cache_sub.add_parser(
+        "migrate",
+        help="import a legacy flat cache directory (one JSON file per "
+        "digest) into a store; already-present digests are skipped, the "
+        "source is left untouched",
+    )
+    cache_migrate.add_argument(
+        "--store", metavar="DIR", required=True, help="result store directory "
+        "(created if missing)"
+    )
+    cache_migrate.add_argument(
+        "--legacy",
+        metavar="DIR",
+        required=True,
+        help="legacy --cache-dir directory to import; pass the store "
+        "directory itself to index artifacts already in place",
+    )
+    cache_gc = cache_sub.add_parser(
+        "gc", help="delete entries older than --keep-days (index and artifacts)"
+    )
+    cache_gc.add_argument(
+        "--store", metavar="DIR", required=True, help="result store directory"
+    )
+    cache_gc.add_argument(
+        "--keep-days",
+        type=float,
+        required=True,
+        metavar="N",
+        help="keep entries created within the last N days",
     )
 
     subparsers.add_parser(
@@ -401,17 +472,87 @@ def _run_campaign(args: argparse.Namespace) -> int:
         rsk_iterations=args.iterations * 5,
         engine=args.engine,
     )
-    cache = ResultCache(args.cache_dir) if args.cache_dir else None
-    runner = ParallelRunner(jobs=args.jobs, cache=cache)
-    outcome = runner.run(spec.expand())
-    summary = outcome.summary()
-    print(render_campaign_summary(summary))
-    if args.out:
-        artifacts = write_campaign_artifacts(outcome, args.out, summary=summary)
-        print()
-        print(f"Wrote {artifacts.results_path}")
-        print(f"Wrote {artifacts.summary_path}")
+    if args.cache_dir and args.store:
+        raise ConfigurationError("--cache-dir and --store are mutually exclusive")
+    descriptors = spec.expand()
+    cache = None
+    store = None
+    if args.store:
+        campaign_id = campaign_digest([descriptor.digest() for descriptor in descriptors])
+        store = cache = ResultStore(args.store, campaign_id=campaign_id)
+    elif args.cache_dir:
+        cache = ResultCache(args.cache_dir)
+    try:
+        runner = ParallelRunner(jobs=args.jobs, cache=cache, shard_size=args.shard_size)
+        if args.out:
+            stream = CampaignStreamWriter(args.out)
+            outcome = runner.run(descriptors, stream=stream)
+            summary = outcome.summary()
+            artifacts = stream.finalize(summary)
+            print(render_campaign_summary(summary))
+            print()
+            print(f"Wrote {artifacts.results_path}")
+            print(f"Wrote {artifacts.summary_path}")
+            print(f"Wrote {artifacts.manifest_path}")
+        else:
+            outcome = runner.run(descriptors)
+            summary = outcome.summary()
+            print(render_campaign_summary(summary))
+    finally:
+        if store is not None:
+            store.close()
     return 0
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    """The ``cache`` subcommand: durable-store maintenance.
+
+    Exit codes: 0 on success; 2 when the store or legacy directory is
+    missing/invalid (raised as :class:`ConfigurationError` and mapped by
+    :func:`main`).
+    """
+    if args.cache_command in ("stats", "gc") and not is_store_directory(args.store):
+        raise ConfigurationError(
+            f"{args.store} is not a result store (no index); "
+            "create one with 'repro-bounds campaign --store' or "
+            "'repro-bounds cache migrate'"
+        )
+    with ResultStore(args.store) as store:
+        if args.cache_command == "stats":
+            stats = store.stats()
+            print(f"Store: {stats['directory']} (schema {stats['schema']})")
+            print(
+                f"Entries: {stats['entries']} "
+                f"({stats['artifact_bytes']} artifact bytes, "
+                f"{stats['index_bytes']} index bytes)"
+            )
+            campaigns = stats["campaigns"]
+            if isinstance(campaigns, dict) and campaigns:
+                print("Per-campaign attribution:")
+                print(
+                    render_table(
+                        ["campaign", "entries"],
+                        [[name, campaigns[name]] for name in sorted(campaigns)],
+                    )
+                )
+            return 0
+        if args.cache_command == "migrate":
+            added = store.migrate_legacy(args.legacy)
+            print(f"Migrated {added} record(s) from {args.legacy} into {store.directory}")
+            print(f"Store now holds {len(store)} entries")
+            return 0
+        if args.cache_command == "gc":
+            if args.keep_days < 0:
+                raise ConfigurationError("--keep-days must be non-negative")
+            removed = store.gc(keep_days=args.keep_days)
+            print(
+                f"Removed {removed} entr{'y' if removed == 1 else 'ies'} older "
+                f"than {args.keep_days:g} day(s); {len(store)} remain"
+            )
+            return 0
+    raise ConfigurationError(
+        f"unknown cache command {args.cache_command!r}"
+    )  # pragma: no cover
 
 
 def _run_audit(args: argparse.Namespace) -> int:
@@ -530,6 +671,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_campaign(args)
         if args.command == "audit":
             return _run_audit(args)
+        if args.command == "cache":
+            return _run_cache(args)
         if args.command == "list":
             return _run_list(args)
     except ReproError as exc:

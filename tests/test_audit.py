@@ -500,3 +500,91 @@ class TestHtmlReport:
         # The pre-rendered table text is embedded verbatim (HTML-escaped
         # characters aside, the first header line survives).
         assert expected.splitlines()[0] in html
+
+
+# --------------------------------------------------------------------------- #
+# Manifest-aware auditing (streamed / in-flight / crashed campaigns).
+# --------------------------------------------------------------------------- #
+
+
+class TestManifestAudit:
+    def test_completed_manifest_checks_pass(self, campaign_dir):
+        """write_campaign_artifacts stamps a completed manifest; the audit
+        verifies its schema, run count and recomputed campaign identity."""
+        report = audit_campaign_dir(campaign_dir)
+        by_check = {f.check: f for f in report.dimension("artifact_schema").findings}
+        assert by_check["manifest_schema"].verdict == "pass"
+        assert by_check["manifest_completed"].verdict == "pass"
+        assert by_check["manifest_run_count"].verdict == "pass"
+        assert by_check["manifest_campaign_id"].verdict == "pass"
+        assert report.target["completed"] is True
+
+    def test_pre_manifest_directory_is_accepted(self, campaign_dir, tmp_path):
+        from repro.campaign import load_campaign
+
+        records, summary = load_campaign(campaign_dir)
+        legacy = tmp_path / "legacy"
+        legacy.mkdir()
+        _rewrite_campaign(legacy, records, summary=summary)
+
+        report = audit_campaign_dir(legacy)
+        assert report.verdict == "pass"
+        by_check = {f.check: f for f in report.dimension("artifact_schema").findings}
+        assert by_check["manifest"].verdict == "pass"
+        assert "pre-manifest" in by_check["manifest"].detail
+
+    def test_in_flight_campaign_warns_instead_of_failing(self, tmp_path):
+        """A streamed campaign caught mid-flight (or after a crash) has a
+        completed:false manifest and a truncated record stream: the audit
+        must report that as WARN — inspectable, not corrupt."""
+        from repro.campaign import CampaignStreamWriter, campaign_digest
+
+        spec = CampaignSpec(presets=("small",), num_workloads=2, iterations=4, rsk_iterations=20)
+        descriptors = spec.expand()
+        records = ParallelRunner(jobs=1).run(descriptors).records
+        stream = CampaignStreamWriter(tmp_path / "inflight", checkpoint_interval=0.0)
+        stream.begin(campaign_digest([d.digest() for d in descriptors]), len(descriptors))
+        stream.append(records[:2])
+        stream.checkpoint()
+        stream.abandon()
+
+        report = audit_campaign_dir(stream.directory)
+        assert report.verdict == "warn"
+        assert report.exit_code == 1
+        assert report.target["completed"] is False
+        by_check = {f.check: f for f in report.dimension("artifact_schema").findings}
+        assert by_check["manifest_completed"].verdict == "warn"
+        assert by_check["manifest_run_count"].verdict == "warn"
+        assert "in-flight" in by_check["manifest_run_count"].detail
+
+    def test_completed_manifest_with_wrong_identity_fails(self, campaign_dir, tmp_path):
+        import shutil
+
+        from repro.campaign import load_manifest, write_manifest
+
+        forged = tmp_path / "forged"
+        shutil.copytree(campaign_dir, forged)
+        manifest = load_manifest(forged)
+        manifest["campaign_id"] = "0" * 64
+        write_manifest(forged, manifest)
+
+        report = audit_campaign_dir(forged)
+        assert report.verdict == "fail"
+        by_check = {f.check: f for f in report.dimension("artifact_schema").findings}
+        assert by_check["manifest_campaign_id"].verdict == "fail"
+
+    def test_completed_manifest_with_wrong_run_count_fails(self, campaign_dir, tmp_path):
+        import shutil
+
+        from repro.campaign import load_manifest, write_manifest
+
+        short = tmp_path / "short"
+        shutil.copytree(campaign_dir, short)
+        manifest = load_manifest(short)
+        manifest["total_runs"] = 99
+        write_manifest(short, manifest)
+
+        report = audit_campaign_dir(short)
+        assert report.verdict == "fail"
+        by_check = {f.check: f for f in report.dimension("artifact_schema").findings}
+        assert by_check["manifest_run_count"].verdict == "fail"

@@ -7,12 +7,19 @@ import json
 import pytest
 
 from repro.campaign import (
+    SCHEMA_VERSION,
     CampaignSpec,
+    CampaignStreamWriter,
     ParallelRunner,
     ResultCache,
     RunDescriptor,
+    campaign_digest,
+    compact_shard,
+    default_shard_size,
     execute_run,
+    execute_shard,
     load_campaign,
+    load_manifest,
     load_results,
     load_summary,
     workload_run_from_record,
@@ -487,3 +494,134 @@ class TestPerResourceArtifacts:
         (bucket,) = outcome.summary()["per_platform"].values()
         assert bucket["analytical_terms"] is None
         assert bucket["analytical_ubd"] is None
+
+
+# --------------------------------------------------------------------------- #
+# Streaming artifacts and the campaign manifest.
+# --------------------------------------------------------------------------- #
+
+
+class TestStreaming:
+    def _stream(self, tmp_path, jobs, shard_size=None):
+        descriptors = TINY_SPEC.expand()
+        stream = CampaignStreamWriter(tmp_path / f"stream-{jobs}", checkpoint_interval=0.0)
+        outcome = ParallelRunner(jobs=jobs, shard_size=shard_size).run(
+            descriptors, stream=stream
+        )
+        return stream.finalize(outcome.summary()), outcome
+
+    def test_streamed_artifacts_match_one_shot_bytes(self, tmp_path):
+        """Streaming changes when artifacts appear, never what they
+        contain: results.jsonl and campaign.json must be byte-identical
+        to write_campaign_artifacts, for serial and parallel runners."""
+        one_shot = write_campaign_artifacts(
+            ParallelRunner(jobs=1).run(TINY_SPEC.expand()), tmp_path / "one-shot"
+        )
+        for jobs in (1, 2):
+            streamed, _ = self._stream(tmp_path, jobs, shard_size=1)
+            assert streamed.results_path.read_bytes() == one_shot.results_path.read_bytes()
+            assert streamed.manifest_path.read_bytes() == one_shot.manifest_path.read_bytes()
+
+    def test_finalized_manifest_is_completed_and_identifies_the_campaign(self, tmp_path):
+        streamed, outcome = self._stream(tmp_path, 2)
+        manifest = load_manifest(streamed.directory)
+        assert manifest == {
+            "schema": SCHEMA_VERSION,
+            "campaign_id": campaign_digest([d.digest() for d in TINY_SPEC.expand()]),
+            "total_runs": len(outcome.records),
+            "completed": True,
+        }
+
+    def test_mid_flight_checkpoint_is_partial_and_loadable(self, tmp_path):
+        stream = CampaignStreamWriter(tmp_path / "c", checkpoint_interval=0.0)
+        records = ParallelRunner(jobs=1).run(TINY_SPEC.expand()).records
+        stream.begin("cid", len(records))
+        stream.append(records[:1])
+        partial_records, partial_summary = load_campaign(stream.directory)
+        assert partial_records == list(records[:1])
+        assert partial_summary["timing"] == {
+            "partial": True,
+            "emitted": 1,
+            "total_runs": len(records),
+        }
+        assert load_manifest(stream.directory)["completed"] is False
+        stream.abandon()
+
+    def test_crash_mid_campaign_leaves_an_incomplete_manifest(self, tmp_path):
+        """A runner failure must abandon the stream: whatever was emitted
+        stays on disk, and the manifest keeps completed: false — the crash
+        signature the audit downgrades to WARN instead of failing."""
+        descriptors = TINY_SPEC.expand()
+        stream = CampaignStreamWriter(tmp_path / "crashed", checkpoint_interval=0.0)
+        boom = RuntimeError("simulated crash")
+
+        class ExplodingCache:
+            def get_many(self, digests):
+                return {}
+
+            def put_many(self, items):
+                raise boom
+
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            ParallelRunner(jobs=1, cache=ExplodingCache()).run(descriptors, stream=stream)
+        assert load_manifest(stream.directory)["completed"] is False
+        assert stream._handle is None  # stream closed, not leaked
+
+    def test_append_before_begin_raises(self, tmp_path):
+        stream = CampaignStreamWriter(tmp_path / "c")
+        with pytest.raises(AnalysisError, match="before begin"):
+            stream.append([{"digest": "d"}])
+
+    def test_unreadable_manifest_raises(self, tmp_path):
+        (tmp_path / "campaign.json").write_text("{ torn", encoding="utf-8")
+        with pytest.raises(AnalysisError, match="manifest"):
+            load_manifest(tmp_path)
+        (tmp_path / "campaign.json").write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(AnalysisError, match="JSON object"):
+            load_manifest(tmp_path)
+
+    def test_missing_manifest_is_a_legacy_layout(self, tmp_path):
+        assert load_manifest(tmp_path) is None
+
+
+# --------------------------------------------------------------------------- #
+# Shard planning.
+# --------------------------------------------------------------------------- #
+
+
+class TestSharding:
+    def test_compact_shard_dedups_shared_configs(self):
+        """Grid points expanded from one spec share ArchConfig objects;
+        a shard must serialise each distinct config once, not per run."""
+        pending = [(d.digest(), d) for d in TINY_SPEC.expand()]
+        shard = compact_shard(0, pending)
+        assert len(shard.configs) == 1  # one platform in TINY_SPEC
+        assert all(run.config_index == 0 for run in shard.runs)
+        assert [run.digest for run in shard.runs] == [digest for digest, _ in pending]
+
+    def test_shard_execution_matches_run_execution(self):
+        descriptors = TINY_SPEC.expand()
+        shard = compact_shard(3, [(d.digest(), d) for d in descriptors])
+        index, results = execute_shard(shard)
+        assert index == 3
+        assert [digest for digest, _ in results] == [d.digest() for d in descriptors]
+        for (_, record), descriptor in zip(results, descriptors):
+            assert record == execute_run(descriptor)
+
+    def test_default_shard_size_bounds(self):
+        assert default_shard_size(0, 4) == 1
+        assert default_shard_size(1, 1) == 1
+        assert default_shard_size(100, 4) >= 1
+        # Enough shards for load balance: at least ~4 per worker.
+        assert default_shard_size(100, 4) <= 100 // (4 * 4) + 1
+
+    def test_explicit_shard_size_is_respected(self, tmp_path):
+        descriptors = TINY_SPEC.expand()
+        outcome = ParallelRunner(jobs=2, shard_size=1).run(descriptors)
+        assert outcome.stats["shards"] == len(descriptors)
+        assert outcome.stats["shard_size"] == 1
+        assert outcome.records == ParallelRunner(jobs=1).run(descriptors).records
+
+    def test_shard_size_must_be_positive(self):
+        with pytest.raises(MethodologyError):
+            ParallelRunner(jobs=1, shard_size=0)

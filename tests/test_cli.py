@@ -370,3 +370,151 @@ class TestAuditCli:
         assert exit_code == 2
         assert "cannot resolve audit target" in captured.err
         assert "Traceback" not in captured.err
+
+
+class TestStoreCli:
+    def _campaign_argv(self, store_dir, out_dir=None, workloads="2"):
+        argv = [
+            "--preset",
+            "small",
+            "campaign",
+            "--workloads",
+            workloads,
+            "--iterations",
+            "5",
+            "--store",
+            str(store_dir),
+        ]
+        if out_dir is not None:
+            argv += ["--out", str(out_dir)]
+        return argv
+
+    def test_campaign_store_options_parse(self):
+        args = build_parser().parse_args(
+            ["campaign", "--store", "out/store", "--shard-size", "8"]
+        )
+        assert args.store == "out/store"
+        assert args.shard_size == 8
+        assert args.cache_dir is None
+
+    def test_cache_subcommands_parse(self):
+        stats = build_parser().parse_args(["cache", "stats", "--store", "s"])
+        assert stats.command == "cache" and stats.cache_command == "stats"
+        migrate = build_parser().parse_args(
+            ["cache", "migrate", "--store", "s", "--legacy", "l"]
+        )
+        assert migrate.legacy == "l"
+        gc = build_parser().parse_args(["cache", "gc", "--store", "s", "--keep-days", "30"])
+        assert gc.keep_days == 30.0
+        with pytest.raises(SystemExit):  # --store is required
+            build_parser().parse_args(["cache", "stats"])
+
+    def test_store_and_cache_dir_are_mutually_exclusive(self, tmp_path, capsys):
+        argv = self._campaign_argv(tmp_path / "store")
+        argv += ["--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_store_backed_campaign_warm_rerun_simulates_nothing(self, tmp_path, capsys):
+        from repro.campaign import load_campaign, load_manifest
+
+        argv = self._campaign_argv(tmp_path / "store", out_dir=tmp_path / "campaign")
+        assert main(argv) == 0
+        assert "campaign.json" in capsys.readouterr().out
+        records, summary = load_campaign(tmp_path / "campaign")
+        assert summary["timing"]["simulated"] == len(records) == 3
+        manifest = load_manifest(tmp_path / "campaign")
+        assert manifest["completed"] is True
+        assert manifest["total_runs"] == 3
+
+        assert main(argv) == 0
+        capsys.readouterr()
+        _, warm_summary = load_campaign(tmp_path / "campaign")
+        assert warm_summary["timing"]["simulated"] == 0
+        assert warm_summary["timing"]["cached"] == 3
+
+    def test_overlapping_campaign_only_simulates_its_frontier(self, tmp_path, capsys):
+        from repro.campaign import load_campaign
+
+        store = tmp_path / "store"
+        assert main(self._campaign_argv(store, workloads="1")) == 0
+        argv = self._campaign_argv(store, out_dir=tmp_path / "grown", workloads="2")
+        assert main(argv) == 0
+        capsys.readouterr()
+        _, summary = load_campaign(tmp_path / "grown")
+        assert summary["timing"]["simulated"] == 1  # only the new workload
+        assert summary["timing"]["cached"] == 2
+
+    def test_cache_stats_reports_entries_and_attribution(self, tmp_path, capsys):
+        assert main(self._campaign_argv(tmp_path / "store")) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--store", str(tmp_path / "store")]) == 0
+        output = capsys.readouterr().out
+        assert "Entries: 3" in output
+        assert "Per-campaign attribution" in output
+
+    def test_cache_stats_on_non_store_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--store", str(tmp_path / "empty")]) == 2
+        err = capsys.readouterr().err
+        assert "not a result store" in err
+        assert "Traceback" not in err
+
+    def test_cache_migrate_adopts_a_flat_cache(self, tmp_path, capsys):
+        flat_argv = [
+            "--preset",
+            "small",
+            "campaign",
+            "--workloads",
+            "2",
+            "--iterations",
+            "5",
+            "--cache-dir",
+            str(tmp_path / "flat"),
+        ]
+        assert main(flat_argv) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "cache",
+                "migrate",
+                "--store",
+                str(tmp_path / "store"),
+                "--legacy",
+                str(tmp_path / "flat"),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "Migrated 3 record(s)" in output
+        # The migrated store now feeds a fully warm campaign.
+        assert main(self._campaign_argv(tmp_path / "store", out_dir=tmp_path / "c")) == 0
+        capsys.readouterr()
+        from repro.campaign import load_campaign
+
+        _, summary = load_campaign(tmp_path / "c")
+        assert summary["timing"]["simulated"] == 0
+
+    def test_cache_migrate_missing_legacy_is_a_clean_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "cache",
+                "migrate",
+                "--store",
+                str(tmp_path / "store"),
+                "--legacy",
+                str(tmp_path / "nope"),
+            ]
+        )
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_cache_gc_removes_nothing_on_a_fresh_store(self, tmp_path, capsys):
+        assert main(self._campaign_argv(tmp_path / "store")) == 0
+        capsys.readouterr()
+        code = main(
+            ["cache", "gc", "--store", str(tmp_path / "store"), "--keep-days", "30"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "Removed 0 entries" in output
+        assert "3 remain" in output
