@@ -20,6 +20,7 @@ from typing import List, Optional
 from .campaign_bench import CAMPAIGN_WORKLOADS
 from .compare import METRICS, compare_files
 from .harness import WORKLOADS, render_report, run_benchmarks
+from .service_bench import SERVICE_WORKLOADS
 
 
 def _detect_rev() -> str:
@@ -69,16 +70,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         choices=[workload.name for workload in WORKLOADS],
         help="restrict to specific engine workloads (repeatable; default: "
-        "all; restricting skips the campaign family unless --campaign is "
-        "also given)",
+        "all; restricting skips the other families unless their own "
+        "filters are also given)",
     )
     run.add_argument(
         "--campaign",
         action="append",
         choices=[bench.name for bench in CAMPAIGN_WORKLOADS],
         help="restrict to specific campaign benches (repeatable; default: "
-        "all; restricting skips the engine workloads unless --workload is "
-        "also given)",
+        "all; restricting skips the other families unless their own "
+        "filters are also given)",
+    )
+    run.add_argument(
+        "--service",
+        action="append",
+        choices=[bench.name for bench in SERVICE_WORKLOADS],
+        help="restrict to specific serve-daemon benches (repeatable; "
+        "default: all; restricting skips the other families unless their "
+        "own filters are also given)",
     )
 
     compare = subparsers.add_parser("compare", help="gate new BENCH payload(s) against a baseline")
@@ -103,22 +112,32 @@ def _run(args: argparse.Namespace) -> int:
     rev = args.rev if args.rev is not None else _detect_rev()
     workloads = WORKLOADS
     campaigns = CAMPAIGN_WORKLOADS
-    if args.workload:
-        wanted = set(args.workload)
-        workloads = tuple(w for w in WORKLOADS if w.name in wanted)
-        if not args.campaign:
-            campaigns = ()
-    if args.campaign:
-        wanted = set(args.campaign)
-        campaigns = tuple(c for c in CAMPAIGN_WORKLOADS if c.name in wanted)
-        if not args.workload:
-            workloads = ()
+    services = SERVICE_WORKLOADS
+    if args.workload or args.campaign or args.service:
+        # Any explicit filter narrows the run to exactly the named
+        # benches; families without a filter of their own are skipped.
+        workloads = (
+            tuple(w for w in WORKLOADS if w.name in set(args.workload))
+            if args.workload
+            else ()
+        )
+        campaigns = (
+            tuple(c for c in CAMPAIGN_WORKLOADS if c.name in set(args.campaign))
+            if args.campaign
+            else ()
+        )
+        services = (
+            tuple(s for s in SERVICE_WORKLOADS if s.name in set(args.service))
+            if args.service
+            else ()
+        )
     payload = run_benchmarks(
         workloads=workloads,
         quick=args.quick,
         repeats=args.repeats,
         rev=rev,
         campaigns=campaigns,
+        services=services,
     )
     print(render_report(payload))
     out_dir = Path(args.out)

@@ -22,9 +22,18 @@ from .harness import BENCH_SCHEMA_VERSION
 #: stepped oracle; ``codegen_speedup`` gates the generated-loop engine the
 #: same host-independent way; ``campaign_warm_speedup`` gates the result
 #: store's warm-hit path (warm vs cold runs/sec of the ``campaigns``
-#: section — also a same-process ratio); ``cycles_per_sec`` (event engine)
-#: is only meaningful when both payloads come from the same machine.
-METRICS = ("speedup", "codegen_speedup", "campaign_warm_speedup", "cycles_per_sec")
+#: section — also a same-process ratio); ``service_warm_speedup`` gates
+#: the serve daemon's multi-client warm path (aggregate warm runs/sec of
+#: concurrent clients vs cold, from the ``services`` section);
+#: ``cycles_per_sec`` (event engine) is only meaningful when both
+#: payloads come from the same machine.
+METRICS = (
+    "speedup",
+    "codegen_speedup",
+    "campaign_warm_speedup",
+    "service_warm_speedup",
+    "cycles_per_sec",
+)
 
 
 @dataclass
@@ -64,6 +73,8 @@ def _metric_of(entry: Dict[str, object], metric: str) -> float:
         return float(entry["speedups"]["codegen"])
     if metric == "campaign_warm_speedup":
         return float(entry["warm_speedup"])
+    if metric == "service_warm_speedup":
+        return float(entry["multi_client_warm_speedup"])
     if metric == "cycles_per_sec":
         return float(entry["engines"]["event"]["cycles_per_sec"])
     raise ValueError(f"unknown metric {metric!r}; available: {list(METRICS)}")
@@ -71,8 +82,13 @@ def _metric_of(entry: Dict[str, object], metric: str) -> float:
 
 def _section_of(metric: str) -> str:
     """The payload section a metric gates: engine metrics live under
-    ``workloads``, campaign metrics under ``campaigns``."""
-    return "campaigns" if metric.startswith("campaign_") else "workloads"
+    ``workloads``, campaign metrics under ``campaigns``, service metrics
+    under ``services``."""
+    if metric.startswith("campaign_"):
+        return "campaigns"
+    if metric.startswith("service_"):
+        return "services"
+    return "workloads"
 
 
 def compare_payloads(

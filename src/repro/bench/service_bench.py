@@ -1,0 +1,308 @@
+"""Service-throughput benchmarks: campaigns through the serve daemon.
+
+While :mod:`repro.bench.campaign_bench` times campaigns through an
+in-process :class:`~repro.campaign.runner.ParallelRunner`, this family
+times them through the full campaign-as-a-service stack — a
+:class:`~repro.service.CampaignDaemon` on a Unix socket, talked to by
+:class:`~repro.service.ServiceClient` instances over the JSON-lines
+protocol — capturing the two numbers the daemon is optimised for:
+
+* **multi-client warm speedup** — ``clients`` concurrent clients each
+  submit the same already-simulated campaign; aggregate warm runs/sec
+  over cold runs/sec.  This is the daemon's whole point: overlapping
+  submissions share one store, so extra clients cost protocol overhead
+  and index queries, never simulations.
+* **submissions/sec** — sequential warm submit+wait round trips, the
+  per-job fixed cost of the socket, scheduler and store claim.
+
+The gated metric is ``multi_client_warm_speedup``: like ``warm_speedup``
+in the campaign family it is a same-process ratio, so a committed
+baseline stays meaningful on any CI host.
+
+Each measurement re-asserts the service's core guarantees — every warm
+job performs zero simulations and resolves its whole grid from the
+shared store, and warm records equal the cold reference — so a broken
+guarantee surfaces as a bench *error*, never as a silently fast number.
+"""
+
+from __future__ import annotations
+
+import io
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..campaign import CampaignSpec
+from ..errors import SimulationError
+from ..service import CampaignDaemon, ServiceAddress, ServiceClient
+
+#: Generous per-job ceiling: a wedged daemon should fail the bench with a
+#: timeout error, not hang the whole harness.
+_WAIT_TIMEOUT = 600.0
+
+
+@dataclass(frozen=True)
+class ServiceBench:
+    """One timed service scenario: a spec grid submitted through a daemon.
+
+    Attributes:
+        name: stable identifier used to match entries across payloads.
+        preset: platform preset the campaign sweeps.
+        arbiters: bus arbitration policies of the grid.
+        seeds: base seeds (each draws an independent workload set).
+        quick_seeds: reduced seed axis for ``--quick`` (CI) runs.
+        workloads / quick_workloads: random workloads per grid point.
+        iterations / quick_iterations: observed-task loop iterations.
+        rsk_iterations / quick_rsk_iterations: observed-rsk iterations.
+        clients: concurrent clients in the warm multi-client phase.
+        submissions / quick_submissions: sequential warm submit+wait
+            round trips timed for the submissions/sec series.
+    """
+
+    name: str
+    preset: str
+    arbiters: Tuple[str, ...] = ("round_robin",)
+    seeds: Tuple[int, ...] = (2015,)
+    quick_seeds: Tuple[int, ...] = (2015,)
+    workloads: int = 3
+    quick_workloads: int = 2
+    iterations: int = 8
+    quick_iterations: int = 5
+    rsk_iterations: int = 16
+    quick_rsk_iterations: int = 10
+    clients: int = 3
+    submissions: int = 6
+    quick_submissions: int = 4
+
+    def spec(self, quick: bool) -> CampaignSpec:
+        """The campaign grid at full or quick size."""
+        return CampaignSpec(
+            presets=(self.preset,),
+            arbiters=self.arbiters,
+            seeds=self.quick_seeds if quick else self.seeds,
+            num_workloads=self.quick_workloads if quick else self.workloads,
+            iterations=self.quick_iterations if quick else self.iterations,
+            rsk_iterations=self.quick_rsk_iterations if quick else self.rsk_iterations,
+        )
+
+
+def _grid() -> Tuple[ServiceBench, ...]:
+    return (
+        # Seed sweep on the 2-core platform: one config object, many runs —
+        # the cheapest grid that still exercises shard dispatch, so the
+        # protocol/scheduler overhead dominates and is what gets measured.
+        ServiceBench(
+            name="small/serve-seed-sweep",
+            preset="small",
+            seeds=(2015, 2016, 2017),
+            quick_seeds=(2015, 2016),
+        ),
+        # Arbiter pair on the paper's default platform: two distinct
+        # configs in the frontier, heavier per-run cost, fewer clients.
+        ServiceBench(
+            name="ref/serve-arbiter-pair",
+            preset="ref",
+            arbiters=("round_robin", "fifo"),
+            workloads=2,
+            quick_workloads=2,
+            iterations=6,
+            quick_iterations=4,
+            rsk_iterations=12,
+            quick_rsk_iterations=8,
+            clients=2,
+            submissions=4,
+            quick_submissions=3,
+        ),
+    )
+
+
+#: The service-throughput workload grid.
+SERVICE_WORKLOADS: Tuple[ServiceBench, ...] = _grid()
+
+
+class _DaemonHandle:
+    """An in-process daemon on a private Unix socket, started/stopped
+    around one measurement phase."""
+
+    def __init__(self, store_dir: Path, data_dir: Path, socket_path: Path) -> None:
+        self.address = ServiceAddress(kind="unix", path=str(socket_path))
+        # Keep the daemon's operational log out of the bench report; it is
+        # still in memory should a phase raise.
+        self.log = io.StringIO()
+        self.daemon = CampaignDaemon(
+            store_dir=store_dir, data_dir=data_dir, jobs=1, log=self.log
+        )
+        self._thread = threading.Thread(
+            target=self.daemon.serve, args=(self.address,), daemon=True
+        )
+
+    def start(self) -> ServiceClient:
+        self._thread.start()
+        client = ServiceClient(self.address)
+        client.wait_for_daemon()
+        return client
+
+    def stop(self) -> None:
+        ServiceClient(self.address).shutdown()
+        self._thread.join(timeout=_WAIT_TIMEOUT)
+        if self._thread.is_alive():
+            raise SimulationError("serve daemon failed to drain within the bench timeout")
+
+
+def _submit_and_wait(client: ServiceClient, spec: CampaignSpec) -> Dict[str, object]:
+    submitted = client.submit(spec)
+    # A tight poll keeps the measured wall time about the daemon, not the
+    # client's status-poll quantum (warm jobs finish in milliseconds).
+    return client.wait(str(submitted["job_id"]), timeout=_WAIT_TIMEOUT, interval=0.01)
+
+
+def _check_warm(name: str, job: Dict[str, object], unique_runs: int) -> None:
+    stats = job.get("stats")
+    assert isinstance(stats, dict)
+    if stats["simulated"] != 0:
+        raise SimulationError(
+            f"{name}: warm submission {job.get('job_id')} simulated "
+            f"{stats['simulated']} run(s); the daemon failed to resolve an "
+            "already-simulated campaign from the shared store"
+        )
+    if stats["cached"] != unique_runs:
+        raise SimulationError(
+            f"{name}: warm submission {job.get('job_id')} resolved "
+            f"{stats['cached']} of {unique_runs} unique runs from the store"
+        )
+
+
+def time_service(bench: ServiceBench, quick: bool, repeats: int) -> Dict[str, object]:
+    """Measure one service bench: cold, warm multi-client and submission phases.
+
+    Cold attempts each get a fresh daemon over a fresh store (best wall
+    time kept); the warm phases share one daemon over the store the last
+    cold attempt populated.
+    """
+    spec = bench.spec(quick)
+    runs = len(spec.expand())
+    submissions = bench.quick_submissions if quick else bench.submissions
+    entry: Dict[str, object] = {
+        "name": bench.name,
+        "preset": bench.preset,
+        "runs": runs,
+        "clients": bench.clients,
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        base = Path(tmp)
+        cold_seconds: Optional[float] = None
+        unique_runs: Optional[int] = None
+        reference: Optional[List[object]] = None
+        warm_store: Optional[Path] = None
+        for attempt in range(max(1, repeats)):
+            store_dir = base / f"cold-{attempt}" / "store"
+            handle = _DaemonHandle(
+                store_dir, base / f"cold-{attempt}" / "data", base / f"cold-{attempt}.sock"
+            )
+            client = handle.start()
+            try:
+                started = time.perf_counter()
+                job = _submit_and_wait(client, spec)
+                elapsed = time.perf_counter() - started
+                stats = job.get("stats")
+                assert isinstance(stats, dict)
+                if stats["simulated"] != stats["unique_runs"]:
+                    raise SimulationError(
+                        f"{bench.name}: cold submission hit a fresh store "
+                        f"({stats['simulated']} simulated of "
+                        f"{stats['unique_runs']} unique runs)"
+                    )
+                if reference is None:
+                    unique_runs = int(stats["unique_runs"])
+                    results = client.results(str(job["job_id"]))
+                    records = results["records"]
+                    assert isinstance(records, list)
+                    reference = records
+            finally:
+                handle.stop()
+            if cold_seconds is None or elapsed < cold_seconds:
+                cold_seconds = elapsed
+            warm_store = store_dir
+        assert cold_seconds is not None and unique_runs is not None
+        assert reference is not None and warm_store is not None
+        entry["unique_runs"] = unique_runs
+
+        handle = _DaemonHandle(warm_store, base / "warm-data", base / "warm.sock")
+        warm_client = handle.start()
+        try:
+            multi_seconds: Optional[float] = None
+            for attempt in range(max(1, repeats)):
+                jobs: List[Optional[Dict[str, object]]] = [None] * bench.clients
+                errors: List[BaseException] = []
+
+                def _one_client(slot: int) -> None:
+                    try:
+                        # Each thread gets its own client — fresh connection
+                        # per command, exactly like separate terminals.
+                        jobs[slot] = _submit_and_wait(ServiceClient(handle.address), spec)
+                    except BaseException as exc:  # noqa: BLE001 - re-raised below
+                        errors.append(exc)
+
+                threads = [
+                    threading.Thread(target=_one_client, args=(slot,))
+                    for slot in range(bench.clients)
+                ]
+                started = time.perf_counter()
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                elapsed = time.perf_counter() - started
+                if errors:
+                    raise errors[0]
+                for warm_job in jobs:
+                    assert warm_job is not None
+                    _check_warm(bench.name, warm_job, unique_runs)
+                if attempt == 0:
+                    first = jobs[0]
+                    assert first is not None
+                    results = warm_client.results(str(first["job_id"]))
+                    if results["records"] != reference:
+                        raise SimulationError(
+                            f"{bench.name}: warm records differ from the cold reference"
+                        )
+                if multi_seconds is None or elapsed < multi_seconds:
+                    multi_seconds = elapsed
+            assert multi_seconds is not None
+
+            best_submit: Optional[float] = None
+            for _ in range(max(1, repeats)):
+                started = time.perf_counter()
+                for _ in range(submissions):
+                    job = _submit_and_wait(warm_client, spec)
+                    _check_warm(bench.name, job, unique_runs)
+                elapsed = time.perf_counter() - started
+                if best_submit is None or elapsed < best_submit:
+                    best_submit = elapsed
+            assert best_submit is not None
+        finally:
+            handle.stop()
+
+    cold_rps = runs / cold_seconds if cold_seconds else 0.0
+    warm_rps = (bench.clients * runs) / multi_seconds if multi_seconds else 0.0
+    entry["cold"] = {"seconds": cold_seconds, "runs_per_sec": cold_rps}
+    entry["warm_multi"] = {"seconds": multi_seconds, "runs_per_sec": warm_rps}
+    entry["multi_client_warm_speedup"] = warm_rps / cold_rps if cold_rps else 0.0
+    entry["submissions"] = {
+        "count": submissions,
+        "seconds": best_submit,
+        "per_sec": submissions / best_submit if best_submit else 0.0,
+    }
+    return entry
+
+
+def run_service_benchmarks(
+    services: Sequence[ServiceBench] = SERVICE_WORKLOADS,
+    quick: bool = False,
+    repeats: int = 2,
+) -> List[Dict[str, object]]:
+    """Time every service bench and return the ``services`` payload section."""
+    return [time_service(bench, quick, repeats) for bench in services]

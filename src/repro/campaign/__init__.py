@@ -40,6 +40,7 @@ from .cache import ResultCache
 from .runner import (
     CampaignOutcome,
     ParallelRunner,
+    RecordEmitter,
     ShardRun,
     ShardTask,
     compact_shard,
@@ -60,24 +61,29 @@ from .spec import (
     workload_campaign_descriptors,
 )
 from .store import (
+    CLAIM_TTL_SECONDS,
     LEGACY_CAMPAIGN_ID,
     STORE_SCHEMA_VERSION,
+    GcOutcome,
     ResultStore,
     StoreCounters,
     is_store_directory,
 )
 
 __all__ = [
+    "CLAIM_TTL_SECONDS",
     "CampaignArtifacts",
     "CampaignOutcome",
     "CampaignSpec",
     "CampaignStreamWriter",
+    "GcOutcome",
     "KIND_RSK",
     "KIND_SYNTHETIC",
     "LEGACY_CAMPAIGN_ID",
     "MANIFEST_NAME",
     "ParallelRunner",
     "RESULTS_NAME",
+    "RecordEmitter",
     "ResultCache",
     "ResultStore",
     "RunDescriptor",

@@ -342,7 +342,7 @@ class CampaignOutcome:
         return summary
 
 
-class _RecordEmitter:
+class RecordEmitter:
     """Assembles final records in descriptor order as digests resolve.
 
     Keeps an emit pointer over the descriptor sequence and advances it
@@ -459,7 +459,7 @@ class ParallelRunner:
 
         if stream is not None:
             stream.begin(campaign_digest(digests), len(descriptors))
-        emitter = _RecordEmitter(descriptors, digests, by_digest, stream)
+        emitter = RecordEmitter(descriptors, digests, by_digest, stream)
         try:
             # The cached prefix (the whole campaign, on a warm re-run)
             # streams before any shard is dispatched.
@@ -489,7 +489,7 @@ class ParallelRunner:
         self,
         shards: Sequence[ShardTask],
         by_digest: Dict[str, Dict[str, object]],
-        emitter: _RecordEmitter,
+        emitter: RecordEmitter,
         stream: Optional["CampaignStreamWriter"],
     ) -> None:
         """Run the shards and absorb their results in shard order."""

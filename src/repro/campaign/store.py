@@ -31,6 +31,18 @@ Durability and concurrency contract:
 * Lookups ignore ``campaign_id`` — any historical campaign's hit
   short-circuits simulation, which is what makes overlapping sweeps only
   simulate their frontier.
+* Long-lived multi-threaded handles (the ``repro-bounds serve`` daemon) get
+  a per-thread connection: every thread that touches the index lazily opens
+  its own ``sqlite3`` connection, so no statement ever crosses threads.  On
+  top of WAL's ``busy_timeout``, every statement retries with bounded
+  exponential backoff when SQLite reports ``database is locked`` — a
+  maintenance command racing a daemon degrades to a short wait, never to a
+  crash.
+* A daemon marks the campaigns it is actively executing via the ``claims``
+  table (:meth:`ResultStore.claim`); ``gc`` skips — and reports — rows of
+  actively claimed campaigns instead of deleting data another process is
+  still appending to.  Claims expire after :data:`CLAIM_TTL_SECONDS` or
+  when their process dies, so a crashed daemon never pins rows forever.
 """
 
 from __future__ import annotations
@@ -38,18 +50,32 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from ..errors import ConfigurationError
 
 #: Layout version of the index; bump when the table shapes or the meaning
 #: of a column changes.  A store stamped with a *newer* version is refused
 #: (the artifacts remain readable by re-indexing with the newer tool); an
-#: older or missing stamp triggers a transparent rebuild.
-STORE_SCHEMA_VERSION = 1
+#: older or missing stamp triggers a transparent rebuild.  Version 2 adds
+#: the ``claims`` table (daemon in-use markers consulted by ``gc``).
+STORE_SCHEMA_VERSION = 2
+
+#: A claim whose heartbeat is older than this (and whose process cannot be
+#: confirmed alive) is considered abandoned: ``gc`` ignores it and deletes
+#: the stale row.  Daemons refresh their claims far more often than this.
+CLAIM_TTL_SECONDS = 3600.0
+
+#: Bounded retry-with-backoff for ``database is locked``/``busy`` errors:
+#: attempt count and initial sleep (doubled per attempt, ~3 s worst case).
+_LOCK_RETRY_ATTEMPTS = 6
+_LOCK_RETRY_BASE_DELAY = 0.05
+
+_T = TypeVar("_T")
 
 #: File name of the SQLite index inside a store directory.
 INDEX_NAME = "index.sqlite"
@@ -78,6 +104,46 @@ CREATE TABLE IF NOT EXISTS meta (
     value TEXT NOT NULL
 )
 """
+
+_CREATE_CLAIMS = """
+CREATE TABLE IF NOT EXISTS claims (
+    campaign_id TEXT PRIMARY KEY,
+    pid         INTEGER NOT NULL,
+    heartbeat   REAL NOT NULL
+)
+"""
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe; unknown states count as alive."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # exists but owned by someone else (EPERM), or exotic
+    return True
+
+
+@dataclass(frozen=True)
+class GcOutcome:
+    """What one :meth:`ResultStore.gc` pass did.
+
+    ``skipped_in_use`` rows were old enough to expire but belong to a
+    campaign another process actively claims — they are reported, not
+    deleted, so a daemon's in-flight campaign never loses rows under it.
+    """
+
+    removed: int
+    skipped_in_use: int
+    in_use_campaigns: Tuple[str, ...] = ()
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "removed": self.removed,
+            "skipped_in_use": self.skipped_in_use,
+            "in_use_campaigns": list(self.in_use_campaigns),
+        }
 
 
 @dataclass
@@ -132,7 +198,10 @@ class ResultStore:
             raise ConfigurationError(
                 f"cannot use {self.directory} as a result store: {exc}"
             ) from exc
-        self._db = self._open_index()
+        self._local = threading.local()
+        self._connections: List[sqlite3.Connection] = []
+        self._connections_lock = threading.Lock()
+        self._open_index()
 
     # ------------------------------------------------------------------ #
     # Index lifecycle.
@@ -143,38 +212,89 @@ class ResultStore:
         return self.directory / INDEX_NAME
 
     def _connect(self) -> sqlite3.Connection:
-        db = sqlite3.connect(self.index_path, timeout=30.0)
+        # check_same_thread=False so close() can reap every thread's
+        # connection; all *statements* stay on the connection's own thread
+        # via the thread-local discipline of ``_db``.
+        db = sqlite3.connect(self.index_path, timeout=30.0, check_same_thread=False)
         db.execute("PRAGMA journal_mode=WAL")
         db.execute("PRAGMA synchronous=NORMAL")
         db.execute("PRAGMA busy_timeout=30000")
         return db
 
-    def _open_index(self) -> sqlite3.Connection:
-        try:
+    @property
+    def _db(self) -> sqlite3.Connection:
+        """This thread's connection, opened lazily.
+
+        A long-lived store handle is shared by a daemon's scheduler,
+        worker-handler and maintenance threads; per-thread connections mean
+        no cursor or transaction ever crosses a thread boundary, which is
+        the discipline SQLite's serialized mode is fast at and WAL makes
+        concurrent.
+        """
+        db: Optional[sqlite3.Connection] = getattr(self._local, "db", None)
+        if db is None:
             db = self._connect()
+            self._local.db = db
+            with self._connections_lock:
+                self._connections.append(db)
+        return db
+
+    def _discard_thread_connection(self) -> None:
+        db: Optional[sqlite3.Connection] = getattr(self._local, "db", None)
+        if db is not None:
+            with self._connections_lock:
+                if db in self._connections:
+                    self._connections.remove(db)
+            db.close()
+            self._local.db = None
+
+    def _with_lock_retry(self, operation: Callable[[], _T]) -> _T:
+        """Run ``operation``, retrying on ``database is locked``/``busy``.
+
+        ``busy_timeout`` already absorbs most writer contention, but a
+        checkpoint or a writer stuck beyond the timeout still surfaces as
+        ``sqlite3.OperationalError``; bounded exponential backoff turns
+        that into a short stall instead of a failed campaign or gc pass.
+        Non-lock operational errors propagate immediately.
+        """
+        delay = _LOCK_RETRY_BASE_DELAY
+        for attempt in range(_LOCK_RETRY_ATTEMPTS):
+            try:
+                return operation()
+            except sqlite3.OperationalError as exc:
+                message = str(exc).lower()
+                if "locked" not in message and "busy" not in message:
+                    raise
+                if attempt == _LOCK_RETRY_ATTEMPTS - 1:
+                    raise
+                time.sleep(delay)
+                delay *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _open_index(self) -> None:
+        try:
+            db = self._db
             version = self._read_version(db)
         except sqlite3.DatabaseError:
             # Not a database / torn file: rebuild the index from the
             # artifacts, which remain the source of truth.
-            return self._recover_index()
+            self._recover_index()
+            return
         if version is None:
             # Fresh index.  Artifacts are the source of truth, so adopt any
             # already in the directory (lost/deleted index, rsynced store).
             self._initialise(db)
-            self._db = db
             self.rebuild_index()
-            return db
+            return
         if version > STORE_SCHEMA_VERSION:
-            db.close()
+            self._discard_thread_connection()
             raise ConfigurationError(
                 f"{self.index_path} uses store schema {version}, newer than "
                 f"this tool's schema {STORE_SCHEMA_VERSION}; upgrade the "
                 "tool or re-index the artifacts with `repro-bounds cache migrate`"
             )
         if version < STORE_SCHEMA_VERSION:
-            db.close()
-            return self._recover_index()
-        return db
+            self._recover_index()
 
     @staticmethod
     def _read_version(db: sqlite3.Connection) -> Optional[int]:
@@ -193,27 +313,31 @@ class ResultStore:
         with db:
             db.execute(_CREATE_RUNS)
             db.execute(_CREATE_META)
+            db.execute(_CREATE_CLAIMS)
             db.execute(
                 "INSERT OR REPLACE INTO meta (key, value) VALUES ('schema_version', ?)",
                 (str(STORE_SCHEMA_VERSION),),
             )
 
-    def _recover_index(self) -> sqlite3.Connection:
+    def _recover_index(self) -> None:
         """Drop the unusable index and rebuild it from the JSON artifacts."""
+        self._discard_thread_connection()
         for suffix in ("", "-wal", "-shm"):
             try:
                 os.unlink(f"{self.index_path}{suffix}")
             except OSError:
                 pass
-        db = self._connect()
-        self._initialise(db)
-        self._db = db
+        self._initialise(self._db)
         self.rebuild_index()
-        return db
 
     def close(self) -> None:
-        """Close the index connection (the store can be reopened any time)."""
-        self._db.close()
+        """Close every thread's connection (the store can be reopened any time)."""
+        with self._connections_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for db in connections:
+            db.close()
+        self._local = threading.local()
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -241,10 +365,12 @@ class ResultStore:
             chunk = unique[start : start + _BATCH]
             marks = ",".join("?" for _ in chunk)
             self.counters.index_queries += 1
-            rows = self._db.execute(
-                f"SELECT digest, path, record FROM runs WHERE digest IN ({marks})",
-                chunk,
-            ).fetchall()
+            rows = self._with_lock_retry(
+                lambda: self._db.execute(
+                    f"SELECT digest, path, record FROM runs WHERE digest IN ({marks})",
+                    chunk,
+                ).fetchall()
+            )
             for digest, path, text in rows:
                 record = self._decode(digest, text)
                 if record is None:
@@ -284,12 +410,16 @@ class ResultStore:
 
     def __contains__(self, digest: str) -> bool:
         self.counters.index_queries += 1
-        row = self._db.execute("SELECT 1 FROM runs WHERE digest = ?", (digest,)).fetchone()
+        row = self._with_lock_retry(
+            lambda: self._db.execute("SELECT 1 FROM runs WHERE digest = ?", (digest,)).fetchone()
+        )
         return row is not None
 
     def __len__(self) -> int:
         self.counters.index_queries += 1
-        row = self._db.execute("SELECT COUNT(*) FROM runs").fetchone()
+        row = self._with_lock_retry(
+            lambda: self._db.execute("SELECT COUNT(*) FROM runs").fetchone()
+        )
         return int(row[0])
 
     # ------------------------------------------------------------------ #
@@ -325,13 +455,17 @@ class ResultStore:
             )
         self.counters.index_queries += 1
         self.counters.batches_flushed += 1
-        with self._db:
-            self._db.executemany(
-                "INSERT OR REPLACE INTO runs "
-                "(digest, campaign_id, seed, created_at, path, record) "
-                "VALUES (?, ?, ?, ?, ?, ?)",
-                rows,
-            )
+
+        def flush() -> None:
+            with self._db:
+                self._db.executemany(
+                    "INSERT OR REPLACE INTO runs "
+                    "(digest, campaign_id, seed, created_at, path, record) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    rows,
+                )
+
+        self._with_lock_retry(flush)
 
     def put(self, digest: str, record: Dict[str, object]) -> None:
         """Single-record convenience wrapper over :meth:`put_many`."""
@@ -356,7 +490,10 @@ class ResultStore:
         recovery and to adopt artifacts copied in from elsewhere.
         """
         indexed = {
-            row[0] for row in self._db.execute("SELECT digest FROM runs").fetchall()
+            row[0]
+            for row in self._with_lock_retry(
+                lambda: self._db.execute("SELECT digest FROM runs").fetchall()
+            )
         }
         self.counters.index_queries += 1
         added = 0
@@ -415,16 +552,80 @@ class ResultStore:
             self.campaign_id = campaign_id
         return imported
 
+    # ------------------------------------------------------------------ #
+    # Claims: in-use markers for long-lived (daemon) campaign execution.
+    # ------------------------------------------------------------------ #
+
+    def claim(self, campaign_id: Optional[str] = None) -> None:
+        """Mark ``campaign_id`` (default: this handle's) as actively in use.
+
+        Claims are advisory: lookups and writes ignore them, but ``gc``
+        skips the claimed campaign's rows and ``stats`` reports the claim.
+        Re-claiming refreshes the heartbeat; daemons call this periodically
+        so a claim outliving :data:`CLAIM_TTL_SECONDS` means the claimant
+        is gone.
+        """
+        target = campaign_id if campaign_id is not None else self.campaign_id
+        now = time.time()
+
+        def upsert() -> None:
+            with self._db:
+                self._db.execute(
+                    "INSERT OR REPLACE INTO claims (campaign_id, pid, heartbeat) "
+                    "VALUES (?, ?, ?)",
+                    (target, os.getpid(), now),
+                )
+
+        self.counters.index_queries += 1
+        self._with_lock_retry(upsert)
+
+    def release_claim(self, campaign_id: Optional[str] = None) -> None:
+        """Drop the in-use marker for ``campaign_id`` (default: this handle's)."""
+        target = campaign_id if campaign_id is not None else self.campaign_id
+
+        def delete() -> None:
+            with self._db:
+                self._db.execute("DELETE FROM claims WHERE campaign_id = ?", (target,))
+
+        self.counters.index_queries += 1
+        self._with_lock_retry(delete)
+
+    def active_claims(self, ttl: float = CLAIM_TTL_SECONDS) -> Dict[str, Dict[str, object]]:
+        """Live in-use markers: fresh heartbeat, or a confirmed-alive pid.
+
+        A claim is *live* while its heartbeat is younger than ``ttl``; an
+        older claim survives only if its process can be confirmed alive on
+        this host (a crashed daemon's claim therefore expires on its own).
+        """
+        self.counters.index_queries += 1
+        rows = self._with_lock_retry(
+            lambda: self._db.execute("SELECT campaign_id, pid, heartbeat FROM claims").fetchall()
+        )
+        now = time.time()
+        active: Dict[str, Dict[str, object]] = {}
+        for campaign_id, pid, heartbeat in rows:
+            age = now - float(heartbeat)
+            if age > ttl and not _pid_alive(int(pid)):
+                continue
+            active[str(campaign_id)] = {"pid": int(pid), "age_seconds": age}
+        return active
+
     def stats(self) -> Dict[str, object]:
-        """Entries, per-campaign attribution and on-disk sizes."""
+        """Entries, per-campaign attribution, claims and on-disk sizes."""
         self.counters.index_queries += 2
-        entries = int(self._db.execute("SELECT COUNT(*) FROM runs").fetchone()[0])
+        entries = int(
+            self._with_lock_retry(
+                lambda: self._db.execute("SELECT COUNT(*) FROM runs").fetchone()
+            )[0]
+        )
         campaigns = {
             str(campaign): int(count)
-            for campaign, count in self._db.execute(
-                "SELECT campaign_id, COUNT(*) FROM runs "
-                "GROUP BY campaign_id ORDER BY campaign_id"
-            ).fetchall()
+            for campaign, count in self._with_lock_retry(
+                lambda: self._db.execute(
+                    "SELECT campaign_id, COUNT(*) FROM runs "
+                    "GROUP BY campaign_id ORDER BY campaign_id"
+                ).fetchall()
+            )
         }
         artifact_bytes = sum(
             path.stat().st_size for path in self.directory.glob("*.json")
@@ -438,37 +639,58 @@ class ResultStore:
             "schema": STORE_SCHEMA_VERSION,
             "entries": entries,
             "campaigns": campaigns,
+            "active_claims": self.active_claims(),
             "artifact_bytes": artifact_bytes,
             "index_bytes": index_bytes,
         }
 
-    def gc(self, keep_days: float) -> int:
+    def gc(self, keep_days: float) -> GcOutcome:
         """Delete runs older than ``keep_days`` days (rows *and* artifacts).
 
-        Returns the number of runs removed.  Artifacts are unlinked after
+        Rows belonging to an actively claimed campaign (a daemon holding
+        the store open) are left alone and reported via
+        :attr:`GcOutcome.skipped_in_use`.  Artifacts are unlinked after
         their rows so a crash mid-gc leaves re-indexable files, never
-        dangling rows.
+        dangling rows.  Stale claims (expired heartbeat, dead pid) are
+        purged as a side effect.
         """
         if keep_days < 0:
             raise ConfigurationError(f"keep_days must be >= 0, got {keep_days}")
         cutoff = time.time() - keep_days * 86400.0
+        active = self.active_claims()
         self.counters.index_queries += 2
-        victims = [
-            (str(digest), str(path))
-            for digest, path in self._db.execute(
-                "SELECT digest, path FROM runs WHERE created_at < ?", (cutoff,)
+        rows = self._with_lock_retry(
+            lambda: self._db.execute(
+                "SELECT digest, path, campaign_id FROM runs WHERE created_at < ?",
+                (cutoff,),
             ).fetchall()
-        ]
+        )
+        victims: List[Tuple[str, str]] = []
+        skipped = 0
+        in_use: Dict[str, None] = {}
+        for digest, path, campaign_id in rows:
+            if str(campaign_id) in active:
+                skipped += 1
+                in_use[str(campaign_id)] = None
+                continue
+            victims.append((str(digest), str(path)))
+        self._purge_stale_claims(active)
         if not victims:
-            return 0
-        with self._db:
-            for start in range(0, len(victims), _BATCH):
-                chunk = victims[start : start + _BATCH]
-                marks = ",".join("?" for _ in chunk)
-                self._db.execute(
-                    f"DELETE FROM runs WHERE digest IN ({marks})",
-                    [digest for digest, _ in chunk],
-                )
+            return GcOutcome(
+                removed=0, skipped_in_use=skipped, in_use_campaigns=tuple(in_use)
+            )
+
+        def delete_rows() -> None:
+            with self._db:
+                for start in range(0, len(victims), _BATCH):
+                    chunk = victims[start : start + _BATCH]
+                    marks = ",".join("?" for _ in chunk)
+                    self._db.execute(
+                        f"DELETE FROM runs WHERE digest IN ({marks})",
+                        [digest for digest, _ in chunk],
+                    )
+
+        self._with_lock_retry(delete_rows)
         for _, path in victims:
             target = Path(path)
             if not target.is_absolute():
@@ -477,7 +699,25 @@ class ResultStore:
                 os.unlink(target)
             except OSError:
                 pass
-        return len(victims)
+        return GcOutcome(
+            removed=len(victims), skipped_in_use=skipped, in_use_campaigns=tuple(in_use)
+        )
+
+    def _purge_stale_claims(self, active: Dict[str, Dict[str, object]]) -> None:
+        """Drop claims rows that are no longer live (dead pid, old heartbeat)."""
+
+        def purge() -> None:
+            rows = self._db.execute("SELECT campaign_id FROM claims").fetchall()
+            stale = [str(cid) for (cid,) in rows if str(cid) not in active]
+            if not stale:
+                return
+            with self._db:
+                marks = ",".join("?" for _ in stale)
+                self._db.execute(
+                    f"DELETE FROM claims WHERE campaign_id IN ({marks})", stale
+                )
+
+        self._with_lock_retry(purge)
 
 
 def is_store_directory(directory: "os.PathLike[str] | str") -> bool:

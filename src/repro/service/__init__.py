@@ -1,0 +1,53 @@
+"""Campaign-as-a-service: the `repro-bounds serve` daemon and its peers.
+
+PR 8 built the throughput half of campaign-as-a-service — the durable
+:class:`~repro.campaign.store.ResultStore` with cross-campaign dedup and
+shard-dispatched execution.  This package is the service front-end that
+turns that engine from a one-shot CLI into a long-lived daemon:
+
+* :mod:`repro.service.protocol` — the versioned JSON-lines wire protocol
+  (one JSON object per line over a Unix or TCP socket) shared by clients,
+  workers and the daemon, plus the shard payload serialisation that ships
+  :class:`~repro.campaign.runner.ShardTask` objects to remote executors.
+* :mod:`repro.service.jobs` — the job model: a submitted
+  :class:`~repro.campaign.spec.CampaignSpec` moving through
+  ``queued -> running -> completed | failed``.
+* :mod:`repro.service.daemon` — :class:`CampaignDaemon`: accepts specs
+  from many clients, executes them FIFO against one shared store and
+  worker pool (so overlapping campaigns simulate only their
+  miss-frontier), hands shards to remote workers with leases/heartbeats/
+  requeue, and drains gracefully on shutdown.
+* :mod:`repro.service.worker` — :class:`RemoteWorker`: connects to a
+  daemon, pulls shards, executes them in-process and streams heartbeats.
+* :mod:`repro.service.client` — :class:`ServiceClient`: the
+  ``submit``/``status``/``results``/``shutdown`` command surface.
+
+The CLI front-ends are ``repro-bounds serve | submit | status | results |
+shutdown | worker``; the protocol itself is documented in DESIGN.md §11.
+"""
+
+from .client import ServiceClient
+from .daemon import CampaignDaemon, ShardBoard
+from .jobs import JOB_STATES, Job
+from .protocol import (
+    PROTOCOL_VERSION,
+    ServiceAddress,
+    parse_address,
+    shard_from_payload,
+    shard_to_payload,
+)
+from .worker import RemoteWorker
+
+__all__ = [
+    "CampaignDaemon",
+    "JOB_STATES",
+    "Job",
+    "PROTOCOL_VERSION",
+    "RemoteWorker",
+    "ServiceAddress",
+    "ServiceClient",
+    "ShardBoard",
+    "parse_address",
+    "shard_from_payload",
+    "shard_to_payload",
+]

@@ -1,0 +1,94 @@
+"""The daemon's job model: a submitted campaign spec with a lifecycle.
+
+A job is born ``queued`` at submission, becomes ``running`` when the
+scheduler picks it up (FIFO — see :mod:`repro.service.daemon` for why
+that ordering is what guarantees exact union-frontier dedup), and ends
+``completed`` (artifacts finalised) or ``failed`` (error recorded, the
+in-flight manifest left with ``completed: false`` so the audit sees a
+resumable directory, not a fake success).
+
+Jobs are in-memory objects owned by one daemon; ``status``/``results``
+answers are built from :meth:`Job.to_payload`.  The artifacts themselves
+are on disk under the daemon's data directory and survive the daemon.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ..campaign.spec import CampaignSpec
+
+#: Lifecycle states, in order of progression.
+JOB_STATES: Tuple[str, ...] = ("queued", "running", "completed", "failed")
+
+
+@dataclass
+class Job:
+    """One submitted campaign moving through the daemon.
+
+    Attributes:
+        job_id: daemon-unique id (``job-<seq>-<digest prefix>``); the
+            store's per-row ``campaign_id`` attribution for this job.
+        spec: the submitted grid.
+        out_dir: where this job's artifacts stream
+            (``<data_dir>/jobs/<job_id>``).
+        state: one of :data:`JOB_STATES`.
+        total_runs: grid size, known at submission (the spec expands
+            deterministically).
+        stats: execution statistics, populated at completion — the same
+            shape :class:`~repro.campaign.runner.ParallelRunner` reports
+            (``simulated``/``cached``/``store`` counters and friends).
+        error: failure message when ``state == "failed"``.
+        done: set once the job reaches a terminal state; clients block on
+            it via the daemon's wait path instead of polling in-process.
+    """
+
+    job_id: str
+    spec: CampaignSpec
+    out_dir: Path
+    state: str = "queued"
+    total_runs: int = 0
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    stats: Dict[str, object] = field(default_factory=dict)
+    error: Optional[str] = None
+    done: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def mark_running(self) -> None:
+        self.state = "running"
+        self.started_at = time.time()
+
+    def mark_completed(self, stats: Dict[str, object]) -> None:
+        self.stats = stats
+        self.state = "completed"
+        self.finished_at = time.time()
+        self.done.set()
+
+    def mark_failed(self, error: str) -> None:
+        self.error = error
+        self.state = "failed"
+        self.finished_at = time.time()
+        self.done.set()
+
+    def to_payload(self) -> Dict[str, object]:
+        """The ``status`` frame's job object (JSON-ready)."""
+        payload: Dict[str, object] = {
+            "job_id": self.job_id,
+            "state": self.state,
+            "out_dir": str(self.out_dir),
+            "total_runs": self.total_runs,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "spec": self.spec.to_dict(),
+        }
+        if self.stats:
+            payload["stats"] = self.stats
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload

@@ -518,3 +518,54 @@ class TestStoreCli:
         assert code == 0
         assert "Removed 0 entries" in output
         assert "3 remain" in output
+
+
+class TestCacheJsonAndClaims:
+    def _seed_store(self, tmp_path):
+        from repro.campaign import ResultStore
+
+        store_dir = tmp_path / "store"
+        with ResultStore(store_dir, campaign_id="seed") as store:
+            store.put_many(
+                [(f"{i:064x}", {"digest": f"{i:064x}", "schema": 4}) for i in range(3)]
+            )
+        return store_dir
+
+    def test_cache_stats_json(self, tmp_path, capsys):
+        import json
+
+        store_dir = self._seed_store(tmp_path)
+        assert main(["cache", "stats", "--store", str(store_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 3
+        assert payload["campaigns"] == {"seed": 3}
+        assert payload["active_claims"] == {}
+
+    def test_cache_gc_json(self, tmp_path, capsys):
+        import json
+
+        store_dir = self._seed_store(tmp_path)
+        assert main(
+            ["cache", "gc", "--store", str(store_dir), "--keep-days", "365", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"removed": 0, "skipped_in_use": 0, "in_use_campaigns": []}
+
+    def test_cache_gc_reports_claimed_rows_as_in_use(self, tmp_path, capsys):
+        import repro.campaign.store as store_module
+        from repro.campaign import ResultStore
+
+        store_dir = self._seed_store(tmp_path)
+        with ResultStore(store_dir) as store:
+            store._db.execute(
+                "UPDATE runs SET created_at = ?", (store_module.time.time() - 7 * 86400,)
+            )
+            store._db.commit()
+            store.claim("seed")  # this (live) pid holds the campaign in use
+        assert main(["cache", "gc", "--store", str(store_dir), "--keep-days", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Removed 0" in out
+        assert "Skipped 3 in-use entries (claimed by: seed)" in out
+        # The claim also shows up in human-readable stats.
+        assert main(["cache", "stats", "--store", str(store_dir)]) == 0
+        assert "Active claims" in capsys.readouterr().out

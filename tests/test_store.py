@@ -310,7 +310,9 @@ class TestStatsAndGc:
                 "UPDATE runs SET created_at = ? WHERE digest = ?", (week_ago, _digest(0))
             )
             store._db.commit()
-            assert store.gc(keep_days=1.0) == 1
+            outcome = store.gc(keep_days=1.0)
+            assert outcome.removed == 1
+            assert outcome.skipped_in_use == 0
             assert len(store) == 2
             assert store.get(_digest(0)) is None
         assert not (tmp_path / "store" / f"{_digest(0)}.json").exists()
@@ -319,7 +321,7 @@ class TestStatsAndGc:
     def test_gc_keep_everything_and_bad_arguments(self, tmp_path):
         with ResultStore(tmp_path / "store") as store:
             _put_range(store, 0, 2)
-            assert store.gc(keep_days=365.0) == 0
+            assert store.gc(keep_days=365.0).removed == 0
             with pytest.raises(ConfigurationError, match="keep_days"):
                 store.gc(keep_days=-1.0)
 
@@ -337,3 +339,115 @@ class TestStatsAndGc:
         with ResultStore(directory) as store:
             assert store.rebuild_index() == 1
             assert len(store) == 3
+
+
+# --------------------------------------------------------------------------- #
+# Claims: the serve daemon's in-use markers (gc/stats safety).
+# --------------------------------------------------------------------------- #
+
+
+class TestClaims:
+    def test_claim_release_and_stats(self, tmp_path):
+        with ResultStore(tmp_path / "store", campaign_id="job-1") as store:
+            _put_range(store, 0, 2)
+            store.claim("job-1")
+            active = store.active_claims()
+            assert set(active) == {"job-1"}
+            assert active["job-1"]["pid"] == store_module.os.getpid()
+            assert set(store.stats()["active_claims"]) == {"job-1"}
+            store.release_claim("job-1")
+            assert store.active_claims() == {}
+
+    def test_reclaim_refreshes_heartbeat(self, tmp_path):
+        with ResultStore(tmp_path / "store", campaign_id="job-1") as store:
+            store.claim()
+            store._db.execute(
+                "UPDATE claims SET heartbeat = ?", (store_module.time.time() - 9999,)
+            )
+            store._db.commit()
+            store.claim()  # heartbeat back to now
+            assert store.active_claims(ttl=60.0) != {}
+
+    def test_stale_claim_of_dead_pid_expires(self, tmp_path):
+        with ResultStore(tmp_path / "store") as store:
+            store.claim("ghost")
+            # Forge a claim held by a dead process with an expired heartbeat.
+            store._db.execute(
+                "UPDATE claims SET pid = ?, heartbeat = ? WHERE campaign_id = 'ghost'",
+                (2**22 + 12345, store_module.time.time() - 9999),
+            )
+            store._db.commit()
+            assert store.active_claims(ttl=60.0) == {}
+            # A fresh heartbeat keeps even an unverifiable pid alive.
+            store.claim("ghost")
+            assert "ghost" in store.active_claims()
+
+    def test_gc_skips_claimed_campaign_rows(self, tmp_path):
+        with ResultStore(tmp_path / "store", campaign_id="daemon-job") as store:
+            _put_range(store, 0, 3)
+            week_ago = store_module.time.time() - 7 * 86400.0
+            store._db.execute("UPDATE runs SET created_at = ?", (week_ago,))
+            store._db.commit()
+            store.claim("daemon-job")
+            outcome = store.gc(keep_days=1.0)
+            # Every old row belongs to the claimed campaign: all skipped.
+            assert outcome.removed == 0
+            assert outcome.skipped_in_use == 3
+            assert outcome.in_use_campaigns == ("daemon-job",)
+            assert len(store) == 3
+            store.release_claim("daemon-job")
+            outcome = store.gc(keep_days=1.0)
+            assert outcome.removed == 3
+            assert outcome.skipped_in_use == 0
+
+    def test_gc_purges_stale_claims(self, tmp_path):
+        with ResultStore(tmp_path / "store") as store:
+            store.claim("ghost")
+            store._db.execute(
+                "UPDATE claims SET pid = ?, heartbeat = ? WHERE campaign_id = 'ghost'",
+                (2**22 + 12345, store_module.time.time() - 9999),
+            )
+            store._db.commit()
+            store.gc(keep_days=365.0)
+            rows = store._db.execute("SELECT campaign_id FROM claims").fetchall()
+            assert rows == []
+
+    def test_gc_outcome_as_dict(self, tmp_path):
+        with ResultStore(tmp_path / "store") as store:
+            outcome = store.gc(keep_days=365.0)
+        payload = outcome.as_dict()
+        assert payload["removed"] == 0
+        assert payload["skipped_in_use"] == 0
+        assert payload["in_use_campaigns"] == []
+
+
+# --------------------------------------------------------------------------- #
+# Thread safety: the daemon shares one handle across handler threads.
+# --------------------------------------------------------------------------- #
+
+
+class TestThreadSafety:
+    def test_concurrent_threads_share_one_handle(self, tmp_path):
+        import threading
+
+        with ResultStore(tmp_path / "store") as store:
+            errors = []
+
+            def writer(offset):
+                try:
+                    for i in range(offset, offset + 20):
+                        store.put(_digest(i), _record(_digest(i), seed=i))
+                        assert store.get(_digest(i)) is not None
+                except BaseException as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=writer, args=(offset,))
+                for offset in (0, 100, 200, 300)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            assert len(store) == 80
