@@ -68,8 +68,9 @@ class TestHarness:
         assert entry["speedup"] > 0
         assert entry["speedups"]["event"] == entry["speedup"]
         assert entry["speedups"]["codegen"] > 0
+        assert entry["speedups"]["replay"] > 0
         assert payload["summary"]["min_speedup"] == entry["speedup"]
-        assert set(payload["summary"]["engines"]) == {"event", "codegen"}
+        assert set(payload["summary"]["engines"]) == {"event", "codegen", "replay"}
 
     def test_payload_is_json_serialisable(self, payload):
         rebuilt = json.loads(json.dumps(payload))
@@ -238,8 +239,21 @@ class TestCli:
         out = capsys.readouterr().out
         assert "PASS" in out
 
-    def test_compare_rejects_bad_schema(self, tmp_path):
-        bad = tmp_path / "BENCH_bad.json"
-        bad.write_text(json.dumps({"schema": -1, "workloads": []}), encoding="utf-8")
+    def test_compare_rejects_newer_schema_but_loads_older(self, tmp_path):
+        """A payload stamped by a *newer* tool is refused (its metrics may
+        have changed meaning); an *older* stamp loads fine — the section
+        layout is append-only and compare warns on metrics it predates."""
+        newer = tmp_path / "BENCH_newer.json"
+        newer.write_text(
+            json.dumps({"schema": BENCH_SCHEMA_VERSION + 1, "workloads": []}),
+            encoding="utf-8",
+        )
         with pytest.raises(ValueError):
-            load_payload(bad)
+            load_payload(newer)
+        older = tmp_path / "BENCH_older.json"
+        older.write_text(json.dumps({"schema": 1, "workloads": []}), encoding="utf-8")
+        assert load_payload(older)["schema"] == 1
+        not_an_int = tmp_path / "BENCH_bad.json"
+        not_an_int.write_text(json.dumps({"schema": "x", "workloads": []}), encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_payload(not_an_int)

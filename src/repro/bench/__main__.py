@@ -19,7 +19,7 @@ from typing import List, Optional
 
 from .campaign_bench import CAMPAIGN_WORKLOADS
 from .compare import METRICS, compare_files
-from .harness import WORKLOADS, render_report, run_benchmarks
+from .harness import WORKLOADS, profile_workload, render_report, run_benchmarks
 from .service_bench import SERVICE_WORKLOADS
 
 
@@ -64,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="runs per engine per workload; best wall time is kept (default: 2)",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="also cProfile each scenario per fast engine and write "
+        "profile/<scenario>.txt hotspot tables next to the BENCH json",
     )
     run.add_argument(
         "--workload",
@@ -145,6 +151,14 @@ def _run(args: argparse.Namespace) -> int:
     path = out_dir / f"BENCH_{rev}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     print(f"\nWrote {path}")
+    if args.profile:
+        profile_dir = out_dir / "profile"
+        profile_dir.mkdir(parents=True, exist_ok=True)
+        for workload in workloads:
+            text = profile_workload(workload, quick=args.quick)
+            target = profile_dir / f"{workload.name.replace('/', '-')}.txt"
+            target.write_text(text, encoding="utf-8")
+            print(f"Wrote {target}")
     return 0
 
 

@@ -27,12 +27,13 @@ from __future__ import annotations
 
 import tempfile
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..campaign import CampaignSpec, ParallelRunner, ResultStore
 from ..errors import SimulationError
+from ..sim.trace import clear_trace_cache, global_trace_cache
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,18 @@ class CampaignBench:
         rsk_iterations / quick_rsk_iterations: observed-rsk iterations.
         jobs_axis: worker counts measured for the parallel-efficiency
             series (cold, fresh store per point).
+        replay_compare: also measure the replay-engine phase — a dedicated
+            trace-safe arbiter sweep (see :meth:`replay_spec`) run through
+            the ``codegen`` engine versus the ``replay`` engine with a warm
+            trace cache (fresh result store each time, so every run still
+            simulates the *interconnect*).  Produces
+            ``campaign_replay_speedup``, the gated metric of the trace
+            fast path.
+        replay_rsk_iterations / quick_replay_rsk_iterations: observed-rsk
+            iterations of the replay phase's sweep.  Deliberately much
+            heavier than ``rsk_iterations``: the phase gates a *simulation*
+            speedup, so simulated cycles must dominate the campaign's
+            fixed per-run overhead (workload build, analysis, store I/O).
     """
 
     name: str
@@ -64,6 +77,9 @@ class CampaignBench:
     rsk_iterations: int = 20
     quick_rsk_iterations: int = 10
     jobs_axis: Tuple[int, ...] = (2,)
+    replay_compare: bool = False
+    replay_rsk_iterations: int = 600
+    quick_replay_rsk_iterations: int = 300
 
     def spec(self, quick: bool) -> CampaignSpec:
         """The campaign grid at full or quick size."""
@@ -74,6 +90,28 @@ class CampaignBench:
             num_workloads=self.quick_workloads if quick else self.workloads,
             iterations=self.quick_iterations if quick else self.iterations,
             rsk_iterations=self.quick_rsk_iterations if quick else self.rsk_iterations,
+        )
+
+    def replay_spec(self, quick: bool) -> CampaignSpec:
+        """The replay phase's grid: the reference rsk swept over every
+        arbiter of the bench.
+
+        Synthetic workloads contain stores, which are never trace-safe, so
+        they fall back to execution-driven cores and would measure the
+        fallback, not the fast path.  The load-kind reference rsk is the
+        paper's own arbiter-sweep shape — the exact scenario the trace
+        cache accelerates: one core-side capture per kernel, replayed
+        across every arbiter of the sweep.
+        """
+        return CampaignSpec(
+            presets=(self.preset,),
+            arbiters=self.arbiters,
+            seeds=(self.quick_seeds if quick else self.seeds)[:1],
+            num_workloads=0,
+            include_rsk_reference=True,
+            rsk_iterations=(
+                self.quick_replay_rsk_iterations if quick else self.replay_rsk_iterations
+            ),
         )
 
 
@@ -88,17 +126,20 @@ def _grid() -> Tuple[CampaignBench, ...]:
             quick_seeds=(2015, 2016),
         ),
         # Arbiter sweep on the paper's default 4-core platform: heavier
-        # individual runs, two distinct configs in the frontier.
+        # individual runs, four distinct configs in the frontier.  This is
+        # the replay engine's home turf — the core side is identical
+        # across the arbiter axis, so it also carries the replay phase.
         CampaignBench(
             name="ref/arbiter-sweep",
             preset="ref",
-            arbiters=("round_robin", "fifo"),
+            arbiters=("round_robin", "fifo", "fixed_priority", "tdma"),
             workloads=4,
             quick_workloads=2,
             iterations=8,
             quick_iterations=4,
             rsk_iterations=16,
             quick_rsk_iterations=8,
+            replay_compare=True,
         ),
     )
 
@@ -206,6 +247,14 @@ def time_campaign(
                 "efficiency": speedup / jobs,
             }
 
+        if bench.replay_compare:
+            entry["replay"] = _time_replay_phase(bench, quick, repeats, base)
+            codegen_rps = entry["replay"]["codegen"]["runs_per_sec"]
+            warm_rps_replay = entry["replay"]["warm"]["runs_per_sec"]
+            entry["campaign_replay_speedup"] = (
+                warm_rps_replay / codegen_rps if codegen_rps else 0.0
+            )
+
     cold_rps = runs / cold_seconds if cold_seconds else 0.0
     warm_rps = runs / warm_seconds if warm_seconds else 0.0
     entry["cold"] = {"seconds": cold_seconds, "runs_per_sec": cold_rps}
@@ -217,6 +266,117 @@ def time_campaign(
     entry["warm_speedup"] = warm_rps / cold_rps if cold_rps else 0.0
     entry["parallel"] = parallel
     return entry
+
+
+def _strip_engine(records: Sequence[Dict[str, object]]) -> Tuple[Dict[str, object], ...]:
+    """Records with the config's ``engine`` field removed.
+
+    The engine never changes results (every engine is cycle-exact); the
+    replay phase asserts that by comparing codegen-campaign records with
+    replay-campaign records modulo this one config field.
+    """
+    stripped: List[Dict[str, object]] = []
+    for record in records:
+        clone = dict(record)
+        config = clone.get("config")
+        if isinstance(config, dict):
+            config = dict(config)
+            config.pop("engine", None)
+            clone["config"] = config
+        stripped.append(clone)
+    return tuple(stripped)
+
+
+def _time_replay_phase(
+    bench: CampaignBench, quick: bool, repeats: int, base: Path
+) -> Dict[str, object]:
+    """The trace fast path's gated measurement.
+
+    Times the bench's trace-safe arbiter sweep (:meth:`CampaignBench.replay_spec`)
+    twice through fresh result stores (so every run simulates the
+    interconnect):
+
+    * through the ``codegen`` engine — the fastest execution-driven
+      baseline, re-simulating every core's cache hierarchy per run;
+    * through the ``replay`` engine with a warm trace cache — one priming
+      campaign captures each kernel's core side once, then the timed
+      campaigns stream the memoised traces.
+
+    The memoisation guarantee is asserted on the trace-cache counters: the
+    timed replay campaigns must capture *zero* traces — every core side of
+    the sweep (observed rsk and contenders alike) replays from the cache,
+    so no cache-hierarchy simulation happens after the first capture.
+    """
+    spec = bench.replay_spec(quick)
+    codegen_descriptors = dataclass_replace(spec, engine="codegen").expand()
+    replay_descriptors = dataclass_replace(spec, engine="replay").expand()
+    runs = len(codegen_descriptors)
+
+    codegen_seconds: Optional[float] = None
+    reference: Optional[Tuple[Dict[str, object], ...]] = None
+    for attempt in range(max(1, repeats)):
+        directory = base / f"replaycmp-codegen-{attempt}"
+        with ResultStore(directory, campaign_id=bench.name) as store:
+            elapsed, outcome = _timed_run(
+                ParallelRunner(jobs=1, cache=store), codegen_descriptors
+            )
+        if reference is None:
+            reference = _strip_engine(outcome.records)
+        if codegen_seconds is None or elapsed < codegen_seconds:
+            codegen_seconds = elapsed
+    assert codegen_seconds is not None and reference is not None
+
+    cache = global_trace_cache()
+    clear_trace_cache()
+    # Priming campaign: the only execution-driven core simulations of the
+    # whole phase.  Its store is discarded so the timed attempts resolve
+    # nothing from the result store — only from the trace cache.
+    with ResultStore(base / "replaycmp-prime", campaign_id=bench.name) as store:
+        _timed_run(ParallelRunner(jobs=1, cache=store), replay_descriptors)
+
+    replay_seconds: Optional[float] = None
+    warm_counters: Dict[str, int] = {}
+    for attempt in range(max(1, repeats)):
+        cache.reset_counters()
+        directory = base / f"replaycmp-replay-{attempt}"
+        with ResultStore(directory, campaign_id=bench.name) as store:
+            elapsed, outcome = _timed_run(
+                ParallelRunner(jobs=1, cache=store), replay_descriptors
+            )
+        if cache.counters["captures"] != 0:
+            raise SimulationError(
+                f"{bench.name}: trace-warm replay campaign captured "
+                f"{cache.counters['captures']} core trace(s); the core side "
+                "should have been memoised by the priming campaign"
+            )
+        if cache.counters["hits"] == 0:
+            raise SimulationError(
+                f"{bench.name}: trace-warm replay campaign hit zero cached "
+                "traces; the grid is not exercising the fast path"
+            )
+        if _strip_engine(outcome.records) != reference:
+            raise SimulationError(
+                f"{bench.name}: replay-engine campaign records differ from "
+                "codegen-engine records"
+            )
+        if replay_seconds is None or elapsed < replay_seconds:
+            replay_seconds = elapsed
+            warm_counters = dict(cache.stats())
+    assert replay_seconds is not None
+    clear_trace_cache()
+
+    return {
+        "runs": runs,
+        "codegen": {
+            "seconds": codegen_seconds,
+            "runs_per_sec": runs / codegen_seconds if codegen_seconds else 0.0,
+        },
+        "warm": {
+            "seconds": replay_seconds,
+            "runs_per_sec": runs / replay_seconds if replay_seconds else 0.0,
+            "trace_cache": warm_counters,
+        },
+    }
 
 
 def run_campaign_benchmarks(

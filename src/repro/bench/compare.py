@@ -27,10 +27,15 @@ from .harness import BENCH_SCHEMA_VERSION
 #: concurrent clients vs cold, from the ``services`` section);
 #: ``cycles_per_sec`` (event engine) is only meaningful when both
 #: payloads come from the same machine.
+#: ``replay_speedup`` gates the trace-warm replay engine per workload and
+#: ``campaign_replay_speedup`` the replay-engine campaign phase (trace-warm
+#: replay campaign vs codegen-engine campaign runs/sec).
 METRICS = (
     "speedup",
     "codegen_speedup",
+    "replay_speedup",
     "campaign_warm_speedup",
+    "campaign_replay_speedup",
     "service_warm_speedup",
     "cycles_per_sec",
 )
@@ -56,23 +61,39 @@ class CompareResult:
 
 
 def load_payload(path) -> Dict[str, object]:
-    """Read a BENCH_*.json payload, validating its schema stamp."""
+    """Read a BENCH_*.json payload, validating its schema stamp.
+
+    Payloads written by *older* schemas load fine — the section layout is
+    append-only, and :func:`compare_payloads` warns (instead of crashing)
+    when the gated metric predates the baseline.  A *newer* stamp than the
+    tool's is still refused: its metrics may have changed meaning.
+    """
     data = json.loads(Path(path).read_text(encoding="utf-8"))
-    if data.get("schema") != BENCH_SCHEMA_VERSION:
+    schema = data.get("schema")
+    if not isinstance(schema, int) or schema > BENCH_SCHEMA_VERSION:
         raise ValueError(
-            f"{path}: BENCH schema {data.get('schema')!r} does not match "
+            f"{path}: BENCH schema {schema!r} is newer than "
             f"this tool's schema {BENCH_SCHEMA_VERSION}"
         )
     return data
 
 
 def _metric_of(entry: Dict[str, object], metric: str) -> float:
+    """The gated metric's value in ``entry``.
+
+    Raises :class:`KeyError` when the entry predates the metric (an
+    older-schema baseline); callers turn that into a warning, not a crash.
+    """
     if metric == "speedup":
         return float(entry["speedup"])
     if metric == "codegen_speedup":
         return float(entry["speedups"]["codegen"])
+    if metric == "replay_speedup":
+        return float(entry["speedups"]["replay"])
     if metric == "campaign_warm_speedup":
         return float(entry["warm_speedup"])
+    if metric == "campaign_replay_speedup":
+        return float(entry["campaign_replay_speedup"])
     if metric == "service_warm_speedup":
         return float(entry["multi_client_warm_speedup"])
     if metric == "cycles_per_sec":
@@ -124,6 +145,7 @@ def compare_payloads(
             "at the same size"
         )
     result.lines.append(f"{'workload':28s} {'old':>9s} {'new':>9s} {'ratio':>7s}  verdict")
+    unmeasured: List[str] = []
     for name, old_entry in old_entries.items():
         new_entry = new_entries.get(name)
         if new_entry is None:
@@ -131,8 +153,35 @@ def compare_payloads(
             result.regressions.append(name)
             result.lines.append(f"{name:28s} {'-':>9s} {'-':>9s} {'-':>7s}  MISSING")
             continue
-        old_value = _metric_of(old_entry, metric)
-        new_value = _metric_of(new_entry, metric)
+        try:
+            old_value = _metric_of(old_entry, metric)
+        except KeyError:
+            # The baseline predates this metric (older BENCH schema, or an
+            # entry that never carried it): warn, never gate — exactly like
+            # a workload missing from the baseline.
+            unmeasured.append(name)
+            try:
+                new_value = _metric_of(new_entry, metric)
+            except KeyError:
+                result.lines.append(
+                    f"{name:28s} {'-':>9s} {'-':>9s} {'-':>7s}  NO METRIC"
+                )
+            else:
+                result.lines.append(
+                    f"{name:28s} {'-':>9s} {new_value:>9.2f} {'-':>7s}  NO BASELINE"
+                )
+            continue
+        try:
+            new_value = _metric_of(new_entry, metric)
+        except KeyError:
+            # The candidate dropped a metric the baseline gates: that is a
+            # coverage loss, like a disappearing workload.
+            result.ok = False
+            result.regressions.append(name)
+            result.lines.append(
+                f"{name:28s} {old_value:>9.2f} {'-':>9s} {'-':>7s}  METRIC LOST"
+            )
+            continue
         ratio = new_value / old_value if old_value else 0.0
         regressed = ratio < 1.0 - max_regression
         if regressed:
@@ -144,15 +193,25 @@ def compare_payloads(
         )
     additions = [name for name in new_entries if name not in old_entries]
     for name in additions:
+        try:
+            added_value = f"{_metric_of(new_entries[name], metric):>9.2f}"
+        except KeyError:
+            added_value = f"{'-':>9s}"
         result.lines.append(
-            f"{name:28s} {'-':>9s} "
-            f"{_metric_of(new_entries[name], metric):>9.2f} {'-':>7s}  ADDED"
+            f"{name:28s} {'-':>9s} {added_value} {'-':>7s}  ADDED"
         )
     if additions:
         result.lines.append(
             f"warning: {len(additions)} workload(s) missing from the baseline "
             f"treated as additions (not gated): {', '.join(additions)}; "
             "refresh the baseline to start gating them"
+        )
+    if unmeasured:
+        result.lines.append(
+            f"warning: metric {metric!r} is absent from {len(unmeasured)} "
+            f"baseline entr{'y' if len(unmeasured) == 1 else 'ies'} "
+            f"(older BENCH schema?): {', '.join(unmeasured)}; not gated — "
+            "regenerate the baseline to start gating them"
         )
     verdict = "PASS" if result.ok else "FAIL"
     result.lines.append(

@@ -3,11 +3,17 @@
 A :class:`BenchWorkload` describes one contended rsk run — the hot path
 every campaign, methodology sweep and figure regeneration spends its time
 in — on one platform preset and arbiter.  :func:`run_benchmarks` executes
-each workload once per registered engine (``stepped``, ``event`` and
-``codegen``), checks that every engine simulated the exact same number of
-cycles as the stepped oracle (a cheap standing equivalence guard on top of
-the property tests) and reports wall-clock, cycles/sec and each fast
-engine's speedup over the oracle.
+each workload once per registered engine (``stepped``, ``event``,
+``codegen`` and ``replay``), checks that every engine simulated the exact
+same number of cycles as the stepped oracle (a cheap standing equivalence
+guard on top of the property tests) and reports wall-clock, cycles/sec
+and each fast engine's speedup over the oracle.  The replay engine gets
+one untimed priming run per workload (the capture run), so its numbers
+quote the trace-warm steady state a sweep actually spends its time in.
+
+``python -m repro.bench run --profile`` additionally captures a cProfile
+hotspot table per scenario (:func:`profile_workload`), written next to
+the BENCH json under ``profile/``.
 """
 
 from __future__ import annotations
@@ -38,7 +44,11 @@ from ..sim.system import System
 #: daemon: cold submit+wait vs concurrent warm clients,
 #: ``multi_client_warm_speedup``, warm submissions/sec) and the summary a
 #: ``service_geomean_multi_client_speedup``.
-BENCH_SCHEMA_VERSION = 4
+#: v5: entries gain a ``replay`` speedup (the trace-warm replay engine),
+#: campaign entries may carry a ``replay`` phase (codegen-engine campaign
+#: vs trace-warm replay-engine campaign, ``campaign_replay_speedup``) and
+#: the summary a ``campaign_replay_speedup`` geomean.
+BENCH_SCHEMA_VERSION = 5
 
 
 @dataclass(frozen=True)
@@ -197,6 +207,17 @@ def _time_engine(
 ) -> Dict[str, float]:
     best_seconds = None
     cycles = None
+    captures_after_priming = 0
+    if engine == "replay":
+        # One untimed priming run captures the core traces (and proves any
+        # trace-unsafe program unsafe), so the timed repeats measure the
+        # trace-warm steady state — the number a sweep's 2nd..Nth runs see.
+        from ..sim.trace import clear_trace_cache, global_trace_cache
+
+        clear_trace_cache()
+        system, _ = _build_system(workload, quick)
+        system.run(observed_cores=[0], engine="replay")
+        captures_after_priming = global_trace_cache().counters["captures"]
     for _ in range(max(1, repeats)):
         system, _ = _build_system(workload, quick)
         started = time.perf_counter()
@@ -211,6 +232,20 @@ def _time_engine(
             )
         if best_seconds is None or elapsed < best_seconds:
             best_seconds = elapsed
+    if engine == "replay":
+        # The memoisation guarantee: once primed, the timed runs must not
+        # have re-simulated any core's cache hierarchy (trace-unsafe cores
+        # fall back without capturing, so this holds for every workload).
+        from ..sim.trace import global_trace_cache
+
+        captures = global_trace_cache().counters["captures"]
+        if captures != captures_after_priming:
+            raise SimulationError(
+                f"{workload.name}: replay engine re-captured core traces "
+                f"after the priming run ({captures - captures_after_priming} "
+                "extra captures); the trace cache failed to memoise the "
+                "core side"
+            )
     return {
         "cycles": cycles,
         "seconds": best_seconds,
@@ -333,6 +368,11 @@ def _summarize(
     warm_speedups = [
         entry["warm_speedup"] for entry in campaign_entries if entry["warm_speedup"] > 0
     ]
+    replay_speedups = [
+        entry["campaign_replay_speedup"]
+        for entry in campaign_entries
+        if entry.get("campaign_replay_speedup", 0) > 0
+    ]
     service_speedups = [
         entry["multi_client_warm_speedup"]
         for entry in service_entries
@@ -350,6 +390,9 @@ def _summarize(
         "campaign_geomean_warm_speedup": (
             _geomean(warm_speedups) if warm_speedups else None
         ),
+        "campaign_replay_speedup": (
+            _geomean(replay_speedups) if replay_speedups else None
+        ),
         "service_geomean_multi_client_speedup": (
             _geomean(service_speedups) if service_speedups else None
         ),
@@ -362,16 +405,20 @@ def render_report(payload: Dict[str, object]) -> str:
         f"rev {payload['rev']}  (quick={payload['quick']}, repeats={payload['repeats']}, "
         f"python {payload['python']})",
         f"{'workload':28s} {'cycles':>10s} {'stepped kc/s':>13s} "
-        f"{'event kc/s':>11s} {'codegen kc/s':>13s} {'event x':>8s} {'codegen x':>10s}",
+        f"{'event kc/s':>11s} {'codegen kc/s':>13s} {'replay kc/s':>12s} "
+        f"{'event x':>8s} {'codegen x':>10s} {'replay x':>9s}",
     ]
     for entry in payload["workloads"]:
         stepped = entry["engines"]["stepped"]["cycles_per_sec"] / 1e3
         event = entry["engines"]["event"]["cycles_per_sec"] / 1e3
         codegen = entry["engines"]["codegen"]["cycles_per_sec"] / 1e3
+        replay = entry["engines"]["replay"]["cycles_per_sec"] / 1e3
         lines.append(
             f"{entry['name']:28s} {entry['cycles']:>10d} {stepped:>13.0f} "
-            f"{event:>11.0f} {codegen:>13.0f} {entry['speedups']['event']:>7.2f}x "
-            f"{entry['speedups']['codegen']:>9.2f}x"
+            f"{event:>11.0f} {codegen:>13.0f} {replay:>12.0f} "
+            f"{entry['speedups']['event']:>7.2f}x "
+            f"{entry['speedups']['codegen']:>9.2f}x "
+            f"{entry['speedups']['replay']:>8.2f}x"
         )
     summary = payload["summary"]
     for engine, stats in summary["engines"].items():
@@ -407,6 +454,18 @@ def render_report(payload: Dict[str, object]) -> str:
         geomean = summary.get("campaign_geomean_warm_speedup")
         if geomean is not None:
             lines.append(f"campaign warm speedup: geomean {geomean:.1f}x")
+        for entry in campaigns:
+            replay = entry.get("replay")
+            if replay:
+                lines.append(
+                    f"{entry['name']}: codegen-engine campaign "
+                    f"{replay['codegen']['runs_per_sec']:.0f} r/s, trace-warm "
+                    f"replay-engine campaign {replay['warm']['runs_per_sec']:.0f} r/s "
+                    f"-> {entry['campaign_replay_speedup']:.2f}x"
+                )
+        geomean = summary.get("campaign_replay_speedup")
+        if geomean is not None:
+            lines.append(f"campaign replay speedup: geomean {geomean:.2f}x")
     services = payload.get("services") or []
     if services:
         lines.append("")
@@ -427,3 +486,41 @@ def render_report(payload: Dict[str, object]) -> str:
         if geomean is not None:
             lines.append(f"service multi-client warm speedup: geomean {geomean:.1f}x")
     return "\n".join(lines)
+
+
+def profile_workload(
+    workload: BenchWorkload,
+    quick: bool = False,
+    engines: Sequence[str] = ("event", "codegen", "replay"),
+    top: int = 30,
+) -> str:
+    """cProfile one run per fast engine and return the hotspot tables.
+
+    The ``--profile`` flag of ``python -m repro.bench run`` writes this
+    text to ``profile/<scenario>.txt`` next to the BENCH json — the map of
+    where each engine's wall time actually goes, sorted by cumulative
+    time.  The replay engine is primed first (capture run outside the
+    profile), so its table shows the trace-warm steady state being gated.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    from ..sim.trace import clear_trace_cache
+
+    sections: List[str] = [f"profile: {workload.name} (quick={quick})"]
+    for engine in engines:
+        if engine == "replay":
+            clear_trace_cache()
+            system, _ = _build_system(workload, quick)
+            system.run(observed_cores=[0], engine="replay")
+        system, _ = _build_system(workload, quick)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        system.run(observed_cores=[0], engine=engine)
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(top)
+        sections.append(f"--- engine: {engine} ---\n{buffer.getvalue().rstrip()}")
+    return "\n\n".join(sections) + "\n"

@@ -52,6 +52,7 @@ from ..kernels.rsk import build_rsk
 from ..methodology.experiment import ExperimentRunner
 from ..methodology.workloads import WorkloadRun, run_single_workload
 from ..sim.isa import Program
+from ..sim.trace import global_trace_cache
 from .spec import KIND_RSK, KIND_SYNTHETIC, SCHEMA_VERSION, RunDescriptor, campaign_digest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
@@ -292,6 +293,23 @@ def compact_shard(index: int, pending: Sequence[Tuple[str, RunDescriptor]]) -> S
     return ShardTask(index=index, configs=tuple(configs), runs=tuple(runs))
 
 
+def _attach_worker_trace_store(directory: str) -> None:
+    """Pool-worker initializer: back this process's trace cache with the
+    campaign store's ``traces/`` section.
+
+    Runs once per worker process.  Opening a fresh :class:`ResultStore`
+    handle is WAL-safe alongside the parent's; only the trace section is
+    touched through it (run records still travel back over IPC).
+    """
+    from .store import ResultStore
+
+    try:
+        store = ResultStore(directory, campaign_id="trace-worker")
+    except Exception:  # pragma: no cover - a worker without traces still works
+        return
+    global_trace_cache().attach_store(store)
+
+
 def execute_shard(shard: ShardTask) -> Tuple[int, List[Tuple[str, Dict[str, object]]]]:
     """Execute a shard's runs in order; the worker entry point.
 
@@ -432,6 +450,12 @@ class ParallelRunner:
         shard); the caller still finalises the stream with the summary.
         """
         started = time.perf_counter()
+        # Back the process-global trace cache with the result store so
+        # replay-engine campaigns dedup core captures across campaigns and
+        # processes (the ``traces/`` section).  Duck-typed: the flat
+        # ResultCache has no trace section and leaves the cache in-process.
+        if hasattr(self.cache, "get_trace"):
+            global_trace_cache().attach_store(self.cache)
         digests = [descriptor.digest() for descriptor in descriptors]
         # First occurrence of each digest, in descriptor order: duplicate
         # descriptors simulate once and share the record.
@@ -483,6 +507,11 @@ class ParallelRunner:
         counters = getattr(self.cache, "counters", None)
         if counters is not None:
             stats["store"] = counters.as_dict()
+        trace_stats = global_trace_cache().stats()
+        if any(trace_stats.values()):
+            # Only meaningful when the replay engine ran in this process
+            # (worker processes keep their own per-process trace caches).
+            stats["trace_cache"] = trace_stats
         return CampaignOutcome(records=tuple(emitter.records), stats=stats)
 
     def _execute_shards(
@@ -501,7 +530,23 @@ class ParallelRunner:
             emitter.drain()
 
         if self.jobs > 1 and len(shards) > 1:
-            with ProcessPoolExecutor(max_workers=min(self.jobs, len(shards))) as pool:
+            # Shard workers get their own handle on the store's trace
+            # section (per-process global trace cache + WAL-safe files),
+            # so a replay-engine campaign captures each kernel once
+            # *globally*: the first worker to capture persists the trace
+            # and every other process replays it from disk.
+            store_directory = getattr(self.cache, "directory", None)
+            initializer = (
+                _attach_worker_trace_store
+                if hasattr(self.cache, "get_trace") and store_directory is not None
+                else None
+            )
+            initargs = (str(store_directory),) if initializer is not None else ()
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(shards)),
+                initializer=initializer,
+                initargs=initargs,
+            ) as pool:
                 futures = [pool.submit(execute_shard, shard) for shard in shards]
                 # Absorb out-of-order completions in shard order so cache
                 # writes and the stream see the exact serial sequence.

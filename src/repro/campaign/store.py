@@ -80,6 +80,10 @@ _T = TypeVar("_T")
 #: File name of the SQLite index inside a store directory.
 INDEX_NAME = "index.sqlite"
 
+#: Subdirectory holding the replay engine's captured core traces
+#: (``traces/<trace_key>.json``); see the "Trace section" methods.
+TRACES_DIR_NAME = "traces"
+
 #: ``campaign_id`` recorded for rows imported from a legacy flat cache.
 LEGACY_CAMPAIGN_ID = "legacy-migration"
 
@@ -137,12 +141,14 @@ class GcOutcome:
     removed: int
     skipped_in_use: int
     in_use_campaigns: Tuple[str, ...] = ()
+    traces_removed: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
             "removed": self.removed,
             "skipped_in_use": self.skipped_in_use,
             "in_use_campaigns": list(self.in_use_campaigns),
+            "traces_removed": self.traces_removed,
         }
 
 
@@ -160,6 +166,9 @@ class StoreCounters:
     artifact_reads: int = 0
     artifact_writes: int = 0
     batches_flushed: int = 0
+    trace_hits: int = 0
+    trace_misses: int = 0
+    trace_writes: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -167,6 +176,9 @@ class StoreCounters:
             "artifact_reads": self.artifact_reads,
             "artifact_writes": self.artifact_writes,
             "batches_flushed": self.batches_flushed,
+            "trace_hits": self.trace_hits,
+            "trace_misses": self.trace_misses,
+            "trace_writes": self.trace_writes,
         }
 
     def reset(self) -> None:
@@ -175,6 +187,9 @@ class StoreCounters:
         self.artifact_reads = 0
         self.artifact_writes = 0
         self.batches_flushed = 0
+        self.trace_hits = 0
+        self.trace_misses = 0
+        self.trace_writes = 0
 
 
 class ResultStore:
@@ -480,6 +495,73 @@ class ResultStore:
         os.replace(tmp, path)
 
     # ------------------------------------------------------------------ #
+    # Trace section: the replay engine's durable core-trace memos.
+    # ------------------------------------------------------------------ #
+    #
+    # Captured core traces (repro.sim.trace.CoreTrace payloads) live under
+    # ``traces/<key>.json``, content-addressed by the core-side trace key.
+    # They are deliberately *not* indexed: a trace lookup is a single
+    # exact-path probe (no grid resolution to batch), the subdirectory
+    # keeps them invisible to the run artifacts' ``glob("*.json")``, and a
+    # missing or corrupt file is always just a cache miss — the capture
+    # run regenerates it.  Writes are atomic (tempfile + os.replace) and
+    # idempotent by construction of the key.
+
+    @property
+    def traces_dir(self) -> Path:
+        return self.directory / TRACES_DIR_NAME
+
+    def _trace_path(self, key: str) -> Path:
+        if not key or not all(c in "0123456789abcdef" for c in key):
+            raise ConfigurationError(f"malformed trace key: {key!r}")
+        return self.traces_dir / f"{key}.json"
+
+    def get_trace(self, key: str) -> Optional[Dict[str, object]]:
+        """The stored trace payload for ``key``, or ``None``.
+
+        Schema validation is the caller's job
+        (:meth:`repro.sim.trace.CoreTrace.from_payload` treats stale
+        schemas as misses); this layer only promises a well-formed dict.
+        """
+        path = self._trace_path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.counters.trace_misses += 1
+            return None
+        if not isinstance(payload, dict):
+            self.counters.trace_misses += 1
+            return None
+        self.counters.trace_hits += 1
+        return payload
+
+    def put_trace(self, key: str, payload: Dict[str, object]) -> None:
+        """Persist a trace payload under ``traces/<key>.json`` atomically."""
+        path = self._trace_path(key)
+        self.traces_dir.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        self.counters.trace_writes += 1
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+        os.replace(tmp, path)
+
+    def trace_stats(self) -> Dict[str, int]:
+        """Entry count and on-disk bytes of the trace section."""
+        entries = 0
+        total = 0
+        try:
+            for path in self.traces_dir.glob("*.json"):
+                entries += 1
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    pass
+        except OSError:
+            pass
+        return {"entries": entries, "bytes": total}
+
+    # ------------------------------------------------------------------ #
     # Maintenance: rebuild, migration, stats, gc.
     # ------------------------------------------------------------------ #
 
@@ -642,6 +724,7 @@ class ResultStore:
             "active_claims": self.active_claims(),
             "artifact_bytes": artifact_bytes,
             "index_bytes": index_bytes,
+            "traces": self.trace_stats(),
         }
 
     def gc(self, keep_days: float) -> GcOutcome:
@@ -652,11 +735,14 @@ class ResultStore:
         :attr:`GcOutcome.skipped_in_use`.  Artifacts are unlinked after
         their rows so a crash mid-gc leaves re-indexable files, never
         dangling rows.  Stale claims (expired heartbeat, dead pid) are
-        purged as a side effect.
+        purged as a side effect.  The trace section ages by file mtime
+        (traces are unindexed); an expired trace is only a future capture
+        run, never data loss.
         """
         if keep_days < 0:
             raise ConfigurationError(f"keep_days must be >= 0, got {keep_days}")
         cutoff = time.time() - keep_days * 86400.0
+        traces_removed = self._gc_traces(cutoff)
         active = self.active_claims()
         self.counters.index_queries += 2
         rows = self._with_lock_retry(
@@ -677,7 +763,10 @@ class ResultStore:
         self._purge_stale_claims(active)
         if not victims:
             return GcOutcome(
-                removed=0, skipped_in_use=skipped, in_use_campaigns=tuple(in_use)
+                removed=0,
+                skipped_in_use=skipped,
+                in_use_campaigns=tuple(in_use),
+                traces_removed=traces_removed,
             )
 
         def delete_rows() -> None:
@@ -700,8 +789,27 @@ class ResultStore:
             except OSError:
                 pass
         return GcOutcome(
-            removed=len(victims), skipped_in_use=skipped, in_use_campaigns=tuple(in_use)
+            removed=len(victims),
+            skipped_in_use=skipped,
+            in_use_campaigns=tuple(in_use),
+            traces_removed=traces_removed,
         )
+
+    def _gc_traces(self, cutoff: float) -> int:
+        """Unlink trace files last modified before ``cutoff``; returns count."""
+        removed = 0
+        try:
+            candidates = list(self.traces_dir.glob("*.json"))
+        except OSError:
+            return 0
+        for path in candidates:
+            try:
+                if path.stat().st_mtime < cutoff:
+                    os.unlink(path)
+                    removed += 1
+            except OSError:
+                pass
+        return removed
 
     def _purge_stale_claims(self, active: Dict[str, Dict[str, object]]) -> None:
         """Drop claims rows that are no longer live (dead pid, old heartbeat)."""

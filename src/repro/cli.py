@@ -711,6 +711,12 @@ def _run_cache(args: argparse.Namespace) -> int:
                 f"({stats['artifact_bytes']} artifact bytes, "
                 f"{stats['index_bytes']} index bytes)"
             )
+            traces = stats.get("traces")
+            if isinstance(traces, dict):
+                print(
+                    f"Traces: {traces['entries']} "
+                    f"({traces['bytes']} bytes, replay-engine core captures)"
+                )
             campaigns = stats["campaigns"]
             if isinstance(campaigns, dict) and campaigns:
                 print("Per-campaign attribution:")
@@ -754,6 +760,8 @@ def _run_cache(args: argparse.Namespace) -> int:
                     f"{'y' if outcome.skipped_in_use == 1 else 'ies'} "
                     f"(claimed by: {in_use})"
                 )
+            if outcome.traces_removed:
+                print(f"Removed {outcome.traces_removed} expired core trace(s)")
             return 0
     raise ConfigurationError(
         f"unknown cache command {args.cache_command!r}"

@@ -74,8 +74,11 @@ _known_arbitrations = registry_backed_names(
 #: participates in result digests.  ``"codegen"`` compiles a loop
 #: specialised to the configured topology chain and arbiter set
 #: (:mod:`repro.sim.codegen`) and falls back to ``"event"`` for registered
-#: entries the generator does not know.
-ENGINES = ("stepped", "event", "codegen")
+#: entries the generator does not know.  ``"replay"`` captures each core's
+#: demand-request trace once and streams it through the live interconnect
+#: on every later run (:mod:`repro.sim.trace`), falling back per core on
+#: trace-unsafe programs (stores, timeouts, aperiodic contenders).
+ENGINES = ("stepped", "event", "codegen", "replay")
 
 
 #: Names accepted by ``ArchConfig.engine`` (see :data:`_known_arbitrations`).

@@ -13,11 +13,15 @@ queues, or the NGMP-style split request/response bus pair.
 Arbitration policies, simulation engines and topologies are all
 registry-backed (``register_arbiter`` / ``register_engine`` /
 ``register_topology``), so new ones plug in without editing the simulator
-core.  Three engines ship built in: the stepped cycle-by-cycle oracle, the
-generic event-driven fast path (:mod:`repro.sim.scheduler`) and the
+core.  Four engines ship built in: the stepped cycle-by-cycle oracle, the
+generic event-driven fast path (:mod:`repro.sim.scheduler`), the
 ``codegen`` engine (:mod:`repro.sim.codegen`), which compiles a run loop
 specialised to the configured topology chain and arbiter set and falls
-back to the event engine for anything it cannot specialise.
+back to the event engine for anything it cannot specialise, and the
+``replay`` engine (:mod:`repro.sim.trace`), which captures each core's
+demand-request trace once per kernel and streams it through the live
+interconnect on every later run, falling back per core on trace-unsafe
+programs.
 
 The top-level entry point is :class:`repro.sim.system.System`.
 """
@@ -71,7 +75,22 @@ from .topology import (
     register_topology,
     registered_topologies,
 )
-from .trace import RequestRecord, TraceRecorder
+from .trace import (
+    CaptureProbe,
+    CoreTrace,
+    ReplayCore,
+    ReplayEngine,
+    RequestRecord,
+    TraceCache,
+    TraceRecorder,
+    TraceStep,
+    TraceUnsafe,
+    clear_trace_cache,
+    core_side_key,
+    global_trace_cache,
+    replay_blocker,
+    trace_key,
+)
 
 __all__ = [
     "ARBITER_REGISTRY",
@@ -81,10 +100,12 @@ __all__ = [
     "Bus",
     "BusRequest",
     "CacheStats",
+    "CaptureProbe",
     "CodegenEngine",
     "CodegenMismatch",
     "CompiledLoop",
     "Core",
+    "CoreTrace",
     "Dram",
     "ENGINE_REGISTRY",
     "EventPort",
@@ -99,6 +120,8 @@ __all__ = [
     "PartitionedL2",
     "PerformanceCounters",
     "Program",
+    "ReplayCore",
+    "ReplayEngine",
     "RequestRecord",
     "ResourceChain",
     "RoundRobinArbiter",
@@ -112,13 +135,21 @@ __all__ = [
     "TOPOLOGY_REGISTRY",
     "TdmaArbiter",
     "TopologyHooks",
+    "TraceCache",
     "TraceRecorder",
+    "TraceStep",
+    "TraceUnsafe",
     "UnspecialisableError",
     "build_topology",
+    "clear_trace_cache",
     "compile_loop",
+    "core_side_key",
     "create_arbiter",
     "generate_loop_source",
+    "global_trace_cache",
     "loop_cache_key",
+    "replay_blocker",
+    "trace_key",
     "make_arbiter",
     "make_engine",
     "min_horizon",

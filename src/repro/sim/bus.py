@@ -28,7 +28,7 @@ from typing import Callable, Deque, List, Optional
 
 from ..errors import SimulationError
 from .arbiter import Arbiter
-from .pmc import PerformanceCounters
+from .pmc import PerformanceCounters, ResourceCounters
 from .resource import NO_EVENT, EventPort
 from .trace import RequestRecord, TraceRecorder
 
@@ -149,6 +149,13 @@ class Bus(EventPort):
         #: cheap counter so the per-cycle arbitration fast path avoids
         #: scanning the queues when nothing is pending.
         self._queued_total = 0
+        #: Number of ports whose queue is currently non-empty, maintained by
+        #: :meth:`post` / :meth:`_grant_port` so the traced-post contention
+        #: snapshot is O(1) instead of a per-post scan over all queues.
+        self._nonempty_ports = 0
+        #: Lazily cached PMC section for this channel (see :meth:`deliver`).
+        self._pmc_channel: Optional[ResourceCounters] = None
+        self._is_demand_channel = resource_name == "bus"
         self.granted_count = 0
         self._init_event_port()
 
@@ -157,35 +164,44 @@ class Bus(EventPort):
     # ------------------------------------------------------------------ #
     def post(self, request: BusRequest) -> None:
         """Queue ``request`` on its port and snapshot contention information."""
-        if not 0 <= request.port < self.num_ports:
-            raise SimulationError(f"request posted on invalid port {request.port}")
-        if self.trace is not None and self.trace.enabled:
-            # The contention snapshot is only needed for the trace record, so
-            # untraced runs skip the queue scan entirely (posting is hot).
-            contenders = sum(
-                1
-                for port, queue in enumerate(self._queues)
-                if port != request.port and queue
-            )
-            if self._current is not None and self._current.port != request.port:
+        port = request.port
+        if not 0 <= port < self.num_ports:
+            raise SimulationError(f"request posted on invalid port {port}")
+        queue = self._queues[port]
+        trace = self.trace
+        if trace is not None and trace.enabled:
+            # The contention snapshot comes from the maintained non-empty
+            # port count, so traced posting stays O(1) (posting is hot).
+            contenders = self._nonempty_ports - (1 if queue else 0)
+            current = self._current
+            if current is not None and current.port != port:
                 # A transaction currently holding the bus is also a ready
                 # contender from the point of view of the request being posted.
                 contenders += 1
+            # Positional form of RequestRecord(port, kind, addr, ready_cycle,
+            # grant_cycle, complete_cycle, service_cycles, contenders_at_ready,
+            # bus_busy_at_ready, resource, origin_core): posting is the
+            # hottest traced path and keyword marshalling is measurable here.
             request.record = RequestRecord(
-                port=request.port,
-                kind=request.kind,
-                addr=request.addr,
-                ready_cycle=request.ready_cycle,
-                contenders_at_ready=contenders,
-                bus_busy_at_ready=self.is_busy_at(request.ready_cycle),
-                resource=self.resource_name,
-                origin_core=request.origin_core,
+                port,
+                request.kind,
+                request.addr,
+                request.ready_cycle,
+                -1,
+                -1,
+                0,
+                contenders,
+                current is not None and request.ready_cycle < self._busy_until,
+                self.resource_name,
+                request.origin_core,
             )
             # Recorded at post time so requests still in flight when the run
             # terminates remain visible; completion fills in the remaining
             # fields in place.
-            self.trace.record(request.record)
-        self._queues[request.port].append(request)
+            trace.record(request.record)
+        if not queue:
+            self._nonempty_ports += 1
+        queue.append(request)
         self._queued_total += 1
         # A post can only create an earlier event on a *free* channel: while
         # a transaction is in flight the horizon is its delivery at
@@ -239,14 +255,33 @@ class Bus(EventPort):
         request.complete_cycle = cycle
         if request.record is not None:
             request.record.complete_cycle = cycle
-        if self.pmc is not None:
+        pmc = self.pmc
+        if pmc is not None:
+            # Inline of PerformanceCounters.note_bus_service (kept in sync
+            # with it) with the channel section cached after its lazy
+            # creation: delivery runs once per transaction, and the method
+            # call plus per-call dict lookup are measurable there.
             wait = request.grant_cycle - request.ready_cycle
-            self.pmc.note_bus_service(
-                request.origin_core,
-                request.service_cycles,
-                wait,
-                resource=self.resource_name,
-            )
+            service = request.service_cycles
+            channel = self._pmc_channel
+            if channel is None:
+                channel = pmc.resources.get(self.resource_name)
+                if channel is None:
+                    channel = pmc.resources[self.resource_name] = ResourceCounters()
+                self._pmc_channel = channel
+            if self._is_demand_channel:
+                pmc.bus_busy_cycles += service
+            channel.requests += 1
+            channel.busy_cycles += service
+            channel.wait_cycles += wait
+            if wait > channel.max_wait:
+                channel.max_wait = wait
+            origin = request.origin_core
+            if 0 <= origin < pmc.num_cores:
+                counters = pmc.core[origin]
+                counters.bus_requests += 1
+                counters.bus_busy_cycles += service
+                counters.contention_cycles += wait
         wake.append(request.origin_core)
         if request.on_complete is not None:
             request.on_complete(request, cycle)
@@ -285,7 +320,10 @@ class Bus(EventPort):
         the grant side effects cannot drift between engines.  ``port`` must
         hold a ready request on a free channel.
         """
-        request = self._queues[port].popleft()
+        queue = self._queues[port]
+        request = queue.popleft()
+        if not queue:
+            self._nonempty_ports -= 1
         self._queued_total -= 1
         self._horizon_dirty = True
         request.grant_cycle = cycle

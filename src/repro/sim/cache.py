@@ -73,7 +73,9 @@ class SetAssociativeCache:
         self.config = config
         self.name = name
         self.stats = CacheStats()
-        self._sets: List[Dict[int, List]] = [dict() for _ in range(config.num_sets)]
+        # {} literal, not dict(): this allocation runs per System build and
+        # large geometries make the constructor-call variant measurable.
+        self._sets: List[Dict[int, List]] = [{} for _ in range(config.num_sets)]
         self._stamp = 0
         self._line_shift = config.line_size.bit_length() - 1
         self._index_mask = config.num_sets - 1
@@ -247,7 +249,7 @@ class WayPartitionedCache(SetAssociativeCache):
                     )
             self._partitions[owner] = ways_tuple
         # Track which way each resident line occupies: set index -> tag -> way.
-        self._line_way: List[Dict[int, int]] = [dict() for _ in range(config.num_sets)]
+        self._line_way: List[Dict[int, int]] = [{} for _ in range(config.num_sets)]
 
     def partition_of(self, owner: int) -> Tuple[int, ...]:
         """Return the ways assigned to ``owner``."""

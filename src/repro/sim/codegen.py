@@ -70,9 +70,9 @@ from .arbiter import (
 from .bus import Bus
 from .memctrl import BankQueuedMemoryController, MemoryController
 from .resource import NO_EVENT
-from .scheduler import EventScheduler, register_engine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .scheduler import EventScheduler
     from .system import System
 
 
@@ -589,13 +589,24 @@ def _emit_phase3(w: _SourceWriter, plan: _ResourcePlan, diagnostics: bool) -> No
         w.line("horizon = _h")
 
 
-def generate_loop_source(config: ArchConfig, diagnostics: bool = False) -> str:
+def generate_loop_source(
+    config: ArchConfig, diagnostics: bool = False, replay_mask: int = 0
+) -> str:
     """Generate the specialised run-loop module for ``config``.
 
     Pure and deterministic: the same configuration always yields the same
     source (the golden-snapshot tests rely on this).  Raises
     :class:`UnspecialisableError` when the configuration names a topology or
     policy the generator cannot inline.
+
+    ``replay_mask`` is a bitmask of core indices the replay engine has
+    swapped for :class:`repro.sim.trace.ReplayCore` instances.  A replayed
+    core has no READY state, no store buffer and never needs a wake-up
+    re-check, so its phase-2 block collapses to a single busy-until test
+    and its horizon fold to the executing branch — the composition of the
+    codegen and trace-replay optimisations.  ``replay_mask=0`` emits
+    byte-identical source to the pre-replay generator (the golden
+    snapshots pin this).
     """
     plans = _resource_plans(config)
     cores = config.num_cores
@@ -617,6 +628,9 @@ def generate_loop_source(config: ArchConfig, diagnostics: bool = False) -> str:
                 f"{plan.policy}" + (f" slot={plan.slot}" if plan.policy == "tdma" else "")
             )
     w.line(f"cores: {cores}")
+    if replay_mask:
+        replayed = [i for i in range(cores) if (replay_mask >> i) & 1]
+        w.line(f"replay cores: {replayed}")
     w.line(f"cache key: {loop_cache_key(config)}")
     if diagnostics:
         w.line("diagnostics: cross-checking inlined logic against generic methods")
@@ -663,6 +677,20 @@ def generate_loop_source(config: ArchConfig, diagnostics: bool = False) -> str:
             for plan in plans:
                 _emit_phase1(w, plan)
             for core in range(cores):
+                if (replay_mask >> core) & 1:
+                    # A replay core acts exactly once per request: at the
+                    # end of its compute segment.  Deliveries re-enter the
+                    # EXECUTING state directly (no READY hop), a zero-gap
+                    # segment has busy_until == cycle, and there is no
+                    # store buffer — so the single test below is complete.
+                    w.line(f"# core {core}: tick (replay)")
+                    w.line(
+                        f"if c{core}.state is executing and "
+                        f"cycle >= c{core}._busy_until:"
+                    )
+                    with w.indent():
+                        w.line(f"c{core}.tick(cycle)")
+                    continue
                 w.line(f"# core {core}: tick")
                 w.line(f"_s = c{core}.state")
                 w.line("if _s is executing:")
@@ -702,6 +730,16 @@ def generate_loop_source(config: ArchConfig, diagnostics: bool = False) -> str:
                 w.line("timed_out = True")
                 w.line("break")
             for core in range(cores):
+                if (replay_mask >> core) & 1:
+                    # No READY state on a replay core: only the end of an
+                    # executing segment contributes a horizon.
+                    w.line(f"if c{core}.state is executing:")
+                    with w.indent():
+                        w.line(f"_ch = c{core}._busy_until")
+                        w.line("if _ch < horizon:")
+                        with w.indent():
+                            w.line("horizon = _ch")
+                    continue
                 w.line(f"_s = c{core}.state")
                 w.line("if _s is executing:")
                 with w.indent():
@@ -766,7 +804,10 @@ class CompiledLoop:
     diagnostics: bool
 
 
-_COMPILE_CACHE: Dict[Tuple[str, bool], CompiledLoop] = {}
+#: (digest, diagnostics, replay_mask) -> compiled loop.  The replay mask is
+#: part of the slot because a masked loop hard-codes which cores get the
+#: reduced replay blocks; ``0`` is the plain (and pre-replay) variant.
+_COMPILE_CACHE: Dict[Tuple[str, bool, int], CompiledLoop] = {}
 
 
 def _compile(source: str, key: str, diagnostics: bool) -> CompiledLoop:
@@ -779,25 +820,32 @@ def _compile(source: str, key: str, diagnostics: bool) -> CompiledLoop:
     return CompiledLoop(key=key, source=source, run=run, diagnostics=diagnostics)
 
 
-def compile_loop(config: ArchConfig, diagnostics: bool = False) -> CompiledLoop:
+def compile_loop(
+    config: ArchConfig, diagnostics: bool = False, replay_mask: int = 0
+) -> CompiledLoop:
     """Compile (or fetch from the per-process cache) the loop for ``config``.
 
     Cached the way campaign results are — content-addressed by
     :func:`loop_cache_key` — so every configuration with an equal digest
-    reuses the identical :class:`CompiledLoop` object.  The diagnostics
-    variant is cached under its own slot and never serves normal runs.
+    reuses the identical :class:`CompiledLoop` object.  The diagnostics and
+    replay-masked variants are cached under their own slots and never serve
+    normal runs.
     """
     key = loop_cache_key(config)
-    cache_key = (key, diagnostics)
+    cache_key = (key, diagnostics, replay_mask)
     loop = _COMPILE_CACHE.get(cache_key)
     if loop is None:
-        source = generate_loop_source(config, diagnostics=diagnostics)
+        source = generate_loop_source(
+            config, diagnostics=diagnostics, replay_mask=replay_mask
+        )
         loop = _compile(source, key, diagnostics)
         _COMPILE_CACHE[cache_key] = loop
     return loop
 
 
-def regenerate(config: ArchConfig, diagnostics: bool = False) -> CompiledLoop:
+def regenerate(
+    config: ArchConfig, diagnostics: bool = False, replay_mask: int = 0
+) -> CompiledLoop:
     """Drop any cached loop for ``config`` and compile a fresh one.
 
     The equivalence harness's second chance: after a three-way mismatch it
@@ -805,8 +853,8 @@ def regenerate(config: ArchConfig, diagnostics: bool = False) -> CompiledLoop:
     cache entry cannot mask — or cause — the divergence being reported.
     """
     key = loop_cache_key(config)
-    _COMPILE_CACHE.pop((key, diagnostics), None)
-    return compile_loop(config, diagnostics=diagnostics)
+    _COMPILE_CACHE.pop((key, diagnostics, replay_mask), None)
+    return compile_loop(config, diagnostics=diagnostics, replay_mask=replay_mask)
 
 
 def clear_compile_cache() -> None:
@@ -912,11 +960,13 @@ class CodegenEngine:
     name = "codegen"
 
     def __init__(self, system: "System") -> None:
+        from .scheduler import EventScheduler
+
         self.system = system
         self.fallback_reason = specialisation_mismatch(system)
         if self.fallback_reason is None:
             self.compiled: Optional[CompiledLoop] = compile_loop(system.config)
-            self._fallback: Optional[EventScheduler] = None
+            self._fallback: Optional["EventScheduler"] = None
         else:
             self.compiled = None
             self._fallback = EventScheduler(system)
@@ -928,10 +978,3 @@ class CodegenEngine:
             assert self._fallback is not None
             return self._fallback.run(observed, max_cycles)
         return self.compiled.run(self.system, observed, max_cycles)
-
-
-register_engine(
-    "codegen",
-    "generated loop specialised to the topology chain + arbiter set "
-    "(falls back to 'event' on unknown registry entries)",
-)(CodegenEngine)

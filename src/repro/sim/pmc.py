@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreCounters:
     """Counters kept for a single core (one bus port)."""
 
@@ -43,7 +43,7 @@ class CoreCounters:
         }
 
 
-@dataclass
+@dataclass(slots=True)
 class ResourceCounters:
     """Counters kept for one shared-resource channel (``bus``,
     ``bus_response``, ...): the per-channel PMC surface of split-transaction

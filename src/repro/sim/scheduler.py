@@ -315,7 +315,23 @@ register_engine(
     "event", "event-driven fast path: jump the clock to the min component horizon"
 )(EventScheduler)
 
-# The codegen engine registers itself on import; importing it here keeps the
-# built-in registration order (stepped, event, codegen) deterministic for
-# every consumer of the registry, mirroring repro.config.ENGINES.
-from . import codegen as _codegen  # noqa: E402,F401  (registration side effect)
+# The codegen and replay engines are registered here rather than in their
+# own modules: codegen.py and trace.py both sit below this module in the
+# import graph (trace.py is imported by bus.py, and codegen.py would need
+# a circular import through bus.py to reach the registry), so registering
+# from this tail is what keeps the built-in registration order (stepped,
+# event, codegen, replay) deterministic for every consumer of the
+# registry, mirroring repro.config.ENGINES.
+from . import codegen as _codegen  # noqa: E402
+from . import trace as _trace  # noqa: E402
+
+register_engine(
+    "codegen",
+    "generated loop specialised to the topology chain + arbiter set "
+    "(falls back to 'event' on unknown registry entries)",
+)(_codegen.CodegenEngine)
+register_engine(
+    "replay",
+    "trace replay: capture the core side once per kernel, stream it through "
+    "any interconnect (falls back per core on trace-unsafe programs)",
+)(_trace.ReplayEngine)

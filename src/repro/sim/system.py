@@ -128,6 +128,12 @@ class System:
 
         self.pmc = PerformanceCounters(num_cores=config.num_cores)
         self.trace = TraceRecorder(enabled=trace)
+        # Grant-time service occupancies, resolved once: these are derived
+        # config properties and _service_request runs once per transaction.
+        self._svc_response = config.bus_service_response
+        self._svc_store = config.bus_service_store
+        self._svc_l2_hit = config.bus_service_l2_hit
+        self._svc_miss = config.bus_service_miss_request
         #: Maps a response request (by identity) to the demand kind it
         #: resolves and the original request's trace record, if any.
         self._response_meta: Dict[int, Tuple[str, Optional[RequestRecord]]] = {}
@@ -174,6 +180,13 @@ class System:
         ]
 
         self._preload(preload_l2, preload_il1, preload_dl1)
+        #: Preload flags, recorded for the replay engine: the IL1/DL1 flags
+        #: are core-side (they change the captured miss sequence and join
+        #: the trace key); the L2 flag is system-side (the L2 stays live
+        #: during replay) and is kept for introspection only.
+        self.preload_l2 = preload_l2
+        self.preload_il1 = preload_il1
+        self.preload_dl1 = preload_dl1
         self.current_cycle = 0
 
     # ------------------------------------------------------------------ #
@@ -198,33 +211,45 @@ class System:
     # ------------------------------------------------------------------ #
     def _issue_demand(self, core_id: int, kind: str, addr: int, ready_cycle: int) -> None:
         """Post a demand request (load / ifetch / store drain) for ``core_id``."""
-        request = BusRequest(
-            port=core_id,
-            kind=kind,
-            addr=addr,
-            ready_cycle=ready_cycle,
-            origin_core=core_id,
-            on_complete=self._complete_demand,
+        self.bus.post(
+            BusRequest(core_id, kind, addr, ready_cycle, core_id, self._complete_demand)
         )
-        self.bus.post(request)
 
     def _service_request(self, request: BusRequest, cycle: int) -> int:
         """Grant-time callback: perform the L2 lookup and return the occupancy."""
-        cfg = self.config
-        if request.kind == "response":
-            return cfg.bus_service_response
-        if request.kind == "store":
-            self.l2.lookup(request.origin_core, request.addr, is_write=True)
-            return cfg.bus_service_store
-        if request.kind in ("load", "ifetch"):
+        kind = request.kind
+        if kind == "load" or kind == "ifetch":
             hit = self.l2.lookup(request.origin_core, request.addr, is_write=False)
-            return cfg.bus_service_l2_hit if hit else cfg.bus_service_miss_request
-        raise SimulationError(f"unknown bus request kind {request.kind!r}")
+            return self._svc_l2_hit if hit else self._svc_miss
+        if kind == "response":
+            return self._svc_response
+        if kind == "store":
+            self.l2.lookup(request.origin_core, request.addr, is_write=True)
+            return self._svc_store
+        raise SimulationError(f"unknown bus request kind {kind!r}")
 
     def _complete_demand(self, request: BusRequest, cycle: int) -> None:
         """Completion callback for demand requests posted by cores."""
+        kind = request.kind
         core = self.cores[request.origin_core]
-        if request.kind == "store":
+        if kind == "load" or kind == "ifetch":
+            # _deliver_line inlined: this is the per-request hot path.
+            if self.l2.contains(request.addr):
+                if kind == "ifetch":
+                    core.on_instruction_line(request.addr, cycle)
+                else:
+                    core.on_data_line(request.addr, cycle)
+            else:
+                self.pmc.dram_accesses += 1
+                self.memctrl.enqueue_read(
+                    request.origin_core,
+                    request.addr,
+                    cycle,
+                    kind=kind,
+                    record=request.record,
+                )
+            return
+        if kind == "store":
             core.on_store_drained(cycle)
             if not self.l2.contains(request.addr):
                 # Write-through, no-allocate: the write continues to memory.
@@ -232,19 +257,6 @@ class System:
                     request.addr,
                     cycle,
                     core_id=request.origin_core,
-                    record=request.record,
-                )
-            return
-        if request.kind in ("load", "ifetch"):
-            if self.l2.contains(request.addr):
-                self._deliver_line(core, request.kind, request.addr, cycle)
-            else:
-                self.pmc.dram_accesses += 1
-                self.memctrl.enqueue_read(
-                    request.origin_core,
-                    request.addr,
-                    cycle,
-                    kind=request.kind,
                     record=request.record,
                 )
             return
@@ -305,10 +317,11 @@ class System:
             skip_ahead: legacy engine switch kept for backwards
                 compatibility — ``True`` selects the event engine, ``False``
                 the stepped oracle.  Prefer ``engine``.
-            engine: ``"stepped"``, ``"event"`` or ``"codegen"``; ``None``
-                uses ``config.engine``.  Every engine is cycle-exact (see
-                :mod:`repro.sim.scheduler` and :mod:`repro.sim.codegen`),
-                so this only changes speed.
+            engine: ``"stepped"``, ``"event"``, ``"codegen"`` or
+                ``"replay"``; ``None`` uses ``config.engine``.  Every
+                engine is cycle-exact (see :mod:`repro.sim.scheduler`,
+                :mod:`repro.sim.codegen` and :mod:`repro.sim.trace`), so
+                this only changes speed.
         """
         if observed_cores is None:
             observed_cores = [

@@ -275,10 +275,10 @@ class TestConfigAudit:
         assert end_to_end.evidence["end_to_end_ubdm"] == 6
         assert dimension.tables  # rendered into report.html
 
-    def test_engine_cross_check_covers_both_fast_engines(self, bus_only_audit):
+    def test_engine_cross_check_covers_every_fast_engine(self, bus_only_audit):
         dimension = bus_only_audit.dimension("engine_equivalence")
         checks = {f.check for f in dimension.findings}
-        assert checks == {"event_vs_stepped", "codegen_vs_stepped"}
+        assert checks == {"event_vs_stepped", "codegen_vs_stepped", "replay_vs_stepped"}
         assert dimension.verdict == "pass"
         codegen = next(f for f in dimension.findings if f.check == "codegen_vs_stepped")
         # The built-in chain is specialised: no fallback reason.

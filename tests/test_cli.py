@@ -549,7 +549,12 @@ class TestCacheJsonAndClaims:
             ["cache", "gc", "--store", str(store_dir), "--keep-days", "365", "--json"]
         ) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload == {"removed": 0, "skipped_in_use": 0, "in_use_campaigns": []}
+        assert payload == {
+            "removed": 0,
+            "skipped_in_use": 0,
+            "in_use_campaigns": [],
+            "traces_removed": 0,
+        }
 
     def test_cache_gc_reports_claimed_rows_as_in_use(self, tmp_path, capsys):
         import repro.campaign.store as store_module

@@ -1,14 +1,21 @@
-"""Three-way engine equivalence (the scheduler's oracle contract).
+"""Four-way engine equivalence (the scheduler's oracle contract).
 
 The fast engines' whole value proposition is that they are *cycle-exact*:
-the event engine and the per-chain generated loops of the ``codegen``
-engine must produce the same execution times, PMC counts (including the
-per-resource sections), request traces (every stamp, including the
-memory-stage and response-channel timings) and delay histograms as the
-stepped oracle, only faster.  These tests check that contract
-deterministically for all four arbiters on all three topologies and both
-rsk flavours, and property-test it (hypothesis) across random platform
-geometries, programs and preload combinations.
+the event engine, the per-chain generated loops of the ``codegen`` engine
+and the trace-capture/``replay`` engine must produce the same execution
+times, PMC counts (including the per-resource sections), request traces
+(every stamp, including the memory-stage and response-channel timings)
+and delay histograms as the stepped oracle, only faster.  These tests
+check that contract deterministically for all four arbiters on all three
+topologies and both rsk flavours, and property-test it (hypothesis)
+across random platform geometries, programs and preload combinations.
+
+The replay engine is run twice per differential: once cold (trace cache
+cleared, so the run is a capture run on real cores) and once warm (every
+trace-safe core streams its memoised :class:`~repro.sim.trace.CoreTrace`
+through a :class:`~repro.sim.trace.ReplayCore`), and both runs must match
+the oracle bit for bit.  Store kernels and other trace-unsafe programs
+exercise the per-core fallback path for free.
 
 The codegen engine gets the generate→test→regenerate treatment: on a
 mismatch the harness recompiles the loop from scratch, re-runs it with the
@@ -42,9 +49,10 @@ from repro.sim import codegen as codegen_mod
 from repro.sim.codegen import CodegenMismatch
 from repro.sim.isa import Alu, Load, Nop, Program, Store
 from repro.sim.system import System
+from repro.sim.trace import clear_trace_cache
 
 #: Every engine under the oracle contract, oracle first.
-ENGINES_UNDER_TEST = ("stepped", "event", "codegen")
+ENGINES_UNDER_TEST = ("stepped", "event", "codegen", "replay")
 
 
 def _trace_tuples(result):
@@ -115,10 +123,13 @@ def _check_codegen(config, build_system, observed, max_cycles, oracle_state):
 
 
 def _run_both(config, programs, observed, trace=True, max_cycles=2_000_000, **kwargs):
-    """Run every engine and assert three-way observable equivalence.
+    """Run every engine and assert four-way observable equivalence.
 
     Keeps its historical name from the two-engine days; it now drives the
     full :data:`ENGINES_UNDER_TEST` differential and returns all outcomes.
+    The replay engine runs twice — a cold capture run (trace cache cleared
+    first) and a warm run replaying the just-captured traces — and both
+    must match the oracle.
     """
 
     def build_system():
@@ -126,6 +137,8 @@ def _run_both(config, programs, observed, trace=True, max_cycles=2_000_000, **kw
 
     outcomes = {}
     for engine in ENGINES_UNDER_TEST:
+        if engine == "replay":
+            clear_trace_cache()
         outcomes[engine] = build_system().run(
             observed_cores=observed, max_cycles=max_cycles, engine=engine
         )
@@ -133,6 +146,13 @@ def _run_both(config, programs, observed, trace=True, max_cycles=2_000_000, **kw
     assert _observable_state(outcomes["event"]) == oracle_state
     if _observable_state(outcomes["codegen"]) != oracle_state:
         _check_codegen(config, build_system, observed, max_cycles, oracle_state)
+    assert _observable_state(outcomes["replay"]) == oracle_state, (
+        "replay engine (cold capture run) diverged from the stepped oracle"
+    )
+    warm = build_system().run(observed_cores=observed, max_cycles=max_cycles, engine="replay")
+    assert _observable_state(warm) == oracle_state, (
+        "replay engine (warm trace-replay run) diverged from the stepped oracle"
+    )
     return outcomes
 
 
